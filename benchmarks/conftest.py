@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one published table or in-text experiment and
+prints the measured-vs-paper rows.  pytest-benchmark times the run; the
+scientific payload is the printed table.
+
+Dataset sizes are scaled by ``REPRO_BENCH_SCALE`` (default 0.15) so the
+suite completes in minutes; run with ``REPRO_BENCH_SCALE=1.0`` for the
+published sizes.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

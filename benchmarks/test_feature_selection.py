@@ -1,0 +1,22 @@
+"""Section 4.2 in-text — feature selection on Beer (GPT-4, zero-shot).
+
+The paper reports F1 74.1 before and 90.3 after dropping the noisy
+description column.  The mechanism here: each rating site writes its own
+blurb, so the column misleads uniform attribute weighting.
+"""
+
+from benchmarks.conftest import run_once
+from repro.eval import experiments
+
+
+def test_feature_selection_beer(benchmark, seed):
+    result = run_once(benchmark, experiments.run_feature_selection, 1.0, seed)
+    paper = result.paper
+    print()
+    print("Feature selection — Beer EM, GPT-4, zero-shot")
+    print(f"  {result.label_a}:  {result.score_a * 100:.1f}  (paper {paper[0]})")
+    print(f"  {result.label_b}: {result.score_b * 100:.1f}  (paper {paper[1]})")
+
+    assert result.score_a is not None and result.score_b is not None
+    # The claim: selection helps substantially (paper: +16.2 points).
+    assert result.score_b > result.score_a + 0.05

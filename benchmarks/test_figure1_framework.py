@@ -1,0 +1,65 @@
+"""Figure 1 — the framework itself, stage by stage.
+
+Figure 1 is the paper's architecture diagram (no data series); this
+benchmark makes it concrete by timing each block of the pipeline —
+contextualization + prompt assembly, the LLM call, and answer parsing —
+and asserting every block composes into correct end-to-end behaviour.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro import PipelineConfig, SimulatedLLM, load_dataset
+from repro.core.config import PipelineConfig as Config
+from repro.core.parsing import parse_batch_answers
+from repro.core.prompts import PromptBuilder
+from repro.data.instances import Task
+from repro.llm.base import CompletionRequest
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = load_dataset("restaurant")
+    builder = PromptBuilder(Task.DATA_IMPUTATION, Config(model="gpt-4"),
+                            target_attribute="city")
+    examples = dataset.sample_fewshot(10)
+    client = SimulatedLLM("gpt-4")
+    return dataset, builder, examples, client
+
+
+def test_stage_prompt_assembly(benchmark, setup):
+    dataset, builder, examples, __ = setup
+    batch = list(dataset.instances[:12])
+    prompt = benchmark(builder.build, batch, examples)
+    assert prompt.expected_answers == 12
+
+
+def test_stage_completion(benchmark, setup):
+    dataset, builder, examples, client = setup
+    batch = list(dataset.instances[:12])
+    prompt = builder.build(batch, fewshot_examples=examples)
+    request = CompletionRequest(messages=prompt.messages, model="gpt-4",
+                                temperature=0.65)
+    response = run_once(benchmark, client.complete, request)
+    assert response.usage.prompt_tokens > 0
+
+
+def test_stage_answer_parsing(benchmark, setup):
+    dataset, builder, examples, client = setup
+    batch = list(dataset.instances[:12])
+    prompt = builder.build(batch, fewshot_examples=examples)
+    request = CompletionRequest(messages=prompt.messages, model="gpt-4",
+                                temperature=0.65)
+    text = client.complete(request).text
+    answers = benchmark(parse_batch_answers, text, Task.DATA_IMPUTATION, 12)
+    assert len(answers) == 12
+
+
+def test_full_pipeline_throughput(benchmark, setup):
+    """Instances per second of the whole Figure-1 loop (simulated model)."""
+    dataset, __, __, client = setup
+    from repro.core.pipeline import Preprocessor
+
+    preprocessor = Preprocessor(client, PipelineConfig(model="gpt-4"))
+    result = run_once(benchmark, preprocessor.run, dataset)
+    assert len(result.predictions) == len(dataset.instances)

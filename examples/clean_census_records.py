@@ -1,0 +1,74 @@
+"""Error detection on census records: LLMs vs classical cleaners.
+
+Runs the Adult benchmark three ways — HoloClean-style constraints,
+HoloDetect-style few-shot ML, and the LLM pipeline — and shows what each
+catches and misses, reproducing the qualitative story of the paper's
+Table 1 ED columns.
+
+Run:
+    python examples/clean_census_records.py
+"""
+
+from repro import PipelineConfig, SimulatedLLM, load_dataset
+from repro.baselines import HoloCleanDetector, HoloDetectDetector
+from repro.core.pipeline import Preprocessor
+from repro.eval.metrics import confusion_counts
+
+
+def describe(name: str, predictions, labels) -> None:
+    metrics = confusion_counts(predictions, labels)
+    print(f"  {name:<12} F1 {metrics.f1 * 100:5.1f}   "
+          f"precision {metrics.precision:.2f}   recall {metrics.recall:.2f}")
+
+
+def main() -> None:
+    test = load_dataset("adult", size=600)
+    train = load_dataset("adult", size=400, seed=99)
+    labels = [instance.label for instance in test.instances]
+    print(f"Adult census ED: {len(test)} cells to judge, "
+          f"{sum(labels)} truly erroneous\n")
+
+    holoclean = HoloCleanDetector().fit(test.instances)
+    hc_predictions = holoclean.predict(test.instances)
+
+    labeled = list(train.fewshot_pool) + list(train.instances[:48])
+    holodetect = HoloDetectDetector().fit(test.instances, labeled)
+    hd_predictions = holodetect.predict(test.instances)
+
+    llm = Preprocessor(SimulatedLLM("gpt-4"), PipelineConfig(model="gpt-4"))
+    llm_predictions = llm.run(test).predictions
+
+    print("Method comparison (paper: HoloClean 54.5, HoloDetect 99.1, "
+          "GPT-4 92.0):")
+    describe("HoloClean", hc_predictions, labels)
+    describe("HoloDetect", hd_predictions, labels)
+    describe("GPT-4", llm_predictions, labels)
+
+    print("\nErrors only the LLM caught (constraint-free evidence):")
+    shown = 0
+    for inst, hc, llm_p in zip(test.instances, hc_predictions, llm_predictions):
+        if inst.label and llm_p and not hc and shown < 5:
+            shown += 1
+            value = inst.record[inst.target_attribute]
+            print(f"  {inst.target_attribute} = {value!r}"
+                  f"   (clean value: {inst.clean_value!r})")
+
+    print("\nPer-attribute F1 of the LLM (worst attributes first):")
+    from repro.eval.analysis import per_group_metrics
+
+    for group in per_group_metrics(list(test.instances), llm_predictions)[:5]:
+        print(f"  {str(group.group):<15} F1 {group.score * 100:5.1f}   "
+              f"({group.n} cells, {group.n_positive} errors)")
+
+    print("\nErrors nobody caught:")
+    shown = 0
+    for inst, hd, llm_p in zip(test.instances, hd_predictions, llm_predictions):
+        if inst.label and not hd and not llm_p and shown < 5:
+            shown += 1
+            value = inst.record[inst.target_attribute]
+            print(f"  {inst.target_attribute} = {value!r}"
+                  f"   (clean value: {inst.clean_value!r})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Schema matching for clinical data integration (the hard task).
+
+Synthea-style attribute pairs defeat lexical matching: negatives share
+vocabulary (visit_start_date / visit_end_date) while positives may share
+none (dob / birth_date).  This example shows the paper's findings: SMAT's
+learned lexical matcher plateaus low, LLM domain knowledge helps, and the
+prompt components matter — including the zero-shot-reasoning *collapse*
+when no examples anchor the task.
+
+Run:
+    python examples/integrate_medical_schemas.py
+"""
+
+from repro import PipelineConfig, SimulatedLLM, load_dataset
+from repro.baselines import SMATMatcher
+from repro.eval import evaluate_pipeline
+from repro.eval.metrics import f1_score
+
+
+def main() -> None:
+    test = load_dataset("synthea")
+    train = load_dataset("synthea", size=400, seed=99)
+    labels = [instance.label for instance in test.instances]
+    print(f"Synthea SM: {len(test)} attribute pairs, "
+          f"{sum(labels)} true correspondences\n")
+
+    print("A hard positive (no shared words):")
+    positive = next(i for i in test.instances if i.label)
+    print(f"  {positive.pair.left.name!r:<22} ~ {positive.pair.right.name!r}")
+    print("A hard negative (mostly shared words):")
+    negative = max(
+        (i for i in test.instances if not i.label),
+        key=lambda i: len(set(i.pair.left.name.split("_"))
+                          & set(i.pair.right.name.split("_"))),
+    )
+    print(f"  {negative.pair.left.name!r:<22} ~ {negative.pair.right.name!r}\n")
+
+    smat = SMATMatcher().fit(train.instances)
+    print(f"SMAT (learned lexical):        "
+          f"F1 {f1_score(smat.predict(test.instances), labels) * 100:5.1f}"
+          f"   (paper: 38.5)")
+
+    for model, paper in (("gpt-3.5", 57.1), ("gpt-4", 66.7)):
+        run = evaluate_pipeline(
+            SimulatedLLM(model), PipelineConfig(model=model), test
+        )
+        print(f"{model} (3-shot, best setting):  "
+              f"F1 {run.score_pct:>5}   (paper: {paper})")
+
+    # The in-text cautionary tale: reasoning with zero examples collapses.
+    collapse = evaluate_pipeline(
+        SimulatedLLM("gpt-3.5"),
+        PipelineConfig(model="gpt-3.5", fewshot=0, reasoning=True),
+        test,
+    )
+    print(f"gpt-3.5 zero-shot + reasoning: F1 {collapse.score_pct:>5}   "
+          f"(paper Table 2: 5.9 — over-literal reading of 'the same')")
+
+
+if __name__ == "__main__":
+    main()

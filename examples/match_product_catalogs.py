@@ -1,0 +1,71 @@
+"""Entity matching across product catalogs: blocking + LLM matching.
+
+The classical EM stack (paper Section 2.1): blocking first generates
+candidate pairs cheaply, then pairwise matching decides each candidate.
+This example blocks two product tables, compares Magellan/Ditto/GPT-4 on
+the resulting pairs, and prints the cost of each choice.
+
+Run:
+    python examples/match_product_catalogs.py
+"""
+
+from repro import PipelineConfig, SimulatedLLM, load_dataset
+from repro.baselines import Blocker, DittoMatcher, MagellanMatcher
+from repro.data.records import Table
+from repro.eval import evaluate_pipeline
+from repro.eval.metrics import f1_score
+
+
+def blocking_demo(dataset) -> None:
+    """Block the left and right sides of the benchmark's pairs."""
+    schema = dataset.instances[0].pair.left.schema
+    left = Table(schema, [i.pair.left for i in dataset.instances])
+    right = Table(schema, [i.pair.right for i in dataset.instances])
+    true_matches = [
+        (index, index) for index, instance in enumerate(dataset.instances)
+        if instance.label
+    ]
+    print("Blocking on the title attribute:")
+    for method in ("equality", "soundex", "token"):
+        result = Blocker("title", method=method).block(left, right)
+        print(f"  {method:<9} candidates {len(result.pairs):>7,}   "
+              f"reduction {result.reduction_ratio * 100:5.1f}%   "
+              f"pair completeness "
+              f"{result.pair_completeness(true_matches) * 100:5.1f}%")
+    print()
+
+
+def main() -> None:
+    test = load_dataset("walmart_amazon", size=400)
+    train = load_dataset("walmart_amazon", size=600, seed=99)
+    labels = [instance.label for instance in test.instances]
+    print(f"Walmart-Amazon EM: {len(test)} candidate pairs, "
+          f"{sum(labels)} true matches\n")
+
+    blocking_demo(test)
+
+    magellan = MagellanMatcher().fit(train.instances)
+    ditto = DittoMatcher().fit(train.instances)
+    print("Pairwise matching (paper: Magellan 71.9, Ditto 86.8, GPT-4 90.3):")
+    print(f"  Magellan  F1 {f1_score(magellan.predict(test.instances), labels) * 100:5.1f}")
+    print(f"  Ditto     F1 {f1_score(ditto.predict(test.instances), labels) * 100:5.1f}")
+
+    run = evaluate_pipeline(
+        SimulatedLLM("gpt-4"), PipelineConfig(model="gpt-4"), test
+    )
+    print(f"  GPT-4     F1 {run.score_pct:>5}   "
+          f"(${run.cost_usd:.2f}, {run.total_tokens:,} tokens, "
+          f"{run.hours:.2f} h modeled)")
+
+    cheap = evaluate_pipeline(
+        SimulatedLLM("gpt-3.5"), PipelineConfig(model="gpt-3.5"), test
+    )
+    print(f"  GPT-3.5   F1 {cheap.score_pct:>5}   "
+          f"(${cheap.cost_usd:.2f}, {cheap.total_tokens:,} tokens, "
+          f"{cheap.hours:.2f} h modeled)")
+    print("\nThe trained matchers are free per pair but need labeled "
+          "training data; the LLMs need none but meter every token.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline reproduction environment lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .`` via pyproject-only metadata) fail
+with ``invalid command 'bdist_wheel'``.  Keeping this shim lets pip use the
+legacy ``setup.py develop`` path; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro — LLMs as Data Preprocessors, reproduced offline.
+
+A faithful, fully offline reimplementation of the framework and the
+experimental study of *Large Language Models as Data Preprocessors*
+(VLDB 2024): error detection, data imputation, schema matching, and
+entity matching through prompt-engineered (simulated) LLMs, plus the six
+classical baselines and the twelve benchmark datasets.
+
+Quickstart::
+
+    from repro import Preprocessor, PipelineConfig, SimulatedLLM, load_dataset
+    from repro.eval import evaluate_pipeline
+
+    dataset = load_dataset("restaurant")
+    config = PipelineConfig(model="gpt-4")
+    run = evaluate_pipeline(SimulatedLLM("gpt-4"), config, dataset)
+    print(run.score_pct)
+"""
+
+from repro.core import (
+    CostEstimate,
+    PipelineConfig,
+    PipelineResult,
+    Preprocessor,
+    PromptBuilder,
+    detect_errors,
+    estimate_cost,
+    impute_missing,
+    match_entities,
+    match_schemas,
+)
+from repro.core.feature_selection import FeatureSelection
+from repro.data import (
+    Attribute,
+    AttrType,
+    Record,
+    Schema,
+    Table,
+    Task,
+)
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.llm import SimulatedLLM, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Preprocessor",
+    "CostEstimate",
+    "estimate_cost",
+    "detect_errors",
+    "impute_missing",
+    "match_schemas",
+    "match_entities",
+    "PipelineConfig",
+    "PipelineResult",
+    "PromptBuilder",
+    "FeatureSelection",
+    "SimulatedLLM",
+    "get_profile",
+    "load_dataset",
+    "DATASET_NAMES",
+    "Task",
+    "Schema",
+    "Attribute",
+    "AttrType",
+    "Record",
+    "Table",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Classical baselines the paper compares against.
+
+Each module reimplements the *mechanism class* of the referenced system at
+laptop scale (the paper quotes their numbers from Narayan et al. [16]):
+
+- :mod:`holoclean` — denial-constraint error detection with probabilistic
+  repair (Rekatsinas et al., PVLDB'17).
+- :mod:`holodetect` — few-shot, augmentation-based ML error detection
+  (Heidari et al., SIGMOD'19).
+- :mod:`imp` — semantics-capturing imputation via retrieval over column
+  contexts (Mei et al., ICDE'21).
+- :mod:`smat` — attention-style schema matching over (name, description)
+  pairs (Zhang et al., ADBIS'21).
+- :mod:`magellan` — feature-engineering entity matching with a trained
+  classifier (Konda et al., PVLDB'16).
+- :mod:`ditto` — pre-trained-LM-style entity matching: serialized record
+  pairs scored by dense similarity + a learned head (Li et al., PVLDB'20).
+- :mod:`blocking` — the candidate-generation step of the EM stack.
+
+All baselines share the protocol: ``fit(train_instances)`` then
+``predict(instances)``, mirroring how they were trained on labeled data in
+the original evaluation.
+"""
+
+from repro.baselines.blocking import Blocker, BlockingResult
+from repro.baselines.holoclean import HoloCleanDetector
+from repro.baselines.holodetect import HoloDetectDetector
+from repro.baselines.imp import IMPImputer
+from repro.baselines.smat import SMATMatcher
+from repro.baselines.magellan import MagellanMatcher
+from repro.baselines.ditto import DittoMatcher
+
+__all__ = [
+    "Blocker",
+    "BlockingResult",
+    "HoloCleanDetector",
+    "HoloDetectDetector",
+    "IMPImputer",
+    "SMATMatcher",
+    "MagellanMatcher",
+    "DittoMatcher",
+]

@@ -1,0 +1,151 @@
+"""HoloClean-style error detection: denial constraints + statistics.
+
+HoloClean (Rekatsinas et al., PVLDB'17) detects candidate errors with
+integrity constraints and statistical outlier signals, then repairs them
+by probabilistic inference.  This reimplementation covers the detection
+side the paper scores (F1 on cell error labels):
+
+- **approximate functional dependencies** mined from the observed records
+  (e.g. ``education -> educationnum``); a cell violating the majority
+  mapping of a high-confidence FD is flagged;
+- **numeric outliers** by z-score, plus type violations (text in a numeric
+  column).
+
+Its published weakness — mediocre F1 (~52) on these benchmarks — comes
+from exactly what this implementation reproduces: a single-character typo
+in an open-text cell violates no constraint and no statistic, so recall on
+typo-dominated benchmarks is structurally limited.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter, defaultdict
+from typing import Sequence
+
+from repro.data.instances import EDInstance
+from repro.errors import EvaluationError
+
+#: a column is "categorical enough" for frequency signals below this ratio
+_CARDINALITY_RATIO = 0.2
+#: FDs must hold on at least this fraction of co-occurrences
+_FD_CONFIDENCE = 0.95
+
+
+class HoloCleanDetector:
+    """Constraint- and statistics-based error detector."""
+
+    def __init__(self, min_support: int = 2):
+        if min_support < 1:
+            raise EvaluationError("min_support must be >= 1")
+        self._min_support = min_support
+        self._value_counts: dict[str, Counter[str]] = {}
+        self._n_records = 0
+        self._categorical: set[str] = set()
+        self._numeric_stats: dict[str, tuple[float, float]] = {}
+        self._fds: dict[tuple[str, str], dict[str, str]] = {}
+
+    def fit(self, instances: Sequence[EDInstance]) -> "HoloCleanDetector":
+        """Mine statistics and FDs from the instances' records.
+
+        HoloClean profiles the *dirty* dataset itself; no labels are used.
+        """
+        if not instances:
+            raise EvaluationError("cannot fit HoloClean on zero instances")
+        records = [inst.record for inst in instances]
+        self._n_records = len(records)
+        attributes = records[0].schema.attribute_names
+        self._value_counts = {a: Counter() for a in attributes}
+        numeric_values: dict[str, list[float]] = defaultdict(list)
+        for record in records:
+            for name, value in record:
+                if value is None:
+                    continue
+                self._value_counts[name][str(value)] += 1
+                try:
+                    numeric_values[name].append(float(value))
+                except (TypeError, ValueError):
+                    pass
+        for name in attributes:
+            counts = self._value_counts[name]
+            total = sum(counts.values())
+            if total and len(counts) / total <= _CARDINALITY_RATIO:
+                self._categorical.add(name)
+            values = numeric_values.get(name, [])
+            if len(values) >= 10 and len(values) >= 0.9 * total:
+                mean = statistics.fmean(values)
+                std = statistics.pstdev(values) or 1.0
+                self._numeric_stats[name] = (mean, std)
+        self._mine_fds(records, attributes)
+        return self
+
+    def _mine_fds(self, records, attributes) -> None:
+        """Mine approximate FDs a -> b between categorical columns."""
+        for a in self._categorical:
+            for b in self._categorical:
+                if a == b:
+                    continue
+                mapping: dict[str, Counter[str]] = defaultdict(Counter)
+                for record in records:
+                    va, vb = record[a], record[b]
+                    if va is None or vb is None:
+                        continue
+                    mapping[str(va)][str(vb)] += 1
+                total = sum(sum(c.values()) for c in mapping.values())
+                if total == 0:
+                    continue
+                agreements = sum(c.most_common(1)[0][1] for c in mapping.values())
+                if agreements / total >= _FD_CONFIDENCE:
+                    self._fds[(a, b)] = {
+                        va: c.most_common(1)[0][0] for va, c in mapping.items()
+                    }
+
+    def predict_one(self, instance: EDInstance) -> bool:
+        """Is the target cell erroneous according to constraints/statistics?"""
+        if self._n_records == 0:
+            raise EvaluationError("predict called before fit")
+        record = instance.record
+        attribute = instance.target_attribute
+        value = record[attribute]
+        if value is None:
+            return False
+        value = str(value)
+        # Domain constraint: in a *small closed* vocabulary (sex, state),
+        # an unseen value violates the column's domain.  Open-text columns
+        # get no such signal — that is HoloClean's structural blind spot.
+        counts = self._value_counts.get(attribute, Counter())
+        if (
+            attribute in self._categorical
+            and len(counts) <= 20
+            and counts[value] <= 1
+        ):
+            # The value occurs (at most) only in this very cell of a
+            # small, enumerable vocabulary: a domain violation.  Columns
+            # with larger vocabularies get no rule — users write denial
+            # constraints only for domains they can enumerate, which is
+            # HoloClean's coverage gap on these benchmarks.
+            return True
+        # FD violations in either direction involving this attribute.
+        for (a, b), mapping in self._fds.items():
+            if b != attribute:
+                continue
+            va = record[a]
+            if va is None:
+                continue
+            expected = mapping.get(str(va))
+            if expected is not None and expected != value:
+                return True
+        # Numeric outlier.
+        stats = self._numeric_stats.get(attribute)
+        if stats is not None:
+            try:
+                x = float(value)
+            except ValueError:
+                return True  # non-numeric value in a numeric column
+            mean, std = stats
+            if abs(x - mean) / std > 3.0:
+                return True
+        return False
+
+    def predict(self, instances: Sequence[EDInstance]) -> list[bool]:
+        return [self.predict_one(inst) for inst in instances]

@@ -1,0 +1,113 @@
+"""Magellan-style entity matching: feature engineering + a trained model.
+
+Magellan (Konda et al., PVLDB'16) generates a per-attribute similarity
+feature vector for each candidate pair and trains a conventional ML
+classifier.  This reimplementation produces, per shared attribute: exact
+match, token Jaccard, Levenshtein similarity, Monge-Elkan, numeric
+closeness, and missingness indicators — then fits logistic regression.
+
+Its published profile — strong on clean benchmarks (Fodors-Zagats 100,
+DBLP-ACM 98.4), weak on dirty ones (Amazon-Google 49.1) — follows from the
+mechanism: hand-built string similarities cannot see that two differently
+worded titles are the same product.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.instances import EMInstance
+from repro.errors import EvaluationError
+from repro.ml.logistic import LogisticRegression
+from repro.ml.scaling import StandardScaler
+from repro.text.normalize import normalize_text
+from repro.text.similarity import (
+    jaccard,
+    levenshtein_similarity,
+    monge_elkan,
+)
+
+
+def _numeric(value: str) -> float | None:
+    try:
+        return float(value.replace("$", "").replace("%", "").replace(",", ""))
+    except ValueError:
+        return None
+
+
+def attribute_features(a: str | None, b: str | None) -> list[float]:
+    """The Magellan feature set for one attribute pair."""
+    if a is None or b is None:
+        # Missingness indicators; similarity features are neutral zeros.
+        return [0.0, 0.0, 0.0, 0.0, 0.0, 1.0]
+    a_norm, b_norm = normalize_text(str(a)), normalize_text(str(b))
+    exact = float(a_norm == b_norm)
+    tokens_a, tokens_b = a_norm.split(), b_norm.split()
+    na, nb = _numeric(str(a)), _numeric(str(b))
+    if na is not None and nb is not None:
+        denom = max(abs(na), abs(nb), 1e-9)
+        numeric_sim = max(0.0, 1.0 - abs(na - nb) / denom)
+    else:
+        numeric_sim = 0.0
+    return [
+        exact,
+        jaccard(tokens_a, tokens_b),
+        levenshtein_similarity(a_norm, b_norm),
+        monge_elkan(tokens_a, tokens_b),
+        numeric_sim,
+        0.0,
+    ]
+
+
+def pair_features(instance: EMInstance) -> list[float]:
+    """Concatenated per-attribute features, in schema order."""
+    features: list[float] = []
+    left, right = instance.pair.left, instance.pair.right
+    for name in left.schema.attribute_names:
+        a = left[name]
+        b = right[name] if name in right.schema else None
+        features.extend(
+            attribute_features(
+                str(a) if a is not None else None,
+                str(b) if b is not None else None,
+            )
+        )
+    return features
+
+
+class MagellanMatcher:
+    """Feature-engineering EM with logistic regression."""
+
+    def __init__(self, threshold: float = 0.5):
+        if not 0.0 < threshold < 1.0:
+            raise EvaluationError("threshold must be in (0, 1)")
+        self._threshold = threshold
+        self._classifier: LogisticRegression | None = None
+        self._scaler: StandardScaler | None = None
+
+    def fit(self, train: Sequence[EMInstance]) -> "MagellanMatcher":
+        if not train:
+            raise EvaluationError("cannot fit Magellan on zero instances")
+        X = np.asarray([pair_features(i) for i in train], dtype=np.float64)
+        y = np.asarray([float(i.label) for i in train])
+        if len(set(y.tolist())) < 2:
+            raise EvaluationError("training set covers only one class")
+        self._scaler = StandardScaler().fit(X)
+        self._classifier = LogisticRegression(n_iter=800).fit(
+            self._scaler.transform(X), y
+        )
+        return self
+
+    def predict_one(self, instance: EMInstance) -> bool:
+        if self._classifier is None or self._scaler is None:
+            raise EvaluationError("predict called before fit")
+        features = np.asarray([pair_features(instance)])
+        probability = self._classifier.predict_proba(
+            self._scaler.transform(features)
+        )[0]
+        return bool(probability >= self._threshold)
+
+    def predict(self, instances: Sequence[EMInstance]) -> list[bool]:
+        return [self.predict_one(inst) for inst in instances]

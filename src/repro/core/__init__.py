@@ -1,0 +1,43 @@
+"""The paper's contribution: the LLM-based data preprocessing framework.
+
+Mirrors Figure 1: prompts are assembled from a role instruction, a
+zero-shot task specification (with optional chain-of-thought reasoning), an
+optional few-shot conversation, and a batch of contextualized data
+instances; answers come back in an instructed format and are parsed into
+task predictions.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.contextualize import serialize_instance, serialize_record
+from repro.core.dryrun import CostEstimate, compare_batch_sizes, estimate_cost
+from repro.core.feature_selection import FeatureSelection, select_features
+from repro.core.pipeline import PipelineResult, Preprocessor
+from repro.core.prompts import PromptBuilder
+from repro.core.batching import make_batches
+from repro.core.workflows import (
+    detect_errors,
+    impute_missing,
+    match_entities,
+    match_schemas,
+    repair_errors,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "Preprocessor",
+    "PipelineResult",
+    "PromptBuilder",
+    "serialize_record",
+    "serialize_instance",
+    "FeatureSelection",
+    "select_features",
+    "make_batches",
+    "CostEstimate",
+    "estimate_cost",
+    "compare_batch_sizes",
+    "detect_errors",
+    "impute_missing",
+    "match_schemas",
+    "match_entities",
+    "repair_errors",
+]

@@ -1,0 +1,103 @@
+"""Feature selection (paper Section 3.4).
+
+When metadata is available, users select the attribute subset that is
+informative for the task — e.g. for imputing a restaurant's city, keep the
+phone number and street but drop the name and cuisine.  Selection is
+applied to the *instance* before contextualization, so fewer tokens are
+spent and noisy attributes cannot mislead the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.instances import (
+    DIInstance,
+    EDInstance,
+    EMInstance,
+    Instance,
+    SMInstance,
+)
+from repro.data.records import RecordPair
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FeatureSelection:
+    """An attribute subset to keep (order preserved from the schema).
+
+    For ED/DI the target attribute is always retained even if absent from
+    ``keep`` — the question is about it.
+    """
+
+    keep: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.keep:
+            raise ConfigError("feature selection must keep at least one attribute")
+        if len(set(self.keep)) != len(self.keep):
+            raise ConfigError(f"duplicate attributes in selection: {self.keep}")
+
+
+def select_features(instance: Instance, selection: FeatureSelection) -> Instance:
+    """Project an instance onto the selected attributes.
+
+    Returns a new instance; the input is never mutated.  SM instances pass
+    through unchanged (their two fields, name and description, *are* the
+    features).
+    """
+    if isinstance(instance, SMInstance):
+        return instance
+    if isinstance(instance, (EDInstance, DIInstance)):
+        names = _ordered_subset(
+            instance.record.schema.attribute_names,
+            selection.keep,
+            required=instance.target_attribute,
+        )
+        projected = instance.record.project(names)
+        if isinstance(instance, EDInstance):
+            return EDInstance(
+                record=projected,
+                target_attribute=instance.target_attribute,
+                label=instance.label,
+                clean_value=instance.clean_value,
+                instance_id=instance.instance_id,
+            )
+        return DIInstance(
+            record=projected,
+            target_attribute=instance.target_attribute,
+            true_value=instance.true_value,
+            instance_id=instance.instance_id,
+        )
+    if isinstance(instance, EMInstance):
+        names = _ordered_subset(
+            instance.pair.left.schema.attribute_names, selection.keep
+        )
+        return EMInstance(
+            pair=RecordPair(
+                instance.pair.left.project(names),
+                instance.pair.right.project(names),
+            ),
+            label=instance.label,
+            instance_id=instance.instance_id,
+        )
+    raise ConfigError(
+        f"cannot select features on instance type {type(instance).__name__}"
+    )
+
+
+def _ordered_subset(
+    schema_names: tuple[str, ...],
+    keep: tuple[str, ...],
+    required: str | None = None,
+) -> list[str]:
+    keep_set = set(keep)
+    unknown = keep_set - set(schema_names)
+    if unknown:
+        raise ConfigError(
+            f"feature selection names unknown attributes: {sorted(unknown)}"
+        )
+    names = [n for n in schema_names if n in keep_set]
+    if required is not None and required not in names:
+        names.append(required)
+    return names

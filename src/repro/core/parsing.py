@@ -1,0 +1,179 @@
+"""Answer parsing: from model text back to task predictions.
+
+The answer contract (Section 3.1) is ``Answer k:`` blocks — two lines
+(reason, then bare answer) with reasoning on, one line otherwise.  Real
+models violate contracts, so the parser is deliberately tolerant: it
+anchors on ``Answer k`` markers, falls back to order when numbers are
+missing, and normalizes binary answers from free text.  A reply that still
+cannot be aligned raises :class:`AnswerFormatError`, which the pipeline
+converts into a retry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.data.instances import Task
+from repro.errors import AnswerFormatError
+
+_ANSWER_RE = re.compile(r"^\s*answer\s*(\d+)\s*[:.]?\s*(.*)$", re.IGNORECASE)
+_YES_RE = re.compile(r"\b(yes|match|matched|same|true|erroneous|error)\b", re.IGNORECASE)
+_NO_RE = re.compile(r"\b(no|not|different|false|clean|mismatch)\b", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class ParsedAnswer:
+    """One answer block: the free-text reason (if any) plus the answer line."""
+
+    reason: str
+    answer: str
+
+
+def split_answer_blocks(text: str, expected: int) -> list[ParsedAnswer]:
+    """Split a model reply into ``expected`` answer blocks.
+
+    Anchors on ``Answer k:`` lines.  Within a block, the *last* non-empty
+    line is the answer (per the two-line contract) and everything before it
+    is the reason.  If the block has a single line, that line is the answer
+    and the reason is empty.
+    """
+    if not text.strip():
+        raise AnswerFormatError("empty model reply", raw_text=text)
+    lines = text.splitlines()
+    starts: list[tuple[int, int, str]] = []  # (line index, number, rest)
+    for i, line in enumerate(lines):
+        match = _ANSWER_RE.match(line)
+        if match:
+            starts.append((i, int(match.group(1)), match.group(2)))
+    if not starts:
+        if expected == 1:
+            # Single-question replies often skip the marker entirely.
+            non_empty = [l.strip() for l in lines if l.strip()]
+            if not non_empty:
+                raise AnswerFormatError("no answer lines found", raw_text=text)
+            reason = " ".join(non_empty[:-1])
+            return [ParsedAnswer(reason=reason, answer=non_empty[-1])]
+        raise AnswerFormatError(
+            f"expected {expected} 'Answer k:' blocks, found none", raw_text=text
+        )
+
+    blocks: list[ParsedAnswer] = []
+    for position, (start, __, rest) in enumerate(starts):
+        end = starts[position + 1][0] if position + 1 < len(starts) else len(lines)
+        body = [rest.strip()] if rest.strip() else []
+        body.extend(l.strip() for l in lines[start + 1 : end] if l.strip())
+        if not body:
+            raise AnswerFormatError(
+                f"answer block {position + 1} is empty", raw_text=text
+            )
+        if len(body) == 1:
+            blocks.append(ParsedAnswer(reason="", answer=body[0]))
+        else:
+            blocks.append(
+                ParsedAnswer(reason=" ".join(body[:-1]), answer=body[-1])
+            )
+    if len(blocks) != expected:
+        raise AnswerFormatError(
+            f"expected {expected} answers, parsed {len(blocks)}", raw_text=text
+        )
+    return blocks
+
+
+def normalize_binary(answer: str) -> bool:
+    """Map a free-text answer line to yes(True)/no(False).
+
+    Checks for a leading yes/no first (the instructed format), then falls
+    back to keyword scanning so replies like "They are the same entity."
+    still parse.  Raises :class:`AnswerFormatError` when neither polarity
+    is recognizable.
+    """
+    stripped = answer.strip().strip('."\'').lower()
+    if stripped.startswith("yes"):
+        return True
+    if stripped.startswith("no"):
+        return False
+    # "not the same" must win over the "same" keyword.
+    if _NO_RE.search(answer):
+        return False
+    if _YES_RE.search(answer):
+        return True
+    raise AnswerFormatError(
+        f"cannot read yes/no from answer {answer!r}", raw_text=answer
+    )
+
+
+def normalize_value(answer: str) -> str:
+    """Clean a DI answer line: strip quotes, trailing periods, label echoes."""
+    value = answer.strip()
+    # Drop "The city is" style echoes.
+    lowered = value.lower()
+    for prefix in ("the answer is", "answer:", "value:"):
+        if lowered.startswith(prefix):
+            value = value[len(prefix):].strip()
+            lowered = value.lower()
+    value = value.strip()
+    if value.endswith("."):
+        value = value[:-1]
+    if len(value) >= 2 and value[0] == value[-1] and value[0] in "\"'":
+        value = value[1:-1]
+    if not value:
+        raise AnswerFormatError("empty imputation answer", raw_text=answer)
+    return value
+
+
+def parse_batch_answers(
+    text: str, task: Task, expected: int
+) -> list[bool | str]:
+    """Parse a full model reply into per-instance predictions."""
+    blocks = split_answer_blocks(text, expected)
+    predictions: list[bool | str] = []
+    for block in blocks:
+        if task is Task.DATA_IMPUTATION:
+            predictions.append(normalize_value(block.answer))
+        else:
+            predictions.append(normalize_binary(block.answer))
+    return predictions
+
+
+def parse_batch_answers_lenient(
+    text: str, task: Task, expected: int
+) -> list[bool | str | None]:
+    """Salvage what can be salvaged from a malformed reply.
+
+    Aligns answer blocks by their stated numbers (1-based); positions with
+    no parseable answer come back as ``None``.  Never raises — this is the
+    last resort after retries, so partial batches are not thrown away.
+    """
+    predictions: list[bool | str | None] = [None] * expected
+    lines = text.splitlines()
+    current: int | None = None
+    buffer: list[str] = []
+
+    def flush() -> None:
+        if current is None or not buffer or not 1 <= current <= expected:
+            return
+        # Garbage lines may have been appended after the true answer line
+        # (e.g. an off-contract ramble for the *next* question); take the
+        # last line that parses.
+        for answer in reversed(buffer):
+            try:
+                if task is Task.DATA_IMPUTATION:
+                    predictions[current - 1] = normalize_value(answer)
+                else:
+                    predictions[current - 1] = normalize_binary(answer)
+                return
+            except AnswerFormatError:
+                continue
+
+    for line in lines:
+        match = _ANSWER_RE.match(line)
+        if match:
+            flush()
+            current = int(match.group(1))
+            rest = match.group(2).strip()
+            buffer = [rest] if rest else []
+        elif line.strip():
+            buffer.append(line.strip())
+    flush()
+    return predictions

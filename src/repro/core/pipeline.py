@@ -1,0 +1,262 @@
+"""End-to-end preprocessing pipeline (Figure 1 realized).
+
+The :class:`Preprocessor` takes a dataset and an LLM client and produces a
+prediction per instance:
+
+1. feature selection (optional),
+2. few-shot example selection from the dataset's hand-labeled pool,
+3. batching (random or cluster),
+4. prompt assembly per batch,
+5. the completion call,
+6. answer parsing with format-violation retries.
+
+ED and DI prompts name the target attribute in the zero-shot instruction,
+so instances are grouped by target attribute and batched within groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.batching import make_batches
+from repro.core.config import PipelineConfig
+from repro.core.feature_selection import select_features
+from repro.core.parsing import parse_batch_answers, parse_batch_answers_lenient
+from repro.core.prompts import PromptBuilder
+from repro.core.tasks import target_attribute_of
+from repro.data.instances import Instance, PreprocessingDataset, Task
+from repro.errors import (
+    AnswerFormatError,
+    ContextWindowExceededError,
+    EvaluationError,
+)
+from repro.llm.base import CompletionRequest, LLMClient, Usage
+
+#: the paper's temperature settings (Section 4.1)
+DEFAULT_TEMPERATURE = {
+    "gpt-3.5": 0.75,
+    "gpt-4": 0.65,
+    "gpt-3": 0.75,
+    "vicuna-13b": 0.2,
+}
+
+
+@dataclass
+class PipelineResult:
+    """Everything one run produced.
+
+    ``predictions`` aligns index-for-index with the instances that were
+    run.  ``estimated_hours`` is the modeled wall-clock a metered API would
+    have taken (requests are sequential, as in the paper's cost analysis).
+    """
+
+    predictions: list[bool | str]
+    usage: Usage
+    n_requests: int
+    n_format_retries: int
+    n_fallbacks: int
+    estimated_seconds: float
+    raw_replies: list[str] = field(default_factory=list)
+
+    @property
+    def estimated_hours(self) -> float:
+        return self.estimated_seconds / 3600.0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.usage.total_tokens
+
+
+@dataclass
+class _RunStats:
+    """Mutable accumulator threaded through one run's batches."""
+
+    keep_raw: bool = False
+    usage: Usage = field(
+        default_factory=lambda: Usage(prompt_tokens=0, completion_tokens=0)
+    )
+    n_requests: int = 0
+    n_retries: int = 0
+    n_fallbacks: int = 0
+    seconds: float = 0.0
+    raw_replies: list[str] = field(default_factory=list)
+
+
+class Preprocessor:
+    """Runs one configured pipeline against datasets."""
+
+    def __init__(self, client: LLMClient, config: PipelineConfig | None = None):
+        self._client = client
+        self._config = config or PipelineConfig()
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self._config
+
+    def run(
+        self,
+        dataset: PreprocessingDataset,
+        keep_raw: bool = False,
+    ) -> PipelineResult:
+        """Run the pipeline over every instance of ``dataset``."""
+        config = self._config
+        instances: list[Instance] = list(dataset.instances)
+        if not instances:
+            raise EvaluationError(f"dataset {dataset.name!r} has no instances")
+
+        if config.feature_selection is not None:
+            instances = [
+                select_features(inst, config.feature_selection)
+                for inst in instances
+            ]
+
+        n_shots = config.fewshot_for(dataset.task)
+        fewshot = dataset.sample_fewshot(n_shots, seed=config.seed)
+        if config.feature_selection is not None:
+            fewshot = [
+                select_features(inst, config.feature_selection)
+                for inst in fewshot
+            ]
+
+        temperature = (
+            config.temperature
+            if config.temperature is not None
+            else DEFAULT_TEMPERATURE.get(config.model, 0.7)
+        )
+
+        predictions: list[bool | str | None] = [None] * len(instances)
+        stats = _RunStats(keep_raw=keep_raw)
+
+        for group_indices in self._group_by_target(instances):
+            group = [instances[i] for i in group_indices]
+            target = target_attribute_of(group[0])
+            builder = PromptBuilder(
+                dataset.task, config, target_attribute=target
+            )
+            group_fewshot = self._fewshot_for_target(
+                fewshot, dataset.task, target
+            )
+            batches = make_batches(
+                group,
+                batch_size=config.batch_size_for_model(),
+                mode=config.batching,
+                seed=config.seed,
+            )
+            for batch_positions in batches:
+                batch = [group[p] for p in batch_positions]
+                batch_predictions = self._run_batch(
+                    builder, batch, group_fewshot, temperature,
+                    dataset.task, stats,
+                )
+                for position, prediction in zip(batch_positions, batch_predictions):
+                    predictions[group_indices[position]] = prediction
+
+        assert all(p is not None for p in predictions)
+        return PipelineResult(
+            predictions=predictions,  # type: ignore[arg-type]
+            usage=stats.usage,
+            n_requests=stats.n_requests,
+            n_format_retries=stats.n_retries,
+            n_fallbacks=stats.n_fallbacks,
+            estimated_seconds=stats.seconds,
+            raw_replies=stats.raw_replies,
+        )
+
+    def _run_batch(
+        self,
+        builder: PromptBuilder,
+        batch: list[Instance],
+        fewshot: list[Instance],
+        temperature: float,
+        task: Task,
+        stats: "_RunStats",
+    ) -> list[bool | str]:
+        """Answer one batch, splitting it when the prompt cannot fit.
+
+        Context-window overflows halve the batch recursively (what any
+        production pipeline does when a model's window is tight); a single
+        instance that still cannot fit becomes a fallback answer.
+        """
+        config = self._config
+        fallback: bool | str = "" if task is Task.DATA_IMPUTATION else False
+        prompt = builder.build(batch, fewshot_examples=fewshot)
+        request = CompletionRequest(
+            messages=prompt.messages,
+            model=config.model,
+            temperature=temperature,
+        )
+        attempts = 1 + config.max_format_retries
+        last_text = ""
+        for attempt in range(attempts):
+            try:
+                response = self._client.complete(request)
+            except ContextWindowExceededError:
+                if len(batch) > 1:
+                    half = len(batch) // 2
+                    return self._run_batch(
+                        builder, batch[:half], fewshot, temperature, task, stats
+                    ) + self._run_batch(
+                        builder, batch[half:], fewshot, temperature, task, stats
+                    )
+                if fewshot:
+                    # A single instance that does not fit may still fit
+                    # without the demonstration block.
+                    return self._run_batch(
+                        builder, batch, [], temperature, task, stats
+                    )
+                stats.n_fallbacks += len(batch)
+                return [fallback] * len(batch)
+            stats.n_requests += 1
+            stats.usage = stats.usage + response.usage
+            stats.seconds += response.latency_s
+            last_text = response.text
+            if stats.keep_raw:
+                stats.raw_replies.append(response.text)
+            try:
+                return parse_batch_answers(response.text, task, len(batch))
+            except AnswerFormatError:
+                if attempt < attempts - 1:
+                    stats.n_retries += 1
+        # Retries exhausted: salvage the parseable answers and fall back to
+        # the safe answer only where none parsed.
+        salvaged = parse_batch_answers_lenient(last_text, task, len(batch))
+        results: list[bool | str] = []
+        for answer in salvaged:
+            if answer is None:
+                stats.n_fallbacks += 1
+                results.append(fallback)
+            else:
+                results.append(answer)
+        return results
+
+    @staticmethod
+    def _group_by_target(instances: list[Instance]) -> list[list[int]]:
+        """Indices grouped by target attribute, preserving encounter order."""
+        groups: dict[str | None, list[int]] = {}
+        for index, instance in enumerate(instances):
+            groups.setdefault(target_attribute_of(instance), []).append(index)
+        return list(groups.values())
+
+    @staticmethod
+    def _fewshot_for_target(
+        fewshot: list[Instance], task: Task, target: str | None
+    ) -> list[Instance]:
+        """Few-shot examples compatible with this prompt group.
+
+        ED/DI prompts name one target attribute; same-target examples are
+        ideal, but a useful demonstration set needs both classes (for the
+        binary tasks) and a few instances — each example question names its
+        own attribute anyway, so mixed-target examples remain coherent.
+        """
+        if target is None:
+            return fewshot
+        same_target = [
+            ex for ex in fewshot if target_attribute_of(ex) == target
+        ]
+        if len(same_target) >= 3 and task is not Task.DATA_IMPUTATION:
+            labels = {bool(ex.label) for ex in same_target}
+            if len(labels) == 2:
+                return same_target
+        elif len(same_target) >= 3:
+            return same_target
+        return fewshot

@@ -1,0 +1,118 @@
+"""Prompt assembly (paper Section 3, Figure 1).
+
+Builds the chat transcript::
+
+    system:    You are a database engineer.
+               [zero-shot task specification]
+               [DI type hint / ED target confirmation]
+               [answer-format instruction]
+    user:      Question 1..k        (few-shot questions)
+    assistant: Answer 1..k          (few-shot answers, with reasons)
+    user:      Question 1..b        (the batch to answer)
+
+Few-shot turns are omitted when ``fewshot == 0``; the batch is a single
+question when batch prompting is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PipelineConfig
+from repro.core.fewshot import render_examples
+from repro.core.tasks import (
+    ED_CONFIRM_TARGET,
+    ROLE_INSTRUCTION,
+    answer_format_instruction,
+    question_text,
+    target_attribute_of,
+    task_text,
+)
+from repro.data.instances import Instance, Task
+from repro.errors import PromptError
+from repro.llm.base import ChatMessage
+
+
+@dataclass(frozen=True)
+class BuiltPrompt:
+    """A ready-to-send prompt plus what the parser needs to read the reply."""
+
+    messages: tuple[ChatMessage, ...]
+    expected_answers: int
+    reasoning: bool
+
+
+class PromptBuilder:
+    """Assembles prompts for one (task, target attribute) combination.
+
+    One builder serves a whole dataset run: the zero-shot components are
+    fixed; only the batch block varies per call.
+    """
+
+    def __init__(self, task: Task, config: PipelineConfig,
+                 target_attribute: str | None = None):
+        self._task = task
+        self._config = config
+        self._target_attribute = target_attribute
+        self._system_text = self._build_system_text()
+
+    def _build_system_text(self) -> str:
+        text = task_text(self._task, self._target_attribute)
+        lines = [ROLE_INSTRUCTION, text.instruction]
+        if self._task is Task.ERROR_DETECTION and self._config.reasoning:
+            # Section 3.1: stop the model flagging errors in *other* attributes.
+            lines.append(ED_CONFIRM_TARGET)
+        if self._task is Task.DATA_IMPUTATION and self._config.type_hint:
+            lines.append(self._config.type_hint)
+        lines.append(
+            answer_format_instruction(
+                self._task, self._config.reasoning, self._target_attribute
+            )
+        )
+        return "\n".join(lines)
+
+    @property
+    def system_text(self) -> str:
+        return self._system_text
+
+    def build(
+        self,
+        batch: list[Instance],
+        fewshot_examples: list[Instance] | None = None,
+    ) -> BuiltPrompt:
+        """Build the prompt for one batch of instances."""
+        if not batch:
+            raise PromptError("cannot build a prompt for an empty batch")
+        for instance in batch:
+            if instance.task is not self._task:
+                raise PromptError(
+                    f"instance task {instance.task} does not match builder "
+                    f"task {self._task}"
+                )
+            if (
+                self._target_attribute is not None
+                and target_attribute_of(instance) != self._target_attribute
+            ):
+                raise PromptError(
+                    f"instance targets {target_attribute_of(instance)!r} but "
+                    f"builder targets {self._target_attribute!r}"
+                )
+        messages: list[ChatMessage] = [
+            ChatMessage(role="system", content=self._system_text)
+        ]
+        if fewshot_examples:
+            user_text, assistant_text = render_examples(
+                fewshot_examples, reasoning=self._config.reasoning
+            )
+            messages.append(ChatMessage(role="user", content=user_text))
+            messages.append(ChatMessage(role="assistant", content=assistant_text))
+        questions = "\n".join(
+            question_text(instance, number)
+            for number, instance in enumerate(batch, start=1)
+        )
+        messages.append(ChatMessage(role="user", content=questions))
+        return BuiltPrompt(
+            messages=tuple(messages),
+            expected_answers=len(batch),
+            reasoning=self._config.reasoning,
+        )

@@ -1,0 +1,86 @@
+"""CSV / JSONL persistence for tables.
+
+Kept dependency-free (stdlib ``csv`` and ``json``) so generated benchmark
+datasets can be exported for inspection or reuse by external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.data.records import Record, Table, infer_schema
+from repro.data.schema import Schema
+from repro.errors import DatasetError
+
+_MISSING_TOKEN = ""
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV with a header row; missing cells are empty."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(table.schema.attribute_names)
+        for record in table:
+            writer.writerow(
+                [
+                    _MISSING_TOKEN if value is None else value
+                    for __, value in record
+                ]
+            )
+
+
+def read_csv(path: str | Path, schema: Schema | None = None) -> Table:
+    """Read a table from CSV.
+
+    If ``schema`` is omitted, one is inferred from the data (numeric if every
+    non-empty value parses as a number).
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path} is empty: no header row") from None
+        rows = [dict(zip(header, row)) for row in reader]
+    if schema is None:
+        if not rows:
+            raise DatasetError(
+                f"{path} has a header but no rows; pass an explicit schema"
+            )
+        schema = infer_schema(path.stem, rows)
+    return Table.from_rows(schema, rows, id_prefix=f"{path.stem}-")
+
+
+def write_jsonl(records: Iterable[Record], path: str | Path) -> int:
+    """Write records as JSON Lines; returns the number of lines written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as f:
+        for record in records:
+            f.write(json.dumps(record.to_dict(), ensure_ascii=False))
+            f.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path, schema: Schema) -> Table:
+    """Read records from JSON Lines into a table with the given schema."""
+    path = Path(path)
+    rows = []
+    with path.open("r", encoding="utf-8") as f:
+        for line_number, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise DatasetError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+    return Table.from_rows(schema, rows, id_prefix=f"{path.stem}-")

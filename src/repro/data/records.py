@@ -1,0 +1,247 @@
+"""Records, record pairs, attribute pairs, and tables.
+
+A :class:`Record` is a mapping from attribute names to cell values, tied to a
+:class:`~repro.data.schema.Schema`.  Missing values are represented by
+``None`` (rendered as ``???`` by contextualization, paper Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.data.schema import Attribute, AttrType, Schema
+from repro.errors import RecordError, SchemaError
+
+#: Cell values are numbers, strings, or missing.
+CellValue = float | int | str | None
+
+
+def coerce_cell(value: Any, attr: Attribute) -> CellValue:
+    """Coerce a raw value into a cell value consistent with ``attr``.
+
+    Strings are stripped; empty strings become ``None`` (missing).  Numeric
+    attributes accept ints/floats and numeric-looking strings; anything else
+    is kept as text so that *erroneous* cells (the subject of error
+    detection) can be represented faithfully.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = value.strip()
+        if value == "" or value == "???":
+            return None
+        if attr.type.is_numeric:
+            try:
+                as_float = float(value)
+            except ValueError:
+                return value  # an out-of-type value is data, not an error here
+            return int(as_float) if as_float.is_integer() else as_float
+        return value
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        if attr.type.is_numeric:
+            return value
+        return str(value)
+    raise RecordError(
+        f"unsupported cell value {value!r} of type {type(value).__name__} "
+        f"for attribute {attr.name!r}"
+    )
+
+
+@dataclass
+class Record:
+    """A single row of a relational table.
+
+    Access cells with ``record[name]``; missing cells read as ``None``.
+    Records are mutable (error injection and imputation update them) but
+    always validated against their schema on construction and assignment.
+    """
+
+    schema: Schema
+    values: dict[str, CellValue] = field(default_factory=dict)
+    record_id: str = ""
+
+    def __post_init__(self) -> None:
+        coerced: dict[str, CellValue] = {}
+        for name, value in self.values.items():
+            if name not in self.schema:
+                raise RecordError(
+                    f"value for unknown attribute {name!r} "
+                    f"(schema {self.schema.name!r})"
+                )
+            coerced[name] = coerce_cell(value, self.schema[name])
+        # Ensure every schema attribute has a slot so iteration is total.
+        for attr in self.schema:
+            coerced.setdefault(attr.name, None)
+        self.values = coerced
+
+    def __getitem__(self, name: str) -> CellValue:
+        if name not in self.schema:
+            raise SchemaError(
+                f"schema {self.schema.name!r} has no attribute {name!r}"
+            )
+        return self.values.get(name)
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        if name not in self.schema:
+            raise SchemaError(
+                f"schema {self.schema.name!r} has no attribute {name!r}"
+            )
+        self.values[name] = coerce_cell(value, self.schema[name])
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.schema
+
+    def __iter__(self) -> Iterator[tuple[str, CellValue]]:
+        for attr in self.schema:
+            yield attr.name, self.values.get(attr.name)
+
+    def is_missing(self, name: str) -> bool:
+        """Whether the cell for ``name`` is missing."""
+        return self[name] is None
+
+    @property
+    def missing_attributes(self) -> tuple[str, ...]:
+        return tuple(name for name, value in self if value is None)
+
+    def copy(self) -> Record:
+        """A deep-enough copy: cell values are immutable scalars."""
+        return Record(
+            schema=self.schema, values=dict(self.values), record_id=self.record_id
+        )
+
+    def project(self, names: list[str] | tuple[str, ...]) -> Record:
+        """Record restricted to ``names`` (feature selection, Section 3.4)."""
+        projected_schema = self.schema.project(names)
+        return Record(
+            schema=projected_schema,
+            values={n: self.values.get(n) for n in names},
+            record_id=self.record_id,
+        )
+
+    def with_missing(self, name: str) -> Record:
+        """Copy of this record with the cell for ``name`` blanked out.
+
+        Used to pose data-imputation questions without mutating the source.
+        """
+        out = self.copy()
+        out.values[name] = None
+        return out
+
+    def to_dict(self) -> dict[str, CellValue]:
+        return {name: value for name, value in self}
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}={v!r}" for n, v in self)
+        return f"Record({inner})"
+
+
+@dataclass(frozen=True)
+class RecordPair:
+    """A pair of records, the unit of entity matching."""
+
+    left: Record
+    right: Record
+
+    def __iter__(self) -> Iterator[Record]:
+        yield self.left
+        yield self.right
+
+
+@dataclass(frozen=True)
+class AttributePair:
+    """A pair of attributes from two schemas, the unit of schema matching."""
+
+    left: Attribute
+    right: Attribute
+
+    def __iter__(self) -> Iterator[Attribute]:
+        yield self.left
+        yield self.right
+
+
+class Table:
+    """A schema plus an ordered collection of records."""
+
+    def __init__(self, schema: Schema, records: list[Record] | None = None):
+        self.schema = schema
+        self._records: list[Record] = []
+        for record in records or []:
+            self.append(record)
+
+    def append(self, record: Record) -> None:
+        if record.schema.attribute_names != self.schema.attribute_names:
+            raise RecordError(
+                f"record schema {record.schema.attribute_names} does not match "
+                f"table schema {self.schema.attribute_names}"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    @property
+    def records(self) -> tuple[Record, ...]:
+        return tuple(self._records)
+
+    def column(self, name: str) -> list[CellValue]:
+        """All values of attribute ``name`` in row order."""
+        if name not in self.schema:
+            raise SchemaError(
+                f"schema {self.schema.name!r} has no attribute {name!r}"
+            )
+        return [r[name] for r in self._records]
+
+    def distinct(self, name: str) -> set[CellValue]:
+        """Distinct non-missing values of attribute ``name``."""
+        return {v for v in self.column(name) if v is not None}
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: list[Mapping[str, Any]],
+        id_prefix: str = "r",
+    ) -> Table:
+        """Build a table from a list of dict-like rows."""
+        records = [
+            Record(schema=schema, values=dict(row), record_id=f"{id_prefix}{i}")
+            for i, row in enumerate(rows)
+        ]
+        return cls(schema, records)
+
+
+def infer_schema(name: str, rows: list[Mapping[str, Any]]) -> Schema:
+    """Infer a schema from raw rows: numeric if every non-missing value parses.
+
+    Intended for loading external CSVs whose types are unknown.
+    """
+    if not rows:
+        raise SchemaError("cannot infer a schema from zero rows")
+    names: list[str] = list(rows[0].keys())
+    types: dict[str, AttrType] = {}
+    for attr_name in names:
+        numeric = True
+        saw_value = False
+        for row in rows:
+            value = row.get(attr_name)
+            if value is None or value == "":
+                continue
+            saw_value = True
+            try:
+                float(value)
+            except (TypeError, ValueError):
+                numeric = False
+                break
+        types[attr_name] = (
+            AttrType.NUMERIC if (numeric and saw_value) else AttrType.TEXT
+        )
+    return Schema.from_names(name, names, types)

@@ -1,0 +1,40 @@
+"""Synthetic benchmark datasets.
+
+Schema-faithful generators for the 12 datasets the paper evaluates
+(originally from the ``fm_data_tasks`` benchmark of Narayan et al.):
+
+========================  ====  =======================================
+Dataset                   Task  Generator module
+========================  ====  =======================================
+adult                     ED    :mod:`repro.datasets.adult`
+hospital                  ED    :mod:`repro.datasets.hospital`
+buy                       DI    :mod:`repro.datasets.buy`
+restaurant                DI    :mod:`repro.datasets.restaurant`
+synthea                   SM    :mod:`repro.datasets.synthea`
+amazon_google             EM    :mod:`repro.datasets.products`
+walmart_amazon            EM    :mod:`repro.datasets.products`
+beer                      EM    :mod:`repro.datasets.beer`
+dblp_acm                  EM    :mod:`repro.datasets.citations`
+dblp_scholar              EM    :mod:`repro.datasets.citations`
+fodors_zagat              EM    :mod:`repro.datasets.venues`
+itunes_amazon             EM    :mod:`repro.datasets.music`
+========================  ====  =======================================
+
+The real datasets are public but unavailable offline; the generators
+reproduce their schemas, sizes, error models, and match hardness so the
+relative difficulty ordering is preserved (see DESIGN.md).
+"""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    dataset_info,
+    load_dataset,
+    register_dataset,
+)
+
+__all__ = [
+    "load_dataset",
+    "register_dataset",
+    "dataset_info",
+    "DATASET_NAMES",
+]

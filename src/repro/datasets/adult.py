@@ -1,0 +1,149 @@
+"""The Adult (census income) error-detection benchmark.
+
+Schema follows the UCI Adult dataset used by HoloClean/HoloDetect and the
+``fm_data_tasks`` benchmark.  Each instance is a record plus one target
+attribute; the label says whether the target cell is erroneous.  Errors are
+a mix of the families real Adult corruptions contain:
+
+- categorical typos (``privxate``) and domain violations (an occupation
+  appearing in the ``workclass`` column),
+- numeric outliers (``age: 412``, ``hoursperweek: 3``→``120``),
+- consistency violations (``education`` / ``educationnum`` mismatch).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.instances import EDInstance, Instance, Task
+from repro.data.records import Record
+from repro.data.schema import AttrType, Schema
+from repro.datasets import vocabularies as vocab
+from repro.datasets.base import DatasetGenerator
+from repro.datasets.corruption import CellCorruptor, numeric_outlier
+
+ADULT_SCHEMA = Schema.from_names(
+    "adult",
+    [
+        "age", "workclass", "education", "educationnum", "maritalstatus",
+        "occupation", "relationship", "race", "sex", "hoursperweek",
+        "country", "income",
+    ],
+    types={
+        "age": AttrType.NUMERIC,
+        "educationnum": AttrType.NUMERIC,
+        "hoursperweek": AttrType.NUMERIC,
+        "workclass": AttrType.CATEGORICAL,
+        "education": AttrType.CATEGORICAL,
+        "maritalstatus": AttrType.CATEGORICAL,
+        "occupation": AttrType.CATEGORICAL,
+        "relationship": AttrType.CATEGORICAL,
+        "race": AttrType.CATEGORICAL,
+        "sex": AttrType.CATEGORICAL,
+        "country": AttrType.CATEGORICAL,
+        "income": AttrType.CATEGORICAL,
+    },
+)
+
+#: attributes errors get injected into (mirrors the benchmark's targets)
+_TARGETS = (
+    "age", "workclass", "education", "educationnum", "maritalstatus",
+    "occupation", "relationship", "race", "sex", "hoursperweek", "country",
+)
+
+_ERROR_RATE = 0.25
+
+
+class AdultGenerator(DatasetGenerator):
+    """Generate Adult ED instances with a ~25% cell error rate."""
+
+    name = "adult"
+    task = Task.ERROR_DETECTION
+    default_size = 10000
+    description = (
+        "UCI Adult census records; detect errors in one attribute per "
+        "instance (typos, domain violations, numeric outliers, "
+        "education/educationnum inconsistencies)."
+    )
+
+    def _clean_record(self, rng: random.Random, index: int) -> Record:
+        education, educationnum = rng.choice(vocab.EDUCATION_LEVELS)
+        values = {
+            "age": rng.randint(17, 90),
+            "workclass": rng.choice(vocab.WORKCLASSES),
+            "education": education,
+            "educationnum": educationnum,
+            "maritalstatus": rng.choice(vocab.MARITAL_STATUSES),
+            "occupation": rng.choice(vocab.OCCUPATIONS),
+            "relationship": rng.choice(vocab.RELATIONSHIPS),
+            "race": rng.choice(vocab.RACES),
+            "sex": rng.choice(vocab.SEXES),
+            "hoursperweek": rng.choice([20, 25, 30, 35, 40, 40, 40, 45, 50, 55, 60]),
+            "country": rng.choice(vocab.COUNTRIES),
+            "income": rng.choice(["<=50k", ">50k"]),
+        }
+        return Record(schema=ADULT_SCHEMA, values=values, record_id=f"adult-{index}")
+
+    def _foreign_domain(self, attribute: str, rng: random.Random) -> list[str]:
+        """A value domain from a *different* categorical attribute."""
+        domains = {
+            "workclass": list(vocab.OCCUPATIONS),
+            "education": list(vocab.MARITAL_STATUSES),
+            "maritalstatus": [e for e, __ in vocab.EDUCATION_LEVELS],
+            "occupation": list(vocab.WORKCLASSES),
+            "relationship": list(vocab.RACES),
+            "race": list(vocab.RELATIONSHIPS),
+            "sex": list(vocab.COUNTRIES),
+            "country": list(vocab.SEXES),
+        }
+        return domains.get(attribute, list(vocab.OCCUPATIONS))
+
+    def _inject_error(
+        self, record: Record, attribute: str, rng: random.Random
+    ) -> str:
+        """Corrupt ``record[attribute]`` in place; returns the clean value."""
+        clean = str(record[attribute])
+        attr_type = ADULT_SCHEMA[attribute].type
+        if attribute == "educationnum" and rng.random() < 0.5:
+            # Consistency violation: number no longer matches education.
+            current = int(record[attribute])
+            others = [n for __, n in vocab.EDUCATION_LEVELS if n != current]
+            record[attribute] = rng.choice(others)
+            return clean
+        if attr_type.is_numeric:
+            corruption = numeric_outlier(float(record[attribute]), rng)
+            record[attribute] = corruption.corrupted
+            return clean
+        corruptor = CellCorruptor(rng)
+        corruption = corruptor.corrupt_text(
+            clean, foreign_domain=self._foreign_domain(attribute, rng)
+        )
+        record[attribute] = corruption.corrupted
+        return clean
+
+    def _generate_instances(
+        self, count: int, rng: random.Random
+    ) -> list[Instance]:
+        instances: list[Instance] = []
+        for i in range(count):
+            record = self._clean_record(rng, i)
+            target = rng.choice(_TARGETS)
+            has_error = rng.random() < _ERROR_RATE
+            clean_value: str | None = None
+            if has_error:
+                clean_value = self._inject_error(record, target, rng)
+            elif rng.random() < 0.3:
+                # A *distractor* error in a non-target attribute: the model
+                # must confirm the target attribute (paper Section 3.1) and
+                # not flag this one.
+                other_targets = [t for t in _TARGETS if t != target]
+                self._inject_error(record, rng.choice(other_targets), rng)
+            instances.append(
+                EDInstance(
+                    record=record,
+                    target_attribute=target,
+                    label=has_error,
+                    clean_value=clean_value,
+                )
+            )
+        return instances

@@ -1,0 +1,113 @@
+"""Generator base class and shared helpers."""
+
+from __future__ import annotations
+
+import abc
+import random
+import zlib
+
+from repro.data.instances import Instance, PreprocessingDataset, Task
+from repro.errors import DatasetError
+
+
+class DatasetGenerator(abc.ABC):
+    """Base class for synthetic benchmark generators.
+
+    Subclasses define ``name``, ``task``, ``default_size`` and implement
+    :meth:`_generate_instances`.  The base class handles seeding, sizing,
+    and carving out a disjoint few-shot pool (the paper conditions models on
+    up to 10 hand-labeled examples, so the pool holds a few more than that).
+    """
+
+    #: registry name, e.g. ``"amazon_google"``
+    name: str = ""
+    #: the preprocessing task this benchmark evaluates
+    task: Task
+    #: number of *test* instances the published benchmark has
+    default_size: int = 1000
+    #: instances reserved for few-shot conditioning
+    fewshot_pool_size: int = 16
+    #: human-readable provenance note
+    description: str = ""
+
+    def generate(
+        self, size: int | None = None, seed: int = 0
+    ) -> PreprocessingDataset:
+        """Generate the benchmark.
+
+        Parameters
+        ----------
+        size:
+            Number of test instances; defaults to the published benchmark's
+            size.  The few-shot pool is generated *in addition* to this.
+        seed:
+            Seed for full determinism: the same ``(size, seed)`` always
+            yields byte-identical datasets.
+        """
+        if size is None:
+            size = self.default_size
+        if size <= 0:
+            raise DatasetError(f"size must be positive, got {size}")
+        # zlib.crc32 is stable across processes (str.__hash__ is salted).
+        rng = random.Random(zlib.crc32(self.name.encode("utf-8")) ^ seed)
+        total = size + self.fewshot_pool_size
+        instances = self._generate_instances(total, rng)
+        if len(instances) != total:
+            raise DatasetError(
+                f"{self.name}: generator produced {len(instances)} instances, "
+                f"expected {total}"
+            )
+        for i, inst in enumerate(instances):
+            if not inst.instance_id:
+                inst.instance_id = f"{self.name}-{i}"
+        # The pool is drawn from the same distribution; keep it label-balanced
+        # for binary tasks so few-shot examples show both classes.
+        pool = self._pick_pool(instances, rng)
+        pool_ids = {id(p) for p in pool}
+        test = [inst for inst in instances if id(inst) not in pool_ids]
+        return PreprocessingDataset(
+            name=self.name,
+            task=self.task,
+            instances=test[:size],
+            fewshot_pool=pool,
+            description=self.description,
+        )
+
+    def _pick_pool(
+        self, instances: list[Instance], rng: random.Random
+    ) -> list[Instance]:
+        if self.task is Task.DATA_IMPUTATION:
+            return rng.sample(instances, self.fewshot_pool_size)
+        positives = [i for i in instances if i.label]
+        negatives = [i for i in instances if not i.label]
+        half = self.fewshot_pool_size // 2
+        pool: list[Instance] = []
+        pool.extend(rng.sample(positives, min(half, len(positives))))
+        pool.extend(
+            rng.sample(negatives, min(self.fewshot_pool_size - len(pool), len(negatives)))
+        )
+        if len(pool) < self.fewshot_pool_size:
+            remaining = [i for i in instances if id(i) not in {id(p) for p in pool}]
+            pool.extend(
+                rng.sample(
+                    remaining,
+                    min(self.fewshot_pool_size - len(pool), len(remaining)),
+                )
+            )
+        rng.shuffle(pool)
+        return pool
+
+    @abc.abstractmethod
+    def _generate_instances(
+        self, count: int, rng: random.Random
+    ) -> list[Instance]:
+        """Produce exactly ``count`` labeled instances."""
+
+
+def pick_weighted(rng: random.Random, items: dict[str, float]) -> str:
+    """Pick a key of ``items`` with probability proportional to its value."""
+    if not items:
+        raise DatasetError("cannot pick from an empty distribution")
+    keys = list(items)
+    weights = [items[k] for k in keys]
+    return rng.choices(keys, weights=weights, k=1)[0]

@@ -1,0 +1,105 @@
+"""The Beer entity-matching benchmark.
+
+Small (91 test pairs in the original) and easy when the right attributes
+are used: beer name + brewery decide the match.  The schema carries an
+extra free-text ``description`` column that is noisy — retail blurbs are
+near-identical across *different* beers and often differ between views of
+the *same* beer.  This is the attribute whose removal drives the paper's
+feature-selection result (GPT-4 zero-shot: 74.1 -> 90.3 F1).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.instances import Instance, Task
+from repro.data.schema import Schema
+from repro.datasets import vocabularies as vocab
+from repro.datasets.base import DatasetGenerator
+from repro.datasets.empairs import EMPairGenerator, PairProfile
+
+BEER_SCHEMA = Schema.from_names(
+    "beer",
+    ["beer_name", "brew_factory_name", "style", "abv", "description"],
+)
+
+#: the informative subset — what feature selection keeps
+BEER_SELECTED_FEATURES = ("beer_name", "brew_factory_name", "style", "abv")
+
+_BLURBS = (
+    "a well balanced craft beer with a smooth finish",
+    "brewed in small batches from premium hops and malt",
+    "a crisp refreshing ale perfect for any occasion",
+    "award winning flavor with notes of citrus and pine",
+    "a rich full bodied brew with a creamy head",
+)
+
+
+def _beer_entity(rng: random.Random, index: int) -> dict[str, str]:
+    adjective = rng.choice(vocab.BEER_NAME_ADJECTIVES)
+    noun = rng.choice(vocab.BEER_NAME_NOUNS)
+    style = rng.choice(vocab.BEER_STYLES)
+    return {
+        "beer_name": f"{adjective} {noun} {style.split()[-1]}",
+        "brew_factory_name": rng.choice(vocab.BREWERIES),
+        "style": style,
+        "abv": f"{rng.randint(4, 12)}.{rng.randint(0, 9)}%",
+        # The noisy column: drawn from a tiny blurb pool, so different
+        # beers frequently share it verbatim.
+        "description": rng.choice(_BLURBS),
+    }
+
+
+def _beer_hard_negative(
+    entity: dict[str, str], rng: random.Random
+) -> dict[str, str]:
+    """Same brewery and style, different beer name."""
+    other = _beer_entity(rng, 0)
+    for __ in range(10):
+        if other["beer_name"] != entity["beer_name"]:
+            break
+        other = _beer_entity(rng, 0)
+    return {
+        "beer_name": other["beer_name"],
+        "brew_factory_name": entity["brew_factory_name"],
+        "style": entity["style"],
+        "abv": other["abv"],
+        "description": rng.choice(_BLURBS),
+    }
+
+
+class BeerGenerator(DatasetGenerator):
+    """Beer EM: easy on informative columns, fooled by the blurb column."""
+
+    name = "beer"
+    task = Task.ENTITY_MATCHING
+    default_size = 91
+    fewshot_pool_size = 14
+    description = (
+        "Craft beers across two rating sites; name + brewery decide the "
+        "match, while the free-text description column is noise (the "
+        "feature-selection experiment's target)."
+    )
+
+    _profile = PairProfile(
+        divergence=0.35,
+        drop_rate=0.10,
+        positive_rate=0.35,
+        hard_negative_rate=0.5,
+        # Each rating site writes its own blurb, so even a matching pair's
+        # descriptions are unrelated — the column is pure noise, which is
+        # what the feature-selection experiment removes.
+        reroll_values={"description": _BLURBS},
+    )
+
+    def _generate_instances(
+        self, count: int, rng: random.Random
+    ) -> list[Instance]:
+        generator = EMPairGenerator(
+            schema=BEER_SCHEMA,
+            make_entity=_beer_entity,
+            make_hard_negative=_beer_hard_negative,
+            profile=self._profile,
+            name=self.name,
+        )
+        return generator.generate(count, rng)

@@ -1,0 +1,85 @@
+"""The Buy data-imputation benchmark.
+
+Electronics products from the Buy.com catalog; the task is to impute the
+``manufacturer`` attribute from the product ``name`` and ``description``.
+As in the real dataset, the manufacturer is almost always recoverable
+because brand names appear inside product titles — the benchmark measures
+whether a model *knows* which token is the brand.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.instances import DIInstance, Instance, Task
+from repro.data.records import Record
+from repro.data.schema import AttrType, Schema
+from repro.datasets import vocabularies as vocab
+from repro.datasets.base import DatasetGenerator
+
+BUY_SCHEMA = Schema.from_names(
+    "buy",
+    ["name", "description", "price", "manufacturer"],
+    types={"price": AttrType.TEXT},
+)
+
+_DESCRIPTION_TAILS = (
+    "with fast shipping and a one-year limited warranty",
+    "brand new in retail packaging",
+    "refurbished unit tested to factory specifications",
+    "includes all original accessories and manuals",
+    "compact design ideal for home or office use",
+    "energy efficient model with automatic standby",
+    "latest generation with improved performance",
+    "bundle includes carrying case and starter kit",
+)
+
+
+class BuyGenerator(DatasetGenerator):
+    """Generate Buy DI instances: impute ``manufacturer`` from the title."""
+
+    name = "buy"
+    task = Task.DATA_IMPUTATION
+    default_size = 65
+    fewshot_pool_size = 12
+    description = (
+        "Buy.com electronics products; impute the manufacturer, which "
+        "appears as the brand token of the product name."
+    )
+
+    def _generate_instances(
+        self, count: int, rng: random.Random
+    ) -> list[Instance]:
+        brands = list(vocab.PRODUCT_BRANDS)
+        instances: list[Instance] = []
+        for i in range(count):
+            brand = rng.choice(brands)
+            line = rng.choice(vocab.PRODUCT_BRANDS[brand])
+            model = f"{rng.choice('abcdefgh')}{rng.randint(100, 9999)}"
+            name = f"{brand} {line} {model}"
+            description = (
+                f"{brand} {line} model {model}, "
+                f"{rng.choice(_DESCRIPTION_TAILS)}"
+            )
+            # A minority of instances omit the brand from the description,
+            # leaving the title as the only evidence (harder cases).
+            if rng.random() < 0.3:
+                description = f"{line} model {model}, {rng.choice(_DESCRIPTION_TAILS)}"
+            record = Record(
+                schema=BUY_SCHEMA,
+                values={
+                    "name": name,
+                    "description": description,
+                    "price": f"${rng.randint(20, 1500)}.{rng.choice(['00', '95', '99'])}",
+                    "manufacturer": None,  # the cell to impute
+                },
+                record_id=f"buy-{i}",
+            )
+            instances.append(
+                DIInstance(
+                    record=record,
+                    target_attribute="manufacturer",
+                    true_value=brand,
+                )
+            )
+        return instances

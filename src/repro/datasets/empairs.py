@@ -1,0 +1,260 @@
+"""Shared machinery for entity-matching pair generation.
+
+Every EM benchmark follows the same recipe: a catalog of true entities is
+rendered into two "views" (the two source catalogs, e.g. Amazon vs Google),
+each view perturbing the entity's surface form; candidate pairs are then
+labeled by whether they derive from the same entity.  Benchmarks differ in
+
+- *view divergence* — how differently the two catalogs describe the same
+  entity (high for Amazon-Google, low for Fodors-Zagats), and
+- *negative hardness* — how similar distinct entities look (version
+  variants of the same software are nearly identical).
+
+Both knobs are exposed as :class:`PairProfile` parameters so each dataset
+module just supplies entities and a profile.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.data.instances import EMInstance, Instance
+from repro.data.records import Record, RecordPair
+from repro.data.schema import Schema
+from repro.datasets.corruption import typo
+
+_FILLER_TOKENS = (
+    "new", "oem", "retail", "dvd", "cd", "win32", "english", "pack",
+    "edition", "box", "sealed", "full", "version", "pc", "mac",
+)
+
+_CONTRACTIONS = {
+    "street": "st.",
+    "avenue": "ave.",
+    "boulevard": "blvd.",
+    "road": "rd.",
+    "drive": "dr.",
+    "incorporated": "inc.",
+    "corporation": "corp.",
+    "company": "co.",
+    "brewing": "brewing co.",
+    "international": "intl",
+    "and": "&",
+}
+
+
+@dataclass(frozen=True)
+class PairProfile:
+    """Difficulty knobs for one EM benchmark.
+
+    Parameters
+    ----------
+    divergence:
+        Probability, per attribute of a matching pair's second view, of a
+        surface perturbation (abbreviation, token drop, typo, case change).
+    drop_rate:
+        Probability an attribute of the second view is missing entirely.
+    positive_rate:
+        Fraction of generated pairs that are matches.
+    hard_negative_rate:
+        Among negatives, the fraction drawn as hard negatives (same
+        family/brand/author, one discriminating field changed).
+    """
+
+    divergence: float
+    drop_rate: float
+    positive_rate: float
+    hard_negative_rate: float
+    #: probability the perturbed view omits version/model tokens from the
+    #: identity field ("photoshop elements win" with no "5.0") — the main
+    #: source of genuine ambiguity in product catalogs
+    code_drop_rate: float = 0.0
+    #: probability the perturbed view pads its identity field with retail
+    #: filler tokens ("oem", "retail", "dvd", "win32") — what makes
+    #: crawled product titles diverge beyond string-similarity reach
+    noise_token_rate: float = 0.0
+    #: attributes (e.g. prices) whose perturbed-view value is numerically
+    #: jittered: two stores never quote identical prices, so price must
+    #: not become an accidental match oracle
+    jitter_attributes: tuple[str, ...] = ()
+    #: attributes the perturbed view *rerolls* from a pool instead of
+    #: copying — retail sites write their own free-text blurbs, so a
+    #: matching pair's descriptions are unrelated text
+    reroll_values: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for field_name in ("divergence", "drop_rate", "positive_rate",
+                           "hard_negative_rate", "code_drop_rate",
+                           "noise_token_rate"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {value}")
+
+
+def perturb_value(value: str, rng: random.Random, intensity: float) -> str:
+    """Produce a surface variant of ``value``.
+
+    Applies, each with probability ``intensity``: abbreviation contraction,
+    trailing-token drop, a single typo, and punctuation stripping.  The
+    result can equal the input when no perturbation fires.
+    """
+    out = value
+    if rng.random() < intensity:
+        out = " ".join(_CONTRACTIONS.get(tok, tok) for tok in out.split())
+    if rng.random() < intensity * 0.6:
+        tokens = out.split()
+        if len(tokens) > 2:
+            # Drop a trailing descriptive token, but never a code-bearing
+            # one (model/version numbers disappear only via the explicit
+            # code_drop_rate knob, not as collateral damage).
+            droppable = [
+                i for i, t in enumerate(tokens[1:], start=1)
+                if not any(ch.isdigit() for ch in t)
+            ]
+            if droppable:
+                del tokens[droppable[-1]]
+                out = " ".join(tokens)
+    if rng.random() < intensity * 0.4 and out:
+        out = typo(out, rng).corrupted
+    if rng.random() < intensity * 0.5:
+        # Strip punctuation, but never a decimal point between digits —
+        # catalogs reformat "co." to "co" yet "4.4%" stays "4.4%".
+        out = re.sub(r"(?<!\d)\.|\.(?!\d)", "", out).replace(",", "")
+    return out
+
+
+def render_view(
+    entity: dict[str, str],
+    schema: Schema,
+    rng: random.Random,
+    profile: PairProfile,
+    record_id: str,
+    perturb: bool,
+    allow_code_drop: bool = True,
+) -> Record:
+    """Render an entity into one catalog's view.
+
+    The first view (``perturb=False``) is the entity verbatim; the second
+    view perturbs each attribute with the profile's divergence and may drop
+    attributes entirely.
+    """
+    values: dict[str, str | None] = {}
+    for position, name in enumerate(schema.attribute_names):
+        raw = entity.get(name)
+        if raw is None:
+            values[name] = None
+            continue
+        # The identity field (title/name) is never dropped — every catalog
+        # lists *what* the entity is.
+        if perturb and position > 0 and rng.random() < profile.drop_rate:
+            values[name] = None
+            continue
+        value = str(raw)
+        if perturb:
+            if name in profile.reroll_values:
+                values[name] = rng.choice(profile.reroll_values[name])
+                continue
+            if name in profile.jitter_attributes:
+                values[name] = _jitter_numeric(value, rng)
+                continue
+            if (
+                position == 0
+                and allow_code_drop
+                and rng.random() < profile.code_drop_rate
+            ):
+                kept = [t for t in value.split() if not any(c.isdigit() for c in t)]
+                value = " ".join(kept) or value
+            if position == 0 and rng.random() < profile.noise_token_rate:
+                fillers = rng.sample(_FILLER_TOKENS, rng.randint(1, 3))
+                value = f"{value} {' '.join(fillers)}"
+            value = perturb_value(value, rng, profile.divergence)
+        values[name] = value
+    return Record(schema=schema, values=values, record_id=record_id)
+
+
+class EMPairGenerator:
+    """Turns an entity factory into labeled EM instances.
+
+    Parameters
+    ----------
+    schema:
+        The record schema both views share (as in the published benchmarks,
+        which align schemas before matching).
+    make_entity:
+        ``(rng, index) -> entity dict`` producing a fresh entity.
+    make_hard_negative:
+        ``(entity, rng) -> entity dict`` producing a *different* entity that
+        is easily confused with the given one (same brand, different model).
+    profile:
+        Difficulty knobs.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        make_entity: Callable[[random.Random, int], dict[str, str]],
+        make_hard_negative: Callable[[dict[str, str], random.Random], dict[str, str]],
+        profile: PairProfile,
+        name: str,
+    ):
+        self._schema = schema
+        self._make_entity = make_entity
+        self._make_hard_negative = make_hard_negative
+        self._profile = profile
+        self._name = name
+
+    def generate(self, count: int, rng: random.Random) -> list[Instance]:
+        instances: list[Instance] = []
+        for i in range(count):
+            entity = self._make_entity(rng, i)
+            left = render_view(
+                entity, self._schema, rng, self._profile,
+                record_id=f"{self._name}-l{i}", perturb=False,
+            )
+            if rng.random() < self._profile.positive_rate:
+                right = render_view(
+                    entity, self._schema, rng, self._profile,
+                    record_id=f"{self._name}-r{i}", perturb=True,
+                )
+                label = True
+            else:
+                if rng.random() < self._profile.hard_negative_rate:
+                    other = self._make_hard_negative(entity, rng)
+                else:
+                    other = self._make_entity(rng, count + i + 1)
+                    if _same_entity(other, entity):
+                        other = self._make_hard_negative(entity, rng)
+                # Non-matching listings keep their identifying codes —
+                # dropping them would make the ground-truth label
+                # unknowable even to a careful reader.
+                right = render_view(
+                    other, self._schema, rng, self._profile,
+                    record_id=f"{self._name}-r{i}", perturb=True,
+                    allow_code_drop=False,
+                )
+                label = False
+            instances.append(
+                EMInstance(pair=RecordPair(left, right), label=label)
+            )
+        return instances
+
+
+def _same_entity(a: dict[str, str], b: dict[str, str]) -> bool:
+    return all(a.get(k) == b.get(k) for k in set(a) | set(b))
+
+
+def _jitter_numeric(value: str, rng: random.Random) -> str:
+    """Jitter the numeric core of a value by up to ±15%, keeping affixes."""
+    match = re.search(r"\d+(?:\.\d+)?", value)
+    if match is None:
+        return value
+    number = float(match.group(0))
+    jittered = number * rng.uniform(0.85, 1.15)
+    if "." in match.group(0):
+        replacement = f"{jittered:.2f}"
+    else:
+        replacement = str(max(1, round(jittered)))
+    return value[: match.start()] + replacement + value[match.end():]

@@ -1,0 +1,116 @@
+"""The Hospital error-detection benchmark.
+
+The classic data-cleaning benchmark of US hospital quality measures.  Its
+published corruption is dominated by single-character typos — most famously
+``x`` insertions (``heaxrt attack``) — in otherwise clean categorical text.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.instances import EDInstance, Instance, Task
+from repro.data.records import Record
+from repro.data.schema import AttrType, Schema
+from repro.datasets import vocabularies as vocab
+from repro.datasets.base import DatasetGenerator
+from repro.datasets.corruption import typo
+
+HOSPITAL_SCHEMA = Schema.from_names(
+    "hospital",
+    [
+        "providernumber", "hospitalname", "address", "city", "state",
+        "zipcode", "phone", "condition", "measurecode", "measurename",
+        "score", "sample", "stateavg",
+    ],
+    types={
+        "providernumber": AttrType.NUMERIC,
+        "zipcode": AttrType.TEXT,
+        "phone": AttrType.TEXT,
+        "score": AttrType.TEXT,   # e.g. "94%"
+        "sample": AttrType.TEXT,  # e.g. "312 patients"
+    },
+)
+
+_TARGETS = (
+    "hospitalname", "address", "city", "state", "zipcode", "phone",
+    "condition", "measurecode", "measurename", "score", "sample",
+    "stateavg",
+)
+
+_ERROR_RATE = 0.20
+
+
+class HospitalGenerator(DatasetGenerator):
+    """Generate Hospital ED instances dominated by x-insertion typos."""
+
+    name = "hospital"
+    task = Task.ERROR_DETECTION
+    default_size = 2000
+    description = (
+        "US hospital quality-measure records; detect single-character typos "
+        "(mostly 'x' insertions) injected into categorical text cells."
+    )
+
+    def _clean_record(self, rng: random.Random, index: int) -> Record:
+        city = rng.choice(vocab.US_CITIES)
+        code, measure = rng.choice(vocab.HOSPITAL_MEASURES)
+        condition = _condition_for(code)
+        area = rng.choice(city.area_codes)
+        values = {
+            "providernumber": 10000 + rng.randint(1, 899) * 10,
+            "hospitalname": rng.choice(vocab.HOSPITAL_NAME_PARTS),
+            "address": f"{rng.randint(100, 9999)} {rng.choice(vocab.STREET_NAMES)}",
+            "city": city.name,
+            "state": city.state,
+            "zipcode": f"{city.zip_prefix}{rng.randint(10, 99)}",
+            "phone": f"{area}{rng.randint(1000000, 9999999)}",
+            "condition": condition,
+            "measurecode": code,
+            "measurename": measure,
+            "score": f"{rng.randint(55, 100)}%",
+            "sample": f"{rng.randint(10, 900)} patients",
+            "stateavg": f"{city.state}_{code}",
+        }
+        return Record(
+            schema=HOSPITAL_SCHEMA, values=values, record_id=f"hospital-{index}"
+        )
+
+    def _generate_instances(
+        self, count: int, rng: random.Random
+    ) -> list[Instance]:
+        instances: list[Instance] = []
+        for i in range(count):
+            record = self._clean_record(rng, i)
+            target = rng.choice(_TARGETS)
+            has_error = rng.random() < _ERROR_RATE
+            clean_value: str | None = None
+            if has_error:
+                clean_value = str(record[target])
+                # 70% Hospital-signature x-insertions, 30% other typos.
+                kind = "x_insert" if rng.random() < 0.7 else "any"
+                record[target] = typo(clean_value, rng, kind=kind).corrupted
+            elif rng.random() < 0.3:
+                # Distractor typo in a non-target cell.
+                other = rng.choice([t for t in _TARGETS if t != target])
+                value = str(record[other])
+                record[other] = typo(value, rng, kind="x_insert").corrupted
+            instances.append(
+                EDInstance(
+                    record=record,
+                    target_attribute=target,
+                    label=has_error,
+                    clean_value=clean_value,
+                )
+            )
+        return instances
+
+
+def _condition_for(measure_code: str) -> str:
+    prefix = measure_code.split("-")[0]
+    return {
+        "ami": "heart attack",
+        "hf": "heart failure",
+        "pn": "pneumonia",
+        "scip": "surgical infection prevention",
+    }.get(prefix, "heart attack")

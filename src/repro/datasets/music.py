@@ -1,0 +1,102 @@
+"""The iTunes-Amazon entity-matching benchmark.
+
+Songs across the iTunes and Amazon Music catalogs.  Rich schemas (song,
+artist, album, genre, price, released) make matches identifiable, but the
+hard negatives are *other tracks of the same album* — textually close in
+every column except the song name and track length.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.instances import Instance, Task
+from repro.data.schema import Schema
+from repro.datasets import vocabularies as vocab
+from repro.datasets.base import DatasetGenerator
+from repro.datasets.empairs import EMPairGenerator, PairProfile
+
+ITUNES_AMAZON_SCHEMA = Schema.from_names(
+    "itunes_amazon",
+    ["song_name", "artist_name", "album_name", "genre", "price", "time",
+     "released"],
+)
+
+_MONTHS = ("january", "february", "march", "april", "may", "june", "july",
+           "august", "september", "october", "november", "december")
+
+
+def _song_title(rng: random.Random) -> str:
+    pattern = rng.choice(vocab.SONG_TITLE_PATTERNS)
+    return pattern.format(
+        adj=rng.choice(vocab.SONG_WORDS_ADJ),
+        noun=rng.choice(vocab.SONG_WORDS_NOUN),
+    )
+
+
+def _song_entity(rng: random.Random, index: int) -> dict[str, str]:
+    first_parts, second_parts = vocab.ARTIST_NAME_PARTS
+    artist = f"{rng.choice(first_parts)} {rng.choice(second_parts)}"
+    album = _song_title(rng)
+    return {
+        "song_name": _song_title(rng),
+        "artist_name": artist,
+        "album_name": album,
+        "genre": rng.choice(vocab.MUSIC_GENRES),
+        "price": f"${rng.choice(['0.99', '1.29', '1.99'])}",
+        "time": f"{rng.randint(2, 6)}:{rng.randint(0, 59):02d}",
+        "released": f"{rng.choice(_MONTHS)} {rng.randint(1, 28)}, "
+                    f"{rng.randint(1998, 2014)}",
+    }
+
+
+def _song_hard_negative(
+    entity: dict[str, str], rng: random.Random
+) -> dict[str, str]:
+    """Another track on the same album: only the song name and time change."""
+    title = _song_title(rng)
+    for __ in range(10):
+        if title != entity["song_name"]:
+            break
+        title = _song_title(rng)
+    return {
+        "song_name": title,
+        "artist_name": entity["artist_name"],
+        "album_name": entity["album_name"],
+        "genre": entity["genre"],
+        "price": entity["price"],
+        "time": f"{rng.randint(2, 6)}:{rng.randint(0, 59):02d}",
+        "released": entity["released"],
+    }
+
+
+class ItunesAmazonGenerator(DatasetGenerator):
+    """iTunes-Amazon EM: same-album hard negatives, rich schemas."""
+
+    name = "itunes_amazon"
+    task = Task.ENTITY_MATCHING
+    default_size = 109
+    fewshot_pool_size = 14
+    description = (
+        "Songs across iTunes and Amazon Music; hard negatives are sibling "
+        "tracks of the same album."
+    )
+
+    _profile = PairProfile(
+        divergence=0.35,
+        drop_rate=0.1,
+        positive_rate=0.25,
+        hard_negative_rate=0.5,
+    )
+
+    def _generate_instances(
+        self, count: int, rng: random.Random
+    ) -> list[Instance]:
+        generator = EMPairGenerator(
+            schema=ITUNES_AMAZON_SCHEMA,
+            make_entity=_song_entity,
+            make_hard_negative=_song_hard_negative,
+            profile=self._profile,
+            name=self.name,
+        )
+        return generator.generate(count, rng)

@@ -1,0 +1,116 @@
+"""Dataset registry: ``load_dataset("adult")`` etc.
+
+Generated datasets are cached per ``(name, size, seed)`` within the
+process, so repeated experiment runs see identical data without paying the
+generation cost twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.instances import PreprocessingDataset, Task
+from repro.datasets.adult import AdultGenerator
+from repro.datasets.base import DatasetGenerator
+from repro.datasets.beer import BeerGenerator
+from repro.datasets.buy import BuyGenerator
+from repro.datasets.citations import DblpAcmGenerator, DblpScholarGenerator
+from repro.datasets.hospital import HospitalGenerator
+from repro.datasets.music import ItunesAmazonGenerator
+from repro.datasets.products import AmazonGoogleGenerator, WalmartAmazonGenerator
+from repro.datasets.restaurant import RestaurantGenerator
+from repro.datasets.synthea import SyntheaGenerator
+from repro.datasets.venues import FodorsZagatGenerator
+from repro.errors import DatasetError, UnknownDatasetError
+
+_GENERATORS: dict[str, DatasetGenerator] = {}
+_CACHE: dict[tuple[str, int, int], PreprocessingDataset] = {}
+
+
+def register_dataset(generator: DatasetGenerator) -> None:
+    """Register a generator under its ``name`` (latest registration wins
+    only if the name is new — silent replacement hides bugs)."""
+    if not generator.name:
+        raise DatasetError("generator has an empty name")
+    if generator.name in _GENERATORS:
+        raise DatasetError(f"dataset {generator.name!r} is already registered")
+    _GENERATORS[generator.name] = generator
+
+
+for _gen in (
+    AdultGenerator(),
+    HospitalGenerator(),
+    BuyGenerator(),
+    RestaurantGenerator(),
+    SyntheaGenerator(),
+    AmazonGoogleGenerator(),
+    WalmartAmazonGenerator(),
+    BeerGenerator(),
+    DblpAcmGenerator(),
+    DblpScholarGenerator(),
+    FodorsZagatGenerator(),
+    ItunesAmazonGenerator(),
+):
+    register_dataset(_gen)
+
+#: the 12 benchmark names, in the paper's table order
+DATASET_NAMES: tuple[str, ...] = (
+    "adult", "hospital",              # error detection
+    "buy", "restaurant",              # data imputation
+    "synthea",                        # schema matching
+    "amazon_google", "beer", "dblp_acm", "dblp_scholar",
+    "fodors_zagat", "itunes_amazon", "walmart_amazon",  # entity matching
+)
+
+
+def load_dataset(
+    name: str, size: int | None = None, seed: int = 0
+) -> PreprocessingDataset:
+    """Load (generate) a benchmark dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`DATASET_NAMES`.
+    size:
+        Number of test instances; defaults to the published benchmark size.
+    seed:
+        Generation seed; the same ``(name, size, seed)`` is cached and
+        always identical.
+    """
+    if name not in _GENERATORS:
+        raise UnknownDatasetError(name, list(_GENERATORS))
+    generator = _GENERATORS[name]
+    effective_size = size if size is not None else generator.default_size
+    key = (name, effective_size, seed)
+    if key not in _CACHE:
+        _CACHE[key] = generator.generate(size=effective_size, seed=seed)
+    return _CACHE[key]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Static facts about a registered benchmark."""
+
+    name: str
+    task: Task
+    default_size: int
+    description: str
+
+
+def dataset_info(name: str) -> DatasetInfo:
+    """Metadata for a registered dataset without generating it."""
+    if name not in _GENERATORS:
+        raise UnknownDatasetError(name, list(_GENERATORS))
+    generator = _GENERATORS[name]
+    return DatasetInfo(
+        name=generator.name,
+        task=generator.task,
+        default_size=generator.default_size,
+        description=generator.description,
+    )
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (mainly for tests measuring generation)."""
+    _CACHE.clear()

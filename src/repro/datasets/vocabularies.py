@@ -1,0 +1,517 @@
+"""Shared vocabularies: the synthetic "real world".
+
+These tables play two roles:
+
+1. Dataset generators draw values from them, so records carry genuine
+   internal signal (e.g. a restaurant's phone area code really does
+   determine its city).
+2. The simulated LLM's knowledge base (:mod:`repro.llm.knowledge`) exposes a
+   *model-dependent subset* of the same tables — GPT-4 "knows" more area
+   codes and brands than Vicuna — which is what makes knowledge-bound tasks
+   like data imputation separate the models, exactly as in the paper.
+
+Ground truth lives here; the LLM only ever sees its own (possibly
+incomplete) copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class City:
+    """A city with the facts generators and the knowledge base share."""
+
+    name: str
+    state: str
+    area_codes: tuple[str, ...]
+    zip_prefix: str
+
+
+# Sixty US cities with their real primary area codes and ZIP prefixes.
+US_CITIES: tuple[City, ...] = (
+    City("new york", "ny", ("212", "718", "917"), "100"),
+    City("los angeles", "ca", ("213", "310", "323"), "900"),
+    City("chicago", "il", ("312", "773"), "606"),
+    City("houston", "tx", ("713", "281"), "770"),
+    City("phoenix", "az", ("602", "623"), "850"),
+    City("philadelphia", "pa", ("215", "267"), "191"),
+    City("san antonio", "tx", ("210",), "782"),
+    City("san diego", "ca", ("619", "858"), "921"),
+    City("dallas", "tx", ("214", "972"), "752"),
+    City("san jose", "ca", ("408",), "951"),
+    City("austin", "tx", ("512",), "787"),
+    City("jacksonville", "fl", ("904",), "322"),
+    City("fort worth", "tx", ("817",), "761"),
+    City("columbus", "oh", ("614",), "432"),
+    City("charlotte", "nc", ("704",), "282"),
+    City("san francisco", "ca", ("415",), "941"),
+    City("indianapolis", "in", ("317",), "462"),
+    City("seattle", "wa", ("206",), "981"),
+    City("denver", "co", ("303",), "802"),
+    City("washington", "dc", ("202",), "200"),
+    City("boston", "ma", ("617", "857"), "021"),
+    City("el paso", "tx", ("915",), "799"),
+    City("nashville", "tn", ("615",), "372"),
+    City("detroit", "mi", ("313",), "482"),
+    City("oklahoma city", "ok", ("405",), "731"),
+    City("portland", "or", ("503", "971"), "972"),
+    City("las vegas", "nv", ("702",), "891"),
+    City("memphis", "tn", ("901",), "381"),
+    City("louisville", "ky", ("502",), "402"),
+    City("baltimore", "md", ("410", "443"), "212"),
+    City("milwaukee", "wi", ("414",), "532"),
+    City("albuquerque", "nm", ("505",), "871"),
+    City("tucson", "az", ("520",), "857"),
+    City("fresno", "ca", ("559",), "937"),
+    City("sacramento", "ca", ("916",), "958"),
+    City("kansas city", "mo", ("816",), "641"),
+    City("mesa", "az", ("480",), "852"),
+    City("atlanta", "ga", ("404", "678"), "303"),
+    City("omaha", "ne", ("402",), "681"),
+    City("colorado springs", "co", ("719",), "809"),
+    City("raleigh", "nc", ("919",), "276"),
+    City("miami", "fl", ("305", "786"), "331"),
+    City("long beach", "ca", ("562",), "908"),
+    City("virginia beach", "va", ("757",), "234"),
+    City("oakland", "ca", ("510",), "946"),
+    City("minneapolis", "mn", ("612",), "554"),
+    City("tulsa", "ok", ("918",), "741"),
+    City("tampa", "fl", ("813",), "336"),
+    City("arlington", "tx", ("682",), "760"),
+    City("new orleans", "la", ("504",), "701"),
+    City("wichita", "ks", ("316",), "672"),
+    City("cleveland", "oh", ("216",), "441"),
+    City("bakersfield", "ca", ("661",), "933"),
+    City("aurora", "co", ("720",), "800"),
+    City("anaheim", "ca", ("714",), "928"),
+    City("honolulu", "hi", ("808",), "968"),
+    City("santa ana", "ca", ("657",), "927"),
+    City("riverside", "ca", ("951",), "925"),
+    City("marietta", "ga", ("770",), "300"),
+    City("pasadena", "ca", ("626",), "911"),
+)
+
+CITY_BY_NAME: dict[str, City] = {c.name: c for c in US_CITIES}
+
+#: area code -> city name; generators use this as the ground truth.
+AREA_CODE_TO_CITY: dict[str, str] = {
+    code: city.name for city in US_CITIES for code in city.area_codes
+}
+
+STREET_NAMES: tuple[str, ...] = (
+    "main st.", "oak ave.", "maple dr.", "powers ferry rd.", "elm st.",
+    "washington blvd.", "lincoln ave.", "park ave.", "2nd st.", "3rd ave.",
+    "cedar ln.", "sunset blvd.", "broadway", "market st.", "church st.",
+    "highland ave.", "river rd.", "lake shore dr.", "mission st.",
+    "peachtree st.", "ventura blvd.", "colorado blvd.", "wilshire blvd.",
+    "state st.", "pine st.", "walnut st.", "chestnut st.", "spring st.",
+    "franklin ave.", "jefferson st.", "madison ave.", "monroe st.",
+    "jackson blvd.", "harrison st.", "van buren st.", "5th ave.",
+    "lexington ave.", "columbus ave.", "amsterdam ave.", "melrose ave.",
+)
+
+RESTAURANT_TYPES: tuple[str, ...] = (
+    "american", "italian", "french", "chinese", "japanese", "mexican",
+    "thai", "indian", "steakhouses", "seafood", "pizza", "delis",
+    "hamburgers", "coffee shops", "bbq", "cajun", "greek", "vietnamese",
+    "mediterranean", "vegetarian", "sushi", "noodle shops", "diners",
+    "bakeries", "fast food", "continental", "californian", "southern",
+)
+
+RESTAURANT_NAME_PARTS: tuple[str, ...] = (
+    "carey's corner", "golden dragon", "la petite maison", "blue plate",
+    "the rusty anchor", "mama rosa's", "el charro", "lotus garden",
+    "the grill house", "sunset bistro", "harbor view", "copper kettle",
+    "the daily grind", "bella notte", "sakura house", "spice route",
+    "the green olive", "stonewood tavern", "river cafe", "magnolia kitchen",
+    "the velvet fork", "old mill diner", "city lights cafe", "fog harbor",
+    "the brass lantern", "cypress grove", "red maple grill", "ocean pearl",
+    "king's table", "the tin roof", "prairie fire", "silver spoon",
+    "the wandering goat", "hilltop house", "ivy garden", "noble pig",
+    "the crooked spoon", "lucky star", "twin oaks", "stone bridge inn",
+)
+
+OCCUPATIONS: tuple[str, ...] = (
+    "tech-support", "craft-repair", "other-service", "sales",
+    "exec-managerial", "prof-specialty", "handlers-cleaners",
+    "machine-op-inspct", "adm-clerical", "farming-fishing",
+    "transport-moving", "priv-house-serv", "protective-serv",
+    "armed-forces",
+)
+
+WORKCLASSES: tuple[str, ...] = (
+    "private", "self-emp-not-inc", "self-emp-inc", "federal-gov",
+    "local-gov", "state-gov", "without-pay", "never-worked",
+)
+
+EDUCATION_LEVELS: tuple[tuple[str, int], ...] = (
+    ("preschool", 1), ("1st-4th", 2), ("5th-6th", 3), ("7th-8th", 4),
+    ("9th", 5), ("10th", 6), ("11th", 7), ("12th", 8), ("hs-grad", 9),
+    ("some-college", 10), ("assoc-voc", 11), ("assoc-acdm", 12),
+    ("bachelors", 13), ("masters", 14), ("prof-school", 15),
+    ("doctorate", 16),
+)
+
+MARITAL_STATUSES: tuple[str, ...] = (
+    "married-civ-spouse", "divorced", "never-married", "separated",
+    "widowed", "married-spouse-absent", "married-af-spouse",
+)
+
+RELATIONSHIPS: tuple[str, ...] = (
+    "wife", "own-child", "husband", "not-in-family", "other-relative",
+    "unmarried",
+)
+
+RACES: tuple[str, ...] = (
+    "white", "asian-pac-islander", "amer-indian-eskimo", "other", "black",
+)
+
+SEXES: tuple[str, ...] = ("male", "female")
+
+COUNTRIES: tuple[str, ...] = (
+    "united-states", "cambodia", "england", "puerto-rico", "canada",
+    "germany", "india", "japan", "greece", "china", "cuba", "iran",
+    "honduras", "philippines", "italy", "poland", "jamaica", "vietnam",
+    "mexico", "portugal", "ireland", "france", "thailand", "ecuador",
+    "taiwan", "haiti", "columbia", "hungary", "guatemala", "nicaragua",
+    "scotland", "el-salvador",
+)
+
+HOSPITAL_CONDITIONS: tuple[str, ...] = (
+    "heart attack", "heart failure", "pneumonia",
+    "surgical infection prevention", "children's asthma care",
+)
+
+HOSPITAL_MEASURES: tuple[tuple[str, str], ...] = (
+    ("ami-1", "aspirin at arrival"),
+    ("ami-2", "aspirin prescribed at discharge"),
+    ("ami-3", "ace inhibitor or arb for lvsd"),
+    ("ami-4", "adult smoking cessation advice"),
+    ("ami-5", "beta blocker prescribed at discharge"),
+    ("hf-1", "discharge instructions"),
+    ("hf-2", "evaluation of lvs function"),
+    ("hf-3", "ace inhibitor or arb for lvsd"),
+    ("hf-4", "adult smoking cessation advice"),
+    ("pn-2", "pneumococcal vaccination"),
+    ("pn-3b", "blood culture before first antibiotic"),
+    ("pn-4", "adult smoking cessation advice"),
+    ("pn-5c", "initial antibiotic within 6 hours"),
+    ("pn-6", "appropriate initial antibiotic selection"),
+    ("pn-7", "influenza vaccination"),
+    ("scip-card-2", "beta blocker therapy perioperative"),
+    ("scip-inf-1", "prophylactic antibiotic within one hour"),
+    ("scip-inf-2", "prophylactic antibiotic selection"),
+    ("scip-inf-3", "antibiotics discontinued within 24 hours"),
+    ("scip-vte-1", "venous thromboembolism prophylaxis ordered"),
+)
+
+HOSPITAL_NAME_PARTS: tuple[str, ...] = (
+    "callahan eye foundation hospital", "marshall medical center south",
+    "eliza coffee memorial hospital", "mizell memorial hospital",
+    "crenshaw community hospital", "st vincent's east",
+    "dekalb regional medical center", "shelby baptist medical center",
+    "helen keller memorial hospital", "hartselle medical center",
+    "andalusia regional hospital", "providence alaska medical center",
+    "mat-su regional medical center", "north colorado medical center",
+    "banner good samaritan medical center", "mercy gilbert medical center",
+    "flagstaff medical center", "yuma regional medical center",
+    "sparks regional medical center", "baptist health medical center",
+    "st bernards medical center", "washington regional medical center",
+    "white river medical center", "mercy medical center",
+    "university of california davis medical center", "scripps mercy hospital",
+    "sharp memorial hospital", "cedars-sinai medical center",
+    "hoag memorial hospital presbyterian", "stanford hospital",
+)
+
+US_STATE_CODES: tuple[str, ...] = (
+    "al", "ak", "az", "ar", "ca", "co", "ct", "de", "fl", "ga", "hi", "id",
+    "il", "in", "ia", "ks", "ky", "la", "me", "md", "ma", "mi", "mn", "ms",
+    "mo", "mt", "ne", "nv", "nh", "nj", "nm", "ny", "nc", "nd", "oh", "ok",
+    "or", "pa", "ri", "sc", "sd", "tn", "tx", "ut", "vt", "va", "wa", "wv",
+    "wi", "wy", "dc",
+)
+
+#: Software/electronics brands with the product lines they actually make —
+#: the Buy dataset's DI target (manufacturer) is recoverable from the name.
+PRODUCT_BRANDS: dict[str, tuple[str, ...]] = {
+    "sony": ("bravia tv", "cybershot camera", "walkman player", "vaio laptop",
+             "handycam camcorder", "blu-ray player"),
+    "samsung": ("galaxy phone", "led monitor", "soundbar", "smart tv",
+                "portable ssd", "laser printer"),
+    "apple": ("ipod nano", "macbook pro", "iphone", "ipad", "airport extreme",
+              "mac mini"),
+    "microsoft": ("office suite", "xbox console", "zune player",
+                  "wireless keyboard", "lifecam webcam", "arc mouse"),
+    "canon": ("powershot camera", "eos camera", "pixma printer",
+              "imageclass printer", "ef lens", "selphy printer"),
+    "nikon": ("coolpix camera", "d-series dslr", "nikkor lens", "binoculars"),
+    "hp": ("pavilion laptop", "deskjet printer", "officejet printer",
+           "photosmart printer", "compaq desktop", "scanjet scanner"),
+    "dell": ("inspiron laptop", "xps desktop", "ultrasharp monitor",
+             "latitude laptop", "poweredge server"),
+    "panasonic": ("lumix camera", "viera tv", "cordless phone",
+                  "microwave oven", "camcorder"),
+    "lg": ("flatron monitor", "blu-ray drive", "home theater system",
+           "washing machine", "air conditioner"),
+    "toshiba": ("satellite laptop", "portege laptop", "external hard drive",
+                "dvd recorder"),
+    "logitech": ("wireless mouse", "webcam", "gaming keyboard",
+                 "speaker system", "harmony remote"),
+    "belkin": ("wireless router", "surge protector", "usb hub",
+               "laptop cooling pad"),
+    "netgear": ("wireless router", "network switch", "range extender",
+                "powerline adapter"),
+    "linksys": ("wireless router", "network adapter", "vpn router"),
+    "garmin": ("nuvi gps", "forerunner watch", "fishfinder", "etrex gps"),
+    "tomtom": ("go gps", "one gps", "rider gps"),
+    "nintendo": ("wii console", "ds lite", "game boy", "wii remote"),
+    "bose": ("wave radio", "quietcomfort headphones", "companion speakers",
+             "soundlink speaker"),
+    "sennheiser": ("hd headphones", "wireless microphone", "earbuds"),
+    "kodak": ("easyshare camera", "photo printer", "zi8 camcorder"),
+    "olympus": ("stylus camera", "digital voice recorder", "pen camera"),
+    "casio": ("exilim camera", "g-shock watch", "label printer",
+              "graphing calculator"),
+    "epson": ("stylus printer", "workforce printer", "perfection scanner",
+              "powerlite projector"),
+    "brother": ("laser printer", "label maker", "sewing machine",
+                "fax machine"),
+    "lexmark": ("inkjet printer", "laser printer", "all-in-one printer"),
+    "motorola": ("razr phone", "bluetooth headset", "two-way radio",
+                 "cable modem"),
+    "nokia": ("candybar phone", "smartphone", "bluetooth headset"),
+    "blackberry": ("curve phone", "bold phone", "pearl phone"),
+    "sandisk": ("sansa player", "sd card", "cruzer flash drive",
+                "compactflash card"),
+    "kingston": ("datatraveler flash drive", "memory module", "ssd drive"),
+    "seagate": ("barracuda hard drive", "freeagent external drive",
+                "momentus laptop drive"),
+    "western digital": ("caviar hard drive", "my book external drive",
+                        "my passport portable drive"),
+    "intel": ("core processor", "motherboard", "ssd drive",
+              "network adapter"),
+    "amd": ("athlon processor", "phenom processor", "radeon graphics card"),
+    "nvidia": ("geforce graphics card", "quadro graphics card"),
+    "asus": ("eee pc netbook", "motherboard", "graphics card",
+             "lcd monitor"),
+    "acer": ("aspire laptop", "lcd monitor", "netbook", "projector"),
+    "lenovo": ("thinkpad laptop", "ideapad laptop", "thinkcentre desktop"),
+    "vtech": ("cordless phone", "learning laptop", "baby monitor"),
+}
+
+SOFTWARE_TITLES: tuple[str, ...] = (
+    "photo editing studio", "antivirus security suite", "office productivity",
+    "tax preparation deluxe", "video converter ultimate", "pc tune-up utility",
+    "language learning spanish", "typing instructor", "genealogy research",
+    "home design architect", "accounting small business", "web design studio",
+    "music production suite", "dvd burning toolkit", "pdf editor pro",
+    "backup and recovery", "internet security premium", "drawing and painting",
+    "chess master challenge", "flight simulator gold",
+)
+
+SOFTWARE_PUBLISHERS: tuple[str, ...] = (
+    "adobe", "symantec", "intuit", "mcafee", "corel", "roxio", "nero",
+    "broderbund", "encore", "topics entertainment", "nova development",
+    "individual software", "avanquest", "kaspersky", "trend micro",
+    "cyberlink", "magix", "sage", "autodesk", "serif",
+)
+
+BEER_STYLES: tuple[str, ...] = (
+    "american ipa", "american pale ale", "imperial stout", "porter",
+    "hefeweizen", "pilsner", "amber ale", "brown ale", "saison",
+    "witbier", "barleywine", "scotch ale", "kolsch", "oatmeal stout",
+    "double ipa", "red ale", "cream ale", "tripel", "dubbel", "lager",
+)
+
+BEER_NAME_ADJECTIVES: tuple[str, ...] = (
+    "hoppy", "golden", "midnight", "rusty", "wild", "lazy", "grumpy",
+    "dancing", "crooked", "velvet", "smoky", "frosty", "raging", "quiet",
+    "lucky", "broken", "electric", "drifting", "howling", "iron",
+)
+
+BEER_NAME_NOUNS: tuple[str, ...] = (
+    "trail", "moose", "anchor", "barrel", "raven", "coyote", "summit",
+    "harvest", "canyon", "lantern", "otter", "prairie", "thunder",
+    "meadow", "compass", "griffin", "orchard", "bison", "ember", "tide",
+)
+
+BREWERIES: tuple[str, ...] = (
+    "stone brewing co.", "sierra nevada brewing co.", "dogfish head brewery",
+    "bell's brewery", "founders brewing co.", "lagunitas brewing company",
+    "deschutes brewery", "new belgium brewing", "oskar blues brewery",
+    "great divide brewing co.", "victory brewing company",
+    "brooklyn brewery", "anchor brewing company", "harpoon brewery",
+    "odell brewing co.", "green flash brewing co.", "ballast point brewing",
+    "russian river brewing", "three floyds brewing", "cigar city brewing",
+)
+
+CS_TOPIC_TERMS: tuple[str, ...] = (
+    "query optimization", "data integration", "entity resolution",
+    "schema matching", "stream processing", "transaction management",
+    "index structures", "approximate query answering", "data cleaning",
+    "view maintenance", "spatial databases", "graph mining",
+    "semi-structured data", "information extraction", "data warehousing",
+    "privacy preservation", "skyline queries", "top-k retrieval",
+    "duplicate detection", "similarity joins", "keyword search",
+    "distributed databases", "sensor networks", "workflow systems",
+    "xml processing", "record linkage", "data provenance",
+    "uncertain data", "crowdsourcing", "columnar storage",
+)
+
+CS_TITLE_PATTERNS: tuple[str, ...] = (
+    "efficient {topic} in large-scale systems",
+    "a survey of {topic}",
+    "scalable {topic} with probabilistic guarantees",
+    "on the complexity of {topic}",
+    "adaptive {topic} for dynamic workloads",
+    "{topic}: models and algorithms",
+    "towards practical {topic}",
+    "optimizing {topic} in the cloud",
+    "learning-based {topic}",
+    "incremental {topic} over evolving data",
+    "parallel {topic} on modern hardware",
+    "a framework for {topic}",
+)
+
+ACADEMIC_VENUES: tuple[tuple[str, str], ...] = (
+    ("sigmod", "acm sigmod international conference on management of data"),
+    ("vldb", "international conference on very large data bases"),
+    ("icde", "ieee international conference on data engineering"),
+    ("kdd", "acm sigkdd conference on knowledge discovery and data mining"),
+    ("cikm", "acm conference on information and knowledge management"),
+    ("edbt", "international conference on extending database technology"),
+    ("pods", "acm symposium on principles of database systems"),
+    ("www", "the web conference"),
+    ("icdm", "ieee international conference on data mining"),
+    ("tods", "acm transactions on database systems"),
+)
+
+AUTHOR_FIRST_NAMES: tuple[str, ...] = (
+    "james", "mary", "wei", "hiroshi", "anna", "david", "elena", "rajesh",
+    "li", "sofia", "michael", "yuki", "carlos", "fatima", "peter", "chen",
+    "laura", "ahmed", "nina", "thomas", "priya", "jan", "maria", "kenji",
+    "olga", "daniel", "ingrid", "omar", "grace", "victor", "lucas",
+    "amelia", "takeshi", "svetlana", "diego", "amara", "felix", "mei",
+    "stefan", "leila", "ravi", "hannah", "mateo", "yasmin", "viktor",
+    "chiara", "arjun", "freya", "tomas", "zara",
+)
+
+AUTHOR_LAST_NAMES: tuple[str, ...] = (
+    "smith", "zhang", "tanaka", "garcia", "mueller", "patel", "kim",
+    "johnson", "wang", "rossi", "ivanov", "nakamura", "lopez", "silva",
+    "brown", "chen", "kumar", "schmidt", "sato", "jones", "lee", "nguyen",
+    "martin", "kowalski", "ali", "hansen", "dubois", "yamamoto", "costa",
+    "novak", "fernandez", "okafor", "lindqvist", "petrov", "moreau",
+    "castillo", "haddad", "bergstrom", "romano", "fischer", "oliveira",
+    "kovacs", "jensen", "takahashi", "varga", "medina", "keller",
+    "andersson", "moretti", "singh",
+)
+
+MUSIC_GENRES: tuple[str, ...] = (
+    "rock", "pop", "country", "hip-hop/rap", "r&b/soul", "electronic",
+    "jazz", "alternative", "folk", "blues", "reggae", "latin", "metal",
+    "indie rock", "dance", "singer/songwriter",
+)
+
+ARTIST_NAME_PARTS: tuple[tuple[str, ...], tuple[str, ...]] = (
+    ("the midnight", "silver", "crimson", "electric", "neon", "golden",
+     "wandering", "hollow", "paper", "velvet", "lunar", "scarlet",
+     "northern", "broken", "wild"),
+    ("foxes", "horizon", "parade", "echoes", "rivers", "pilots", "saints",
+     "arrows", "harbors", "satellites", "wolves", "gardens", "avenues",
+     "lanterns", "tides"),
+)
+
+SONG_TITLE_PATTERNS: tuple[str, ...] = (
+    "dancing in the {noun}", "{adj} hearts", "when the {noun} falls",
+    "never let {noun} go", "{adj} summer nights", "under the {noun}",
+    "chasing {noun}", "{adj} lights", "back to the {noun}",
+    "whispers of the {noun}", "one more {noun}", "{adj} road home",
+)
+
+SONG_WORDS_ADJ: tuple[str, ...] = (
+    "broken", "golden", "lonely", "wild", "silent", "burning", "faded",
+    "electric", "restless", "hollow", "midnight", "crimson",
+)
+
+SONG_WORDS_NOUN: tuple[str, ...] = (
+    "rain", "fire", "stars", "city", "ocean", "shadows", "wind",
+    "summer", "thunder", "embers", "sunrise", "gravity",
+)
+
+#: Synthea / OMAP-style schema-matching vocabulary: clinical attributes as
+#: ``(name, description)`` with groups of synonymous names.  Attributes in
+#: the same group refer to the same concept (a positive SM pair).
+CLINICAL_ATTRIBUTE_GROUPS: tuple[tuple[tuple[str, str], ...], ...] = (
+    # Descriptions inside a group deliberately use *different* vocabulary
+    # (as OMAP's independently-authored schemas do): matching attributes
+    # rarely share words, while non-matching attributes of the same table
+    # family (start/stop, systolic/diastolic) share almost all of them.
+    (("patient_id", "unique key assigned when a person is registered"),
+     ("person_id", "primary identifier in the demographics table"),
+     ("subject_id", "anonymized number referencing the study participant")),
+    (("birth_date", "when the individual was born"),
+     ("dob", "demographic field for age derivation"),
+     ("date_of_birth", "calendar day of delivery of the person")),
+    (("gender", "administrative sex recorded for the person"),
+     ("sex", "biological classification noted at intake"),
+     ("gender_concept", "coded male or female designation")),
+    (("encounter_start", "start date and time of the clinical encounter"),
+     ("visit_start_date", "when the stay began"),
+     ("admission_time", "moment the individual arrived at the facility")),
+    (("encounter_stop", "stop date and time of the clinical encounter"),
+     ("visit_end_date", "when the stay ended"),
+     ("discharge_time", "moment the individual left the facility")),
+    (("condition_code", "standardized identifier of the diagnosed illness"),
+     ("diagnosis_code", "icd terminology entry for the finding"),
+     ("dx_code", "abbreviated coding of what was found wrong")),
+    (("medication_name", "label of the prescribed product"),
+     ("drug_name", "pharmaceutical substance given to the person"),
+     ("rx_description", "free text of what the pharmacy filled")),
+    (("dose_quantity", "amount given per administration"),
+     ("drug_dose", "strength of each pharmaceutical unit"),
+     ("quantity_dispensed", "how much the pharmacy handed out")),
+    (("procedure_code", "standardized identifier of the performed operation"),
+     ("proc_code", "terminology entry for the intervention"),
+     ("operation_code", "abbreviated coding of the surgery done")),
+    (("provider_id", "unique key of the clinician delivering care"),
+     ("physician_id", "number referencing the attending doctor"),
+     ("practitioner_ref", "foreign key into the staff roster")),
+    (("observation_value", "quantity captured during the clinical observation"),
+     ("result_value", "numeric outcome reported by the laboratory"),
+     ("measurement_value", "reading recorded by the instrument")),
+    (("body_weight", "how heavy the person is, in kilograms"),
+     ("weight_kg", "mass measured at the scale"),
+     ("wt", "anthropometric heaviness entry")),
+    (("systolic_bp", "systolic blood pressure in mmhg"),
+     ("sbp", "upper arterial reading during contraction"),
+     ("blood_pressure_systolic", "peak circulatory force value")),
+    (("diastolic_bp", "diastolic blood pressure in mmhg"),
+     ("dbp", "lower arterial reading between beats"),
+     ("blood_pressure_diastolic", "resting circulatory force value")),
+    (("insurance_plan", "product the person is enrolled in for coverage"),
+     ("payer_name", "organization responsible for settling the bill"),
+     ("coverage_name", "label of the benefits package")),
+    (("claim_amount", "total money requested for the encounter"),
+     ("billed_total", "sum invoiced to the payer"),
+     ("total_charge", "aggregate cost entered by accounting")),
+    (("allergy_substance", "what the person reacts badly to"),
+     ("allergen", "agent triggering hypersensitivity"),
+     ("allergy_code", "coded intolerance entry")),
+    (("immunization_name", "vaccine product administered"),
+     ("vaccine_code", "coded shot given for prevention"),
+     ("imm_description", "free text of the inoculation")),
+    (("care_plan", "intended program of treatment going forward"),
+     ("treatment_plan", "scheduled therapeutic activities"),
+     ("careplan_description", "narrative of future clinical steps")),
+    (("marital_status", "whether the person is married, single, or widowed"),
+     ("civil_status", "legal partnership state")),
+    (("ethnicity", "cultural background of the person"),
+     ("ethnic_group", "coded ancestry classification")),
+    (("address_line", "street and house number of the residence"),
+     ("street_address", "where the person lives")),
+    (("zip_code", "postal routing number of the residence"),
+     ("postal_code", "mail delivery area entry")),
+)

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at an integration boundary while
+still discriminating on the specific failure when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an attribute reference cannot be resolved."""
+
+
+class RecordError(ReproError):
+    """A record does not conform to its schema."""
+
+
+class DatasetError(ReproError):
+    """A dataset cannot be generated, loaded, or validated."""
+
+
+class UnknownDatasetError(DatasetError):
+    """A dataset name is not present in the registry."""
+
+    def __init__(self, name: str, available: list[str]):
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"unknown dataset {name!r}; available: {', '.join(sorted(available))}"
+        )
+
+
+class PromptError(ReproError):
+    """A prompt could not be assembled from the given configuration."""
+
+
+class AnswerFormatError(ReproError):
+    """An LLM answer does not follow the instructed answer format."""
+
+    def __init__(self, message: str, raw_text: str = ""):
+        self.raw_text = raw_text
+        super().__init__(message)
+
+
+class LLMError(ReproError):
+    """Base class for failures raised by an LLM client."""
+
+
+class ContextWindowExceededError(LLMError):
+    """The prompt does not fit in the model's context window."""
+
+    def __init__(self, model: str, prompt_tokens: int, context_window: int):
+        self.model = model
+        self.prompt_tokens = prompt_tokens
+        self.context_window = context_window
+        super().__init__(
+            f"prompt of {prompt_tokens} tokens exceeds the {context_window}-token "
+            f"context window of {model}"
+        )
+
+
+class RateLimitError(LLMError):
+    """The (simulated) API rejected a request due to rate limiting."""
+
+    def __init__(self, retry_after: float):
+        self.retry_after = retry_after
+        super().__init__(f"rate limit exceeded; retry after {retry_after:.2f}s")
+
+
+class ModelNotApplicableError(LLMError):
+    """The model cannot return reasonable answers for this task/dataset.
+
+    Mirrors the paper's "N/A" cells: e.g. Vicuna-13B on most datasets.
+    """
+
+    def __init__(self, model: str, reason: str):
+        self.model = model
+        self.reason = reason
+        super().__init__(f"{model} is not applicable: {reason}")
+
+
+class UnknownModelError(LLMError):
+    """A model name has no registered profile."""
+
+    def __init__(self, name: str, available: list[str]):
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"unknown model {name!r}; available: {', '.join(sorted(available))}"
+        )
+
+
+class ConfigError(ReproError):
+    """A pipeline configuration is inconsistent."""
+
+
+class EvaluationError(ReproError):
+    """An experiment harness failure (mismatched predictions, bad metric input)."""

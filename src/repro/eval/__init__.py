@@ -1,0 +1,30 @@
+"""Evaluation: metrics, experiment harness, and the paper's tables."""
+
+from repro.eval.metrics import (
+    BinaryMetrics,
+    accuracy,
+    confusion_counts,
+    f1_score,
+    precision_recall_f1,
+    score_predictions,
+)
+from repro.eval.analysis import (
+    disagreements,
+    error_cases,
+    per_group_metrics,
+)
+from repro.eval.harness import EvaluationRun, evaluate_pipeline
+
+__all__ = [
+    "accuracy",
+    "f1_score",
+    "precision_recall_f1",
+    "confusion_counts",
+    "BinaryMetrics",
+    "score_predictions",
+    "EvaluationRun",
+    "evaluate_pipeline",
+    "per_group_metrics",
+    "disagreements",
+    "error_cases",
+]

@@ -1,0 +1,134 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.eval table1 [--scale 0.2] [--seed 0]
+    python -m repro.eval table2 [--scale 0.2]
+    python -m repro.eval table3 [--scale 0.1]
+    python -m repro.eval feature-selection
+    python -m repro.eval cluster-batching
+    python -m repro.eval all [--scale 0.1]
+
+Every cell prints as ``measured (paper)`` so the reproduction gap is
+visible inline.  ``--scale 1.0`` runs the published dataset sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval import experiments
+from repro.eval.reporting import render_table
+
+
+def _print_grid(
+    title: str,
+    grid: dict[str, dict[str, experiments.Cell]],
+    datasets: tuple[str, ...],
+) -> None:
+    rows = []
+    for method, cells in grid.items():
+        rows.append([method] + [str(cells[name]) for name in datasets])
+    print(render_table(title, ["method"] + list(datasets), rows))
+    print()
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    grid = experiments.run_table1(scale=args.scale, seed=args.seed)
+    _print_grid(
+        "Table 1 — comparison with baselines, measured (paper)",
+        grid,
+        experiments.TABLE1_DATASETS,
+    )
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    grid = experiments.run_table2(scale=args.scale, seed=args.seed)
+    _print_grid(
+        "Table 2 — prompt-component ablation with GPT-3.5, measured (paper)",
+        grid,
+        experiments.TABLE2_DATASETS,
+    )
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    results = experiments.run_table3(scale=args.scale, seed=args.seed)
+    rows = []
+    for result in results:
+        paper = result.paper or (None, None, None, None)
+        f1 = "N/A" if result.f1 is None else f"{result.f1 * 100:.1f}"
+        rows.append([
+            str(result.batch_size),
+            f"{f1} ({paper[0]})",
+            f"{result.tokens_m:.3f} ({paper[1]})",
+            f"{result.cost_usd:.2f} ({paper[2]})",
+            f"{result.hours:.2f} ({paper[3]})",
+        ])
+    print(render_table(
+        f"Table 3 — batch size on Adult ED, GPT-3.5, no few-shot "
+        f"(scale={args.scale}; paper numbers are for scale=1.0)",
+        ["batch", "F1 % (paper)", "tokens M (paper)", "cost $ (paper)",
+         "time h (paper)"],
+        rows,
+    ))
+    print()
+
+
+def _cmd_feature_selection(args: argparse.Namespace) -> None:
+    result = experiments.run_feature_selection(seed=args.seed)
+    paper = result.paper or (None, None)
+    print("Feature selection — Beer EM, GPT-4, zero-shot (Section 4.2)")
+    score_a = "N/A" if result.score_a is None else f"{result.score_a * 100:.1f}"
+    score_b = "N/A" if result.score_b is None else f"{result.score_b * 100:.1f}"
+    print(f"  {result.label_a}: {score_a} (paper {paper[0]})")
+    print(f"  {result.label_b}: {score_b} (paper {paper[1]})")
+    print()
+
+
+def _cmd_cluster_batching(args: argparse.Namespace) -> None:
+    result = experiments.run_cluster_batching(scale=args.scale, seed=args.seed)
+    paper = result.paper or (None, None)
+    print("Cluster batching — Amazon-Google EM, GPT-3.5, zero-shot (Section 4.2)")
+    score_a = "N/A" if result.score_a is None else f"{result.score_a * 100:.1f}"
+    score_b = "N/A" if result.score_b is None else f"{result.score_b * 100:.1f}"
+    print(f"  {result.label_a}: {score_a} (paper {paper[0]})")
+    print(f"  {result.label_b}: {score_b} (paper {paper[1]})")
+    print()
+
+
+def _cmd_all(args: argparse.Namespace) -> None:
+    _cmd_table1(args)
+    _cmd_table2(args)
+    _cmd_table3(args)
+    _cmd_feature_selection(args)
+    _cmd_cluster_batching(args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval",
+        description="Regenerate the tables of 'LLMs as Data Preprocessors'.",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scale", type=float, default=0.2,
+                        help="dataset size scale (1.0 = published sizes)")
+    common.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, handler in (
+        ("table1", _cmd_table1),
+        ("table2", _cmd_table2),
+        ("table3", _cmd_table3),
+        ("feature-selection", _cmd_feature_selection),
+        ("cluster-batching", _cmd_cluster_batching),
+        ("all", _cmd_all),
+    ):
+        command = sub.add_parser(name, parents=[common])
+        command.set_defaults(handler=handler)
+    args = parser.parse_args(argv)
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

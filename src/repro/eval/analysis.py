@@ -1,0 +1,175 @@
+"""Error analysis: the paper's "case-by-case comparison", as tooling.
+
+The paper's Section 4.2 closes its ED discussion with "the results of ED
+warrant further investigation, such as a case-by-case comparison".  This
+module provides that investigation surface:
+
+- :func:`per_group_metrics` — metric breakdown by any grouping of the
+  instances (target attribute, label, dataset slice).
+- :func:`disagreements` — the cases where two methods' predictions differ,
+  with ground truth attached, ready for reading.
+- :func:`error_cases` — one method's mistakes, most confident groups first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from repro.data.instances import (
+    DIInstance,
+    Instance,
+    Task,
+    ground_truth_labels,
+)
+from repro.errors import EvaluationError
+from repro.eval.metrics import confusion_counts, values_match
+
+
+def _check_aligned(instances: Sequence[Instance],
+                   predictions: Sequence) -> None:
+    if len(instances) != len(predictions):
+        raise EvaluationError(
+            f"{len(predictions)} predictions for {len(instances)} instances"
+        )
+    if not instances:
+        raise EvaluationError("cannot analyze zero instances")
+
+
+def default_grouping(instance: Instance) -> Hashable:
+    """Group ED/DI by target attribute; pair tasks form one group."""
+    return getattr(instance, "target_attribute", "all")
+
+
+@dataclass(frozen=True)
+class GroupMetrics:
+    """One group's score and support."""
+
+    group: Hashable
+    score: float
+    n: int
+    n_positive: int
+
+
+def per_group_metrics(
+    instances: Sequence[Instance],
+    predictions: Sequence,
+    group_by: Callable[[Instance], Hashable] = default_grouping,
+) -> list[GroupMetrics]:
+    """Metric per group, worst group first.
+
+    Uses the task's own metric (accuracy for DI, F1 otherwise) within each
+    group, which is how per-attribute ED quality is usually read.
+    """
+    _check_aligned(instances, predictions)
+    task = instances[0].task
+    groups: dict[Hashable, list[int]] = {}
+    for index, instance in enumerate(instances):
+        groups.setdefault(group_by(instance), []).append(index)
+    out: list[GroupMetrics] = []
+    for group, indices in groups.items():
+        member_instances = [instances[i] for i in indices]
+        member_predictions = [predictions[i] for i in indices]
+        truths = ground_truth_labels(member_instances)
+        if task is Task.DATA_IMPUTATION:
+            correct = sum(
+                1 for p, t in zip(member_predictions, truths)
+                if values_match(str(p), str(t))
+            )
+            score = correct / len(indices)
+            positives = len(indices)
+        else:
+            metrics = confusion_counts(
+                [bool(p) for p in member_predictions],
+                [bool(t) for t in truths],
+            )
+            score = metrics.f1
+            positives = metrics.tp + metrics.fn
+        out.append(GroupMetrics(group=group, score=score, n=len(indices),
+                                n_positive=positives))
+    return sorted(out, key=lambda g: (g.score, str(g.group)))
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One instance two methods answered differently."""
+
+    index: int
+    instance: Instance
+    prediction_a: object
+    prediction_b: object
+    truth: object
+
+    @property
+    def a_is_right(self) -> bool:
+        return _is_correct(self.instance, self.prediction_a, self.truth)
+
+    @property
+    def b_is_right(self) -> bool:
+        return _is_correct(self.instance, self.prediction_b, self.truth)
+
+
+def _is_correct(instance: Instance, prediction, truth) -> bool:
+    if isinstance(instance, DIInstance):
+        return values_match(str(prediction), str(truth))
+    return bool(prediction) == bool(truth)
+
+
+def disagreements(
+    instances: Sequence[Instance],
+    predictions_a: Sequence,
+    predictions_b: Sequence,
+) -> list[Disagreement]:
+    """Every case where method A and method B answered differently."""
+    _check_aligned(instances, predictions_a)
+    _check_aligned(instances, predictions_b)
+    truths = ground_truth_labels(instances)
+    out = []
+    for index, (instance, a, b, truth) in enumerate(
+        zip(instances, predictions_a, predictions_b, truths)
+    ):
+        same = (
+            values_match(str(a), str(b))
+            if isinstance(instance, DIInstance)
+            else bool(a) == bool(b)
+        )
+        if not same:
+            out.append(Disagreement(index=index, instance=instance,
+                                    prediction_a=a, prediction_b=b,
+                                    truth=truth))
+    return out
+
+
+@dataclass(frozen=True)
+class ErrorCase:
+    """One mistake: the instance, the wrong answer, the right one."""
+
+    index: int
+    instance: Instance
+    prediction: object
+    truth: object
+    kind: str  # "false_positive" / "false_negative" / "wrong_value"
+
+
+def error_cases(
+    instances: Sequence[Instance],
+    predictions: Sequence,
+) -> list[ErrorCase]:
+    """Every mistake one method makes, typed for reading."""
+    _check_aligned(instances, predictions)
+    truths = ground_truth_labels(instances)
+    out = []
+    for index, (instance, prediction, truth) in enumerate(
+        zip(instances, predictions, truths)
+    ):
+        if _is_correct(instance, prediction, truth):
+            continue
+        if isinstance(instance, DIInstance):
+            kind = "wrong_value"
+        elif bool(prediction):
+            kind = "false_positive"
+        else:
+            kind = "false_negative"
+        out.append(ErrorCase(index=index, instance=instance,
+                             prediction=prediction, truth=truth, kind=kind))
+    return out

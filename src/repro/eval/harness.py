@@ -1,0 +1,102 @@
+"""Experiment harness: run a configured pipeline on a dataset and score it.
+
+Adds the paper's bookkeeping on top of the pipeline: the headline metric,
+the token/cost/time columns, and the "N/A" rule — a model that cannot
+return parseable answers for a meaningful fraction of a dataset is marked
+not applicable, as Vicuna is for most datasets in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import PipelineResult, Preprocessor
+from repro.data.instances import PreprocessingDataset, ground_truth_labels
+from repro.errors import ContextWindowExceededError
+from repro.eval.metrics import score_predictions
+from repro.llm.base import LLMClient
+from repro.llm.profiles import get_profile
+
+#: fallback-answer fraction beyond which a result is reported "N/A"
+NOT_APPLICABLE_FALLBACK_RATE = 0.30
+
+
+@dataclass(frozen=True)
+class EvaluationRun:
+    """One scored (model, config, dataset) cell."""
+
+    dataset: str
+    model: str
+    metric_name: str
+    score: float | None          # None means N/A
+    n_instances: int
+    total_tokens: int
+    cost_usd: float
+    hours: float
+    n_requests: int
+    fallback_rate: float
+
+    @property
+    def is_applicable(self) -> bool:
+        return self.score is not None
+
+    @property
+    def score_pct(self) -> str:
+        """The paper's cell format: percentage with one decimal, or N/A."""
+        if self.score is None:
+            return "N/A"
+        return f"{self.score * 100:.1f}"
+
+
+def evaluate_pipeline(
+    client: LLMClient,
+    config: PipelineConfig,
+    dataset: PreprocessingDataset,
+) -> EvaluationRun:
+    """Run ``config`` against ``dataset`` through ``client`` and score it."""
+    profile = get_profile(config.model)
+    preprocessor = Preprocessor(client, config)
+    try:
+        result: PipelineResult = preprocessor.run(dataset)
+    except ContextWindowExceededError:
+        # The prompt cannot even be posed to this model: N/A.
+        return _not_applicable(dataset, config, profile.name)
+    labels = ground_truth_labels(dataset.instances)
+    fallback_rate = result.n_fallbacks / max(len(dataset.instances), 1)
+    score: float | None
+    if fallback_rate > NOT_APPLICABLE_FALLBACK_RATE:
+        score = None
+    else:
+        score = score_predictions(dataset.task, result.predictions, labels)
+    return EvaluationRun(
+        dataset=dataset.name,
+        model=profile.name,
+        metric_name=dataset.task.metric_name,
+        score=score,
+        n_instances=len(dataset.instances),
+        total_tokens=result.usage.total_tokens,
+        cost_usd=profile.cost_usd(
+            result.usage.prompt_tokens, result.usage.completion_tokens
+        ),
+        hours=result.estimated_hours,
+        n_requests=result.n_requests,
+        fallback_rate=fallback_rate,
+    )
+
+
+def _not_applicable(
+    dataset: PreprocessingDataset, config: PipelineConfig, model: str
+) -> EvaluationRun:
+    return EvaluationRun(
+        dataset=dataset.name,
+        model=model,
+        metric_name=dataset.task.metric_name,
+        score=None,
+        n_instances=len(dataset.instances),
+        total_tokens=0,
+        cost_usd=0.0,
+        hours=0.0,
+        n_requests=0,
+        fallback_rate=1.0,
+    )

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for experiment results.
+
+Produces the paper's tables as aligned monospace text so benchmark runs
+print rows directly comparable to the published ones.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import EvaluationError
+
+
+def render_table(
+    title: str,
+    column_names: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    """Render an aligned text table with a title line."""
+    if not column_names:
+        raise EvaluationError("a table needs at least one column")
+    for row in rows:
+        if len(row) != len(column_names):
+            raise EvaluationError(
+                f"row {row!r} has {len(row)} cells, expected {len(column_names)}"
+            )
+    widths = [
+        max(len(str(column_names[i])), *(len(str(r[i])) for r in rows))
+        if rows
+        else len(str(column_names[i]))
+        for i in range(len(column_names))
+    ]
+    lines = [title]
+    header = "  ".join(str(n).ljust(w) for n, w in zip(column_names, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_score(score: float | None) -> str:
+    """The paper's cell format: one decimal percent, or N/A."""
+    if score is None:
+        return "N/A"
+    return f"{score * 100:.1f}"
+
+
+def side_by_side(measured: str, paper: float | str | None) -> str:
+    """A ``measured (paper X)`` cell for reproduction comparisons."""
+    if paper is None:
+        return measured
+    return f"{measured} ({paper})"

@@ -1,0 +1,100 @@
+"""Chat-completion interface types.
+
+Mirrors the shape of commercial chat APIs narrowly enough that swapping
+:class:`~repro.llm.simulated.SimulatedLLM` for a real SDK client is a
+one-class change: messages in, text + usage out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import LLMError
+
+_VALID_ROLES = ("system", "user", "assistant")
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One turn of a chat transcript."""
+
+    role: str
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in _VALID_ROLES:
+            raise LLMError(
+                f"invalid role {self.role!r}; expected one of {_VALID_ROLES}"
+            )
+
+
+@dataclass(frozen=True)
+class CompletionRequest:
+    """A chat-completion call."""
+
+    messages: tuple[ChatMessage, ...]
+    model: str
+    temperature: float = 0.0
+    max_tokens: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.messages:
+            raise LLMError("a completion request needs at least one message")
+        if not 0.0 <= self.temperature <= 2.0:
+            raise LLMError(
+                f"temperature must be in [0, 2], got {self.temperature}"
+            )
+        if self.max_tokens is not None and self.max_tokens <= 0:
+            raise LLMError(f"max_tokens must be positive, got {self.max_tokens}")
+
+    @property
+    def transcript(self) -> list[tuple[str, str]]:
+        """(role, content) pairs — the token-accounting view."""
+        return [(m.role, m.content) for m in self.messages]
+
+
+@dataclass(frozen=True)
+class Usage:
+    """Token usage of one completion (the billing unit)."""
+
+    prompt_tokens: int
+    completion_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 0 or self.completion_tokens < 0:
+            raise LLMError("token counts cannot be negative")
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def __add__(self, other: "Usage") -> "Usage":
+        return Usage(
+            prompt_tokens=self.prompt_tokens + other.prompt_tokens,
+            completion_tokens=self.completion_tokens + other.completion_tokens,
+        )
+
+
+@dataclass(frozen=True)
+class CompletionResponse:
+    """The result of one completion call.
+
+    ``latency_s`` is the *modeled* wall-clock latency a metered API would
+    have taken — the simulator computes it from the latency model instead
+    of sleeping, so experiments report realistic hours without taking them.
+    """
+
+    text: str
+    model: str
+    usage: Usage
+    latency_s: float = 0.0
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """Anything that can serve chat completions."""
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        """Serve one chat completion."""
+        ...

@@ -1,0 +1,72 @@
+"""Response caching.
+
+Data preprocessing re-sends near-identical prompts constantly (retries,
+ablation grids over the same dataset); a real deployment caches completions
+to cut token spend.  :class:`CachingClient` wraps any
+:class:`~repro.llm.base.LLMClient` with an exact-match LRU cache keyed by
+the full request.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.llm.base import CompletionRequest, CompletionResponse, LLMClient
+
+
+def request_key(request: CompletionRequest) -> tuple:
+    """A hashable identity for a request (model, temperature, transcript)."""
+    return (
+        request.model,
+        round(request.temperature, 6),
+        request.max_tokens,
+        tuple(request.transcript),
+    )
+
+
+class CachingClient:
+    """LRU response cache in front of another client.
+
+    Cache hits return the stored response with ``latency_s`` zeroed — a
+    cache hit costs no wall-clock — but keep the token usage visible so
+    callers can report "tokens that *would* have been spent" if they want
+    to (the ledger decides what to meter).
+    """
+
+    def __init__(self, inner: LLMClient, max_entries: int = 4096):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self._inner = inner
+        self._max_entries = max_entries
+        self._cache: OrderedDict[tuple, CompletionResponse] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        key = request_key(request)
+        if key in self._cache:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            cached = self._cache[key]
+            return CompletionResponse(
+                text=cached.text,
+                model=cached.model,
+                usage=cached.usage,
+                latency_s=0.0,
+            )
+        self.misses += 1
+        response = self._inner.complete(request)
+        self._cache[key] = response
+        if len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+        return response
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,212 @@
+"""Prompt parsing: the simulated LLM reading its input.
+
+A real LLM reads the prompt text; so does the simulator.  This module
+recovers the task, the target attribute, the reasoning contract, the
+few-shot examples, and the batch questions from *nothing but the chat
+transcript*.  If the framework's prompt wording drifts from what this
+parser understands, tests fail loudly — which is exactly the contract a
+prompt template has with a real model.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.contextualize import parse_record_pair, parse_serialized_record
+from repro.data.instances import Task
+from repro.errors import LLMError
+from repro.llm.base import CompletionRequest
+
+_TARGET_RE = re.compile(r'the "([^"]+)" attribute')
+_QUESTION_RE = re.compile(r"^\s*Question\s+(\d+)\s*:\s*(.*)$")
+_ANSWER_RE = re.compile(r"^\s*Answer\s+(\d+)\s*:\s*(.*)$")
+_QUESTION_ED_TARGET_RE = re.compile(r'error in the "([^"]+)" attribute')
+_QUESTION_DI_TARGET_RE = re.compile(r"What is the ([\w\-. ]+?)\?")
+
+_TASK_MARKERS: tuple[tuple[str, Task], ...] = (
+    ("infer the value of", Task.DATA_IMPUTATION),
+    ("detect whether there is an error", Task.ERROR_DETECTION),
+    ("refer to the same attribute", Task.SCHEMA_MATCHING),
+    ("refer to the same entity", Task.ENTITY_MATCHING),
+)
+
+
+@dataclass(frozen=True)
+class ParsedQuestion:
+    """One question of the batch, in structured form.
+
+    ``fields`` holds the record for ED/DI; ``left``/``right`` hold the two
+    sides for SM/EM.
+    """
+
+    number: int
+    raw: str
+    fields: dict[str, str | None] | None = None
+    left: dict[str, str | None] | None = None
+    right: dict[str, str | None] | None = None
+    #: ED/DI: the attribute this particular question asks about (few-shot
+    #: examples may target a different attribute than the batch does)
+    target: str | None = None
+
+
+@dataclass(frozen=True)
+class ParsedExample:
+    """One few-shot demonstration: a question and its gold answer line."""
+
+    question: ParsedQuestion
+    answer: str
+
+
+@dataclass
+class ParsedPrompt:
+    """Everything the solver needs, recovered from the transcript."""
+
+    task: Task
+    reasoning: bool
+    target_attribute: str | None
+    confirm_target: bool
+    type_hint: str | None
+    examples: list[ParsedExample] = field(default_factory=list)
+    questions: list[ParsedQuestion] = field(default_factory=list)
+
+
+def parse_prompt(request: CompletionRequest) -> ParsedPrompt:
+    """Parse a framework-built chat transcript.
+
+    Raises :class:`LLMError` for prompts the simulated model cannot make
+    sense of (no task instruction, no questions) — the moral equivalent of
+    a model answering garbage to a garbage prompt, made loud.
+    """
+    system_texts = [m.content for m in request.messages if m.role == "system"]
+    if not system_texts:
+        raise LLMError("prompt has no system message")
+    system = "\n".join(system_texts)
+
+    task = _detect_task(system)
+    reasoning = "in two lines" in system
+    confirm_target = "confirm the target attribute" in system
+    target = _detect_target(system, task)
+    type_hint = _detect_type_hint(system, target)
+
+    examples = _parse_examples(request, task)
+    questions = _parse_final_questions(request, task)
+    if not questions:
+        raise LLMError("prompt contains no questions to answer")
+    return ParsedPrompt(
+        task=task,
+        reasoning=reasoning,
+        target_attribute=target,
+        confirm_target=confirm_target,
+        type_hint=type_hint,
+        examples=examples,
+        questions=questions,
+    )
+
+
+def _detect_task(system: str) -> Task:
+    for marker, task in _TASK_MARKERS:
+        if marker in system:
+            return task
+    raise LLMError(f"cannot identify the task from: {system[:160]!r}")
+
+
+def _detect_target(system: str, task: Task) -> str | None:
+    if task not in (Task.ERROR_DETECTION, Task.DATA_IMPUTATION):
+        return None
+    match = _TARGET_RE.search(system)
+    if match is None:
+        raise LLMError("ED/DI prompt does not name a target attribute")
+    return match.group(1)
+
+
+def _detect_type_hint(system: str, target: str | None) -> str | None:
+    if target is None:
+        return None
+    for line in system.splitlines():
+        if line.startswith(f'The "{target}" attribute can be'):
+            return line.strip()
+    return None
+
+
+def _parse_question_line(raw: str, number: int, task: Task) -> ParsedQuestion:
+    if task in (Task.ERROR_DETECTION, Task.DATA_IMPUTATION):
+        pattern = (
+            _QUESTION_ED_TARGET_RE
+            if task is Task.ERROR_DETECTION
+            else _QUESTION_DI_TARGET_RE
+        )
+        match = pattern.search(raw)
+        return ParsedQuestion(
+            number=number,
+            raw=raw,
+            fields=parse_serialized_record(raw),
+            target=match.group(1).strip() if match else None,
+        )
+    left, right = parse_record_pair(raw)
+    return ParsedQuestion(number=number, raw=raw, left=left, right=right)
+
+
+def _questions_in(text: str, task: Task) -> list[ParsedQuestion]:
+    questions = []
+    for line in text.splitlines():
+        match = _QUESTION_RE.match(line)
+        if match:
+            questions.append(
+                _parse_question_line(
+                    match.group(2), int(match.group(1)), task
+                )
+            )
+    return questions
+
+
+def _answers_in(text: str) -> dict[int, str]:
+    """Map answer number -> final answer line (two-line blocks collapse to
+    their last line, matching the contract)."""
+    answers: dict[int, str] = {}
+    lines = text.splitlines()
+    current: int | None = None
+    buffer: list[str] = []
+    for line in lines:
+        match = _ANSWER_RE.match(line)
+        if match:
+            if current is not None and buffer:
+                answers[current] = buffer[-1]
+            current = int(match.group(1))
+            buffer = [match.group(2).strip()] if match.group(2).strip() else []
+        elif line.strip():
+            buffer.append(line.strip())
+    if current is not None and buffer:
+        answers[current] = buffer[-1]
+    return answers
+
+
+def _parse_examples(
+    request: CompletionRequest, task: Task
+) -> list[ParsedExample]:
+    """Pair up user questions with the following assistant answers."""
+    examples: list[ParsedExample] = []
+    messages = list(request.messages)
+    for i, message in enumerate(messages[:-1]):
+        if message.role != "user" or messages[i + 1].role != "assistant":
+            continue
+        questions = {
+            q.number: q for q in _questions_in(message.content, task)
+        }
+        answers = _answers_in(messages[i + 1].content)
+        for number, question in sorted(questions.items()):
+            if number in answers:
+                examples.append(
+                    ParsedExample(question=question, answer=answers[number])
+                )
+    return examples
+
+
+def _parse_final_questions(
+    request: CompletionRequest, task: Task
+) -> list[ParsedQuestion]:
+    """The questions of the last user message (the batch to answer)."""
+    for message in reversed(request.messages):
+        if message.role == "user":
+            return _questions_in(message.content, task)
+    return []

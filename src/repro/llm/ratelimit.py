@@ -1,0 +1,120 @@
+"""Rate limiting and retry with exponential backoff.
+
+Commercial LLM APIs throttle by requests- and tokens-per-minute; robust
+preprocessing pipelines wrap every call in backoff-and-retry.  Both pieces
+run on a *simulated clock* so tests and experiments never sleep: the clock
+advances by the modeled latency of each request plus any imposed waits,
+and the total simulated time feeds the experiment's hours column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LLMError, RateLimitError
+from repro.llm.accounting import request_prompt_tokens
+from repro.llm.base import CompletionRequest, CompletionResponse, LLMClient
+
+
+class SimulatedClock:
+    """A monotonically advancing virtual clock (seconds)."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+
+
+@dataclass
+class RateLimit:
+    """A requests-per-minute plus tokens-per-minute budget."""
+
+    requests_per_minute: int
+    tokens_per_minute: int
+
+    def __post_init__(self) -> None:
+        if self.requests_per_minute <= 0 or self.tokens_per_minute <= 0:
+            raise ValueError("rate limits must be positive")
+
+
+class RateLimiter:
+    """Sliding one-minute window over a simulated clock."""
+
+    def __init__(self, limit: RateLimit, clock: SimulatedClock):
+        self._limit = limit
+        self._clock = clock
+        self._events: list[tuple[float, int]] = []  # (time, tokens)
+
+    def _prune(self) -> None:
+        cutoff = self._clock.now - 60.0
+        self._events = [(t, n) for t, n in self._events if t > cutoff]
+
+    def check(self, tokens: int) -> None:
+        """Record an attempt; raise :class:`RateLimitError` if over budget."""
+        self._prune()
+        n_requests = len(self._events)
+        n_tokens = sum(n for __, n in self._events)
+        if (
+            n_requests + 1 > self._limit.requests_per_minute
+            or n_tokens + tokens > self._limit.tokens_per_minute
+        ):
+            oldest = self._events[0][0] if self._events else self._clock.now
+            retry_after = max(0.001, oldest + 60.0 - self._clock.now)
+            raise RateLimitError(retry_after)
+        self._events.append((self._clock.now, tokens))
+
+
+class RetryingClient:
+    """Backoff-and-retry wrapper enforcing a rate limit on a virtual clock.
+
+    The modeled latency of every successful request, and every backoff
+    wait, advances the shared clock — so ``clock.now`` after a run is the
+    wall-clock a real deployment would have spent.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        limit: RateLimit,
+        clock: SimulatedClock | None = None,
+        max_retries: int = 6,
+        base_backoff_s: float = 1.0,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self._inner = inner
+        self._clock = clock or SimulatedClock()
+        self._limiter = RateLimiter(limit, self._clock)
+        self._max_retries = max_retries
+        self._base_backoff_s = base_backoff_s
+        self.n_rate_limit_hits = 0
+
+    @property
+    def clock(self) -> SimulatedClock:
+        return self._clock
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        tokens = request_prompt_tokens(request)
+        backoff = self._base_backoff_s
+        for attempt in range(self._max_retries + 1):
+            try:
+                self._limiter.check(tokens)
+            except RateLimitError as exc:
+                self.n_rate_limit_hits += 1
+                if attempt == self._max_retries:
+                    raise
+                # Wait out the window (plus exponential backoff), then retry.
+                self._clock.advance(max(exc.retry_after, backoff))
+                backoff *= 2.0
+                continue
+            response = self._inner.complete(request)
+            self._clock.advance(response.latency_s)
+            return response
+        raise LLMError("retry loop exited without a response")  # pragma: no cover

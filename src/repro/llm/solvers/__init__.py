@@ -1,0 +1,29 @@
+"""Per-task competence models of the simulated LLM.
+
+Each solver reads only what the prompt contains (parsed questions and
+few-shot examples) plus the model's coverage-gated
+:class:`~repro.llm.knowledge.KnowledgeBase`.  Prompt components change the
+*computation*:
+
+- few-shot examples fit decision thresholds/attribute weights;
+- the reasoning contract enables the careful multi-evidence path;
+- batching introduces cross-answer interference.
+
+This is what makes the paper's ablations (Table 2) emerge from mechanism
+rather than from a lookup table.
+"""
+
+from repro.llm.solvers.common import SolvedAnswer, ThresholdFit
+from repro.llm.solvers.ed import EDSolver
+from repro.llm.solvers.di import DISolver
+from repro.llm.solvers.sm import SMSolver
+from repro.llm.solvers.em import EMSolver
+
+__all__ = [
+    "SolvedAnswer",
+    "ThresholdFit",
+    "EDSolver",
+    "DISolver",
+    "SMSolver",
+    "EMSolver",
+]

@@ -1,0 +1,109 @@
+"""k-means clustering with k-means++ initialization.
+
+Used by cluster batching (paper Section 3.5): data instances are clustered
+over their embeddings, then batches are drawn within each cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Deterministic for a fixed ``seed``.  Empty clusters are re-seeded to the
+    point farthest from its current centroid, so ``fit`` always produces
+    exactly ``k`` non-degenerate clusters when there are at least ``k``
+    distinct points.
+    """
+
+    def __init__(self, k: int, n_iter: int = 50, seed: int = 0):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if n_iter <= 0:
+            raise ValueError("n_iter must be positive")
+        self.k = k
+        self.n_iter = n_iter
+        self.seed = seed
+        self.centroids_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = float("inf")
+
+    def _init_centroids(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids apart."""
+        n = X.shape[0]
+        centroids = np.empty((self.k, X.shape[1]), dtype=np.float64)
+        first = int(rng.integers(n))
+        centroids[0] = X[first]
+        closest_sq = ((X - centroids[0]) ** 2).sum(axis=1)
+        for i in range(1, self.k):
+            total = closest_sq.sum()
+            if total <= 0.0:
+                # All remaining points coincide with a centroid; pick any.
+                centroids[i] = X[int(rng.integers(n))]
+                continue
+            probs = closest_sq / total
+            choice = int(rng.choice(n, p=probs))
+            centroids[i] = X[choice]
+            dist_sq = ((X - centroids[i]) ** 2).sum(axis=1)
+            closest_sq = np.minimum(closest_sq, dist_sq)
+        return centroids
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        """Cluster the rows of ``X``; stores ``labels_`` and ``centroids_``."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ReproError(f"X must be 2-D, got shape {X.shape}")
+        n = X.shape[0]
+        if n == 0:
+            raise ReproError("cannot cluster zero points")
+        if n < self.k:
+            # Degenerate but common in small tests: one point per cluster.
+            self.centroids_ = X.copy()
+            self.labels_ = np.arange(n)
+            self.inertia_ = 0.0
+            return self
+
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_centroids(X, rng)
+        labels = np.zeros(n, dtype=np.int64)
+        for __ in range(self.n_iter):
+            # Assignment step.
+            distances = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            new_labels = distances.argmin(axis=1)
+            if np.array_equal(new_labels, labels) and __ > 0:
+                break
+            labels = new_labels
+            # Update step, re-seeding empty clusters.
+            for c in range(self.k):
+                members = X[labels == c]
+                if len(members) == 0:
+                    farthest = int(distances.min(axis=1).argmax())
+                    centroids[c] = X[farthest]
+                else:
+                    centroids[c] = members.mean(axis=0)
+        distances = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        self.labels_ = distances.argmin(axis=1)
+        self.inertia_ = float(distances.min(axis=1).sum())
+        self.centroids_ = centroids
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign each row of ``X`` to its nearest learned centroid."""
+        if self.centroids_ is None:
+            raise ReproError("predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        distances = ((X[:, None, :] - self.centroids_[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1)
+
+    def clusters(self) -> list[list[int]]:
+        """Indices of the fitted points grouped by cluster label."""
+        if self.labels_ is None:
+            raise ReproError("clusters() called before fit")
+        groups: list[list[int]] = [[] for __ in range(int(self.labels_.max()) + 1)]
+        for index, label in enumerate(self.labels_):
+            groups[int(label)].append(index)
+        return [g for g in groups if g]

@@ -1,0 +1,115 @@
+"""k-nearest-neighbour classifier and imputer.
+
+The IMP-style imputation baseline retrieves similar records and votes on
+the missing value; both pieces live here, parameterized by any vector
+representation the caller chooses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _validate(X: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ReproError(f"X must be 2-D, got shape {X.shape}")
+    return X
+
+
+class KNNClassifier:
+    """Majority-vote k-NN with optional cosine or euclidean metric."""
+
+    def __init__(self, k: int = 5, metric: str = "cosine"):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if metric not in ("cosine", "euclidean"):
+            raise ValueError("metric must be 'cosine' or 'euclidean'")
+        self.k = k
+        self.metric = metric
+        self._X: np.ndarray | None = None
+        self._y: list[Hashable] = []
+
+    def fit(self, X: np.ndarray, y: Sequence[Hashable]) -> "KNNClassifier":
+        X = _validate(X)
+        if len(y) != X.shape[0]:
+            raise ReproError(
+                f"{len(y)} labels for {X.shape[0]} rows"
+            )
+        if X.shape[0] == 0:
+            raise ReproError("cannot fit k-NN on zero rows")
+        self._X = X
+        self._y = list(y)
+        return self
+
+    def _neighbor_indices(self, x: np.ndarray) -> list[int]:
+        assert self._X is not None
+        if self.metric == "cosine":
+            norms = np.linalg.norm(self._X, axis=1) * (np.linalg.norm(x) or 1.0)
+            norms[norms == 0.0] = 1.0
+            scores = (self._X @ x) / norms
+            order = np.argsort(-scores)
+        else:
+            dists = ((self._X - x) ** 2).sum(axis=1)
+            order = np.argsort(dists)
+        return order[: min(self.k, len(self._y))].tolist()
+
+    def predict_one(self, x: np.ndarray) -> Hashable:
+        """Label of the majority among the k nearest training rows."""
+        if self._X is None:
+            raise ReproError("predict called before fit")
+        votes = Counter(self._y[i] for i in self._neighbor_indices(np.asarray(x)))
+        return votes.most_common(1)[0][0]
+
+    def predict(self, X: np.ndarray) -> list[Hashable]:
+        X = _validate(X)
+        return [self.predict_one(row) for row in X]
+
+
+class KNNImputer:
+    """Impute a categorical/text value from the nearest complete records.
+
+    ``fit`` takes vectors for records whose target value is known plus those
+    values; ``impute`` votes among neighbours, weighting by similarity so a
+    single very-close record can outvote several distant ones.
+    """
+
+    def __init__(self, k: int = 5):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._X: np.ndarray | None = None
+        self._values: list[str] = []
+
+    def fit(self, X: np.ndarray, values: Sequence[str]) -> "KNNImputer":
+        X = _validate(X)
+        if len(values) != X.shape[0]:
+            raise ReproError(f"{len(values)} values for {X.shape[0]} rows")
+        if X.shape[0] == 0:
+            raise ReproError("cannot fit imputer on zero rows")
+        self._X = X
+        self._values = list(values)
+        return self
+
+    def impute_one(self, x: np.ndarray) -> str:
+        """Similarity-weighted vote for the missing value."""
+        if self._X is None:
+            raise ReproError("impute called before fit")
+        x = np.asarray(x, dtype=np.float64)
+        norms = np.linalg.norm(self._X, axis=1) * (np.linalg.norm(x) or 1.0)
+        norms[norms == 0.0] = 1.0
+        scores = (self._X @ x) / norms
+        order = np.argsort(-scores)[: min(self.k, len(self._values))]
+        weights: Counter[str] = Counter()
+        for i in order:
+            weights[self._values[int(i)]] += max(float(scores[int(i)]), 1e-6)
+        return weights.most_common(1)[0][0]
+
+    def impute(self, X: np.ndarray) -> list[str]:
+        X = _validate(X)
+        return [self.impute_one(row) for row in X]

@@ -1,0 +1,86 @@
+"""Multinomial naive Bayes over term counts.
+
+A light classifier for text columns; the HoloDetect-style error detector
+uses it to decide whether a cell's character n-grams look like the clean
+population of its column.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Hashable, Iterable, Sequence
+
+from repro.errors import ReproError
+
+
+class MultinomialNB:
+    """Multinomial naive Bayes with Laplace smoothing over string terms.
+
+    Operates directly on term lists (no vectorizer needed), which keeps the
+    call sites simple for small vocabularies.
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self._class_counts: Counter[Hashable] = Counter()
+        self._term_counts: dict[Hashable, Counter[str]] = {}
+        self._class_totals: dict[Hashable, int] = {}
+        self._vocabulary: set[str] = set()
+        self._n_docs = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._n_docs > 0
+
+    @property
+    def classes(self) -> list[Hashable]:
+        return sorted(self._class_counts, key=str)
+
+    def fit(
+        self, documents: Sequence[Iterable[str]], labels: Sequence[Hashable]
+    ) -> "MultinomialNB":
+        if len(documents) != len(labels):
+            raise ReproError(
+                f"{len(documents)} documents but {len(labels)} labels"
+            )
+        if not documents:
+            raise ReproError("cannot fit naive Bayes on zero documents")
+        self._class_counts = Counter(labels)
+        self._term_counts = defaultdict(Counter)
+        for terms, label in zip(documents, labels):
+            self._term_counts[label].update(terms)
+        self._term_counts = dict(self._term_counts)
+        self._vocabulary = {
+            t for counts in self._term_counts.values() for t in counts
+        }
+        self._class_totals = {
+            label: sum(counts.values())
+            for label, counts in self._term_counts.items()
+        }
+        self._n_docs = len(documents)
+        return self
+
+    def log_likelihood(self, terms: Iterable[str], label: Hashable) -> float:
+        """log P(terms, label) under the fitted model."""
+        if not self.is_fitted:
+            raise ReproError("log_likelihood called before fit")
+        if label not in self._class_counts:
+            raise ReproError(f"unknown class {label!r}")
+        vocab_size = max(len(self._vocabulary), 1)
+        counts = self._term_counts.get(label, Counter())
+        total = self._class_totals.get(label, 0)
+        log_prob = math.log(self._class_counts[label] / self._n_docs)
+        denominator = total + self.alpha * vocab_size
+        for term in terms:
+            log_prob += math.log((counts.get(term, 0) + self.alpha) / denominator)
+        return log_prob
+
+    def predict_one(self, terms: Iterable[str]) -> Hashable:
+        terms = list(terms)
+        return max(self.classes, key=lambda c: self.log_likelihood(terms, c))
+
+    def predict(self, documents: Sequence[Iterable[str]]) -> list[Hashable]:
+        return [self.predict_one(doc) for doc in documents]

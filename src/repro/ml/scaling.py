@@ -1,0 +1,41 @@
+"""Feature scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling; constant columns pass through.
+
+    Logistic regression with gradient descent is sensitive to feature scale,
+    so the baselines standardize before fitting.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ReproError(f"X must be 2-D, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # (Near-)constant columns: dividing by an std of ~1e-17 only
+        # amplifies float rounding noise, so treat them as constant.
+        floor = 1e-9 * np.maximum(np.abs(self.mean_), 1.0)
+        std[std <= floor] = 1.0
+        self.std_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise ReproError("transform called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.std_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

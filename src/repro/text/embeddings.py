@@ -1,0 +1,111 @@
+"""Hashing-trick text embeddings: the offline Sentence-BERT substitute.
+
+The paper's cluster batching (Section 3.5) clusters data instances with
+k-means over Sentence-BERT embeddings.  Offline we replace the transformer
+with a feature-hashing embedder over character n-grams and words: texts with
+shared surface vocabulary land near each other in cosine space, which is the
+property cluster batching needs (homogeneous batches of similar instances).
+
+The substitution is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+from repro.text.normalize import normalize_text
+from repro.text.similarity import ngrams
+
+
+def _stable_hash(term: str) -> int:
+    """A hash that is stable across processes (unlike built-in ``hash``)."""
+    digest = hashlib.blake2b(term.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashingEmbedder:
+    """Embed texts into a fixed-dimensional space via feature hashing.
+
+    Each word and character trigram of the normalized text is hashed to a
+    coordinate; a second hash bit decides the sign (the classic hashing
+    trick, which keeps inner products unbiased).  Rows are L2-normalized so
+    cosine similarity equals the dot product.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (default 256 — plenty for clustering).
+    ngram:
+        Character n-gram size mixed in alongside words (0 disables n-grams).
+    """
+
+    def __init__(self, dim: int = 256, ngram: int = 3):
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if ngram < 0:
+            raise ValueError("ngram must be >= 0")
+        self.dim = dim
+        self.ngram = ngram
+
+    def _terms(self, text: str) -> list[str]:
+        normalized = normalize_text(text)
+        terms = normalized.split()
+        if self.ngram:
+            terms.extend(ngrams(normalized, self.ngram))
+        return terms
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one text; the zero vector for empty/blank input."""
+        vector = np.zeros(self.dim, dtype=np.float64)
+        for term in self._terms(text):
+            h = _stable_hash(term)
+            index = h % self.dim
+            sign = 1.0 if (h >> 32) & 1 else -1.0
+            vector[index] += sign
+        norm = np.linalg.norm(vector)
+        if norm > 0.0:
+            vector /= norm
+        return vector
+
+    def embed_all(self, texts: Iterable[str]) -> np.ndarray:
+        """Embed many texts into a (n, dim) matrix."""
+        rows = [self.embed(t) for t in texts]
+        if not rows:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.vstack(rows)
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity of two texts under this embedder."""
+        return float(np.dot(self.embed(a), self.embed(b)))
+
+
+def nearest_neighbors(
+    query: np.ndarray, matrix: np.ndarray, k: int = 5
+) -> list[int]:
+    """Indices of the ``k`` rows of ``matrix`` most cosine-similar to ``query``.
+
+    Rows are assumed L2-normalized (as produced by :class:`HashingEmbedder`).
+    """
+    if matrix.shape[0] == 0:
+        return []
+    scores = matrix @ query
+    k = min(k, matrix.shape[0])
+    top = np.argpartition(-scores, k - 1)[:k]
+    return sorted(top.tolist(), key=lambda i: -float(scores[i]))
+
+
+def average_pairwise_similarity(matrix: np.ndarray) -> float:
+    """Mean cosine similarity over all unordered row pairs.
+
+    Used to verify that cluster batching produces more homogeneous batches
+    than random batching.  Returns 1.0 for fewer than two rows.
+    """
+    n = matrix.shape[0]
+    if n < 2:
+        return 1.0
+    gram = matrix @ matrix.T
+    total = (gram.sum() - np.trace(gram)) / 2.0
+    return float(total / (n * (n - 1) / 2.0))

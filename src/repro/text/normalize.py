@@ -1,0 +1,110 @@
+"""Text normalization used throughout the matching and cleaning stacks."""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_PUNCT_RE = re.compile(r"[^\w\s]")
+_NON_ALNUM_RE = re.compile(r"[^a-z0-9\s]")
+
+
+def strip_accents(text: str) -> str:
+    """Remove diacritics: ``café`` -> ``cafe``."""
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def normalize_text(text: str, keep_punct: bool = False) -> str:
+    """Lowercase, strip accents, collapse whitespace; optionally drop punctuation.
+
+    This is the canonical normalization applied before any string-similarity
+    computation so that superficial differences (case, spacing, accents) do
+    not masquerade as semantic differences.
+    """
+    text = strip_accents(text).lower()
+    if not keep_punct:
+        text = _NON_ALNUM_RE.sub(" ", text)
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def normalize_token(token: str) -> str:
+    """Normalize a single token: lowercase, accent-free, punctuation-free."""
+    return _PUNCT_RE.sub("", strip_accents(token).lower())
+
+
+_ABBREVIATIONS = {
+    "st": "street",
+    "st.": "street",
+    "ave": "avenue",
+    "ave.": "avenue",
+    "blvd": "boulevard",
+    "blvd.": "boulevard",
+    "rd": "road",
+    "rd.": "road",
+    "dr": "drive",
+    "dr.": "drive",
+    "hwy": "highway",
+    "ln": "lane",
+    "pkwy": "parkway",
+    "e": "east",
+    "e.": "east",
+    "w": "west",
+    "w.": "west",
+    "n": "north",
+    "n.": "north",
+    "s": "south",
+    "s.": "south",
+    "inc": "incorporated",
+    "inc.": "incorporated",
+    "corp": "corporation",
+    "corp.": "corporation",
+    "co": "company",
+    "co.": "company",
+    "intl": "international",
+    "dept": "department",
+    "univ": "university",
+}
+
+
+def expand_abbreviations(text: str) -> str:
+    """Expand common address/company abbreviations token-by-token.
+
+    Used by entity matching to align e.g. ``powers ferry rd.`` with
+    ``powers ferry road``.
+    """
+    out = []
+    for token in text.split():
+        out.append(_ABBREVIATIONS.get(token.lower(), token))
+    return " ".join(out)
+
+
+_NUMBER_RE = re.compile(r"\d+(?:\.\d+)?")
+
+
+def extract_numbers(text: str) -> list[float]:
+    """All numbers mentioned in ``text``, in order of appearance."""
+    return [float(m) for m in _NUMBER_RE.findall(text)]
+
+
+_YEAR_RE = re.compile(r"\b(19\d{2}|20\d{2})\b")
+
+
+def extract_years(text: str) -> list[int]:
+    """Four-digit years (1900-2099) mentioned in ``text``."""
+    return [int(m) for m in _YEAR_RE.findall(text)]
+
+
+_PHONE_RE = re.compile(r"(\d{3})[\s\-./()]*(\d{3})[\s\-./()]*(\d{4})")
+
+
+def extract_phone(text: str) -> str | None:
+    """Canonicalize the first US-style phone number found, or ``None``.
+
+    Returns ``AAA-BBB-CCCC`` so that formatting variants compare equal.
+    """
+    match = _PHONE_RE.search(text)
+    if match is None:
+        return None
+    return "-".join(match.groups())

@@ -1,0 +1,189 @@
+"""String similarity measures.
+
+These are the classical measures that traditional data-preprocessing systems
+(Magellan-style entity matching, similarity-matrix schema matching) are
+built from, implemented from scratch on the stdlib.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.text.normalize import normalize_text
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Edit distance with unit insert/delete/substitute costs.
+
+    Uses the two-row dynamic program: O(len(a) * len(b)) time, O(len(b)) space.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance scaled into [0, 1]; 1.0 means identical."""
+    if not a and not b:
+        return 1.0
+    denom = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / denom
+
+
+def _jaro(a: str, b: str) -> float:
+    if a == b:
+        return 1.0
+    la, lb = len(a), len(b)
+    if la == 0 or lb == 0:
+        return 0.0
+    window = max(la, lb) // 2 - 1
+    window = max(window, 0)
+    a_flags = [False] * la
+    b_flags = [False] * lb
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(lb, i + window + 1)
+        for j in range(lo, hi):
+            if not b_flags[j] and b[j] == ca:
+                a_flags[i] = b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    # Count transpositions among matched characters.
+    transpositions = 0
+    j = 0
+    for i in range(la):
+        if a_flags[i]:
+            while not b_flags[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / la + matches / lb + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity: Jaro with a bonus for a shared prefix.
+
+    ``prefix_scale`` is capped at 0.25 so the result stays within [0, 1].
+    """
+    if prefix_scale > 0.25:
+        raise ValueError("prefix_scale must be <= 0.25 to keep results in [0,1]")
+    jaro = _jaro(a, b)
+    prefix = 0
+    for ca, cb in zip(a[:4], b[:4]):
+        if ca != cb:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard similarity of two token collections."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    union = sa | sb
+    if not union:
+        return 1.0
+    return len(sa & sb) / len(union)
+
+
+def overlap_coefficient(a: Iterable[str], b: Iterable[str]) -> float:
+    """Szymkiewicz-Simpson overlap: |A ∩ B| / min(|A|, |B|)."""
+    sa, sb = set(a), set(b)
+    if not sa or not sb:
+        return 1.0 if not sa and not sb else 0.0
+    return len(sa & sb) / min(len(sa), len(sb))
+
+
+def cosine_similarity(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cosine of the angle between two dense vectors; 0.0 for a zero vector."""
+    dot = sum(x * y for x, y in zip(a, b))
+    na = math.sqrt(sum(x * x for x in a))
+    nb = math.sqrt(sum(y * y for y in b))
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return dot / (na * nb)
+
+
+def cosine_token_similarity(a: Iterable[str], b: Iterable[str]) -> float:
+    """Cosine similarity of token multisets (bag-of-words, raw counts)."""
+    ca, cb = Counter(a), Counter(b)
+    if not ca or not cb:
+        return 1.0 if not ca and not cb else 0.0
+    dot = sum(count * cb.get(token, 0) for token, count in ca.items())
+    na = math.sqrt(sum(c * c for c in ca.values()))
+    nb = math.sqrt(sum(c * c for c in cb.values()))
+    return dot / (na * nb)
+
+
+def monge_elkan(
+    a_tokens: Sequence[str],
+    b_tokens: Sequence[str],
+    inner=jaro_winkler,
+) -> float:
+    """Monge-Elkan: average best inner-similarity of each left token.
+
+    A hybrid measure that tolerates token reordering and small typos at the
+    same time — the workhorse of classical entity matching.
+    """
+    if not a_tokens:
+        return 1.0 if not b_tokens else 0.0
+    if not b_tokens:
+        return 0.0
+    total = 0.0
+    for ta in a_tokens:
+        total += max(inner(ta, tb) for tb in b_tokens)
+    return total / len(a_tokens)
+
+
+def token_set_ratio(a: str, b: str) -> float:
+    """Normalized token-set similarity of two raw strings.
+
+    Normalizes both strings, then combines Jaccard on token sets with
+    Monge-Elkan to tolerate typos.  Returns a value in [0, 1].
+    """
+    ta = normalize_text(a).split()
+    tb = normalize_text(b).split()
+    if not ta and not tb:
+        return 1.0
+    return 0.5 * jaccard(ta, tb) + 0.5 * monge_elkan(ta, tb)
+
+
+def ngrams(text: str, n: int = 3) -> list[str]:
+    """Character n-grams of ``text`` with boundary padding."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not text:
+        return []
+    padded = f"{'#' * (n - 1)}{text}{'#' * (n - 1)}" if n > 1 else text
+    if len(padded) < n:
+        return [padded]
+    return [padded[i : i + n] for i in range(len(padded) - n + 1)]

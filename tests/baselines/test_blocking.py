@@ -1,0 +1,74 @@
+"""Tests for repro.baselines.blocking."""
+
+import pytest
+
+from repro.baselines.blocking import Blocker, BlockingResult
+from repro.data.records import Table
+from repro.data.schema import Schema
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def tables():
+    schema = Schema.from_names("r", ["name", "city"])
+    left = Table.from_rows(schema, [
+        {"name": "golden dragon", "city": "boston"},
+        {"name": "blue plate", "city": "austin"},
+        {"name": "harbor view", "city": "miami"},
+    ])
+    right = Table.from_rows(schema, [
+        {"name": "golden dragon restaurant", "city": "boston"},
+        {"name": "the harbor view", "city": "miami"},
+        {"name": "unrelated place", "city": "denver"},
+    ])
+    return left, right
+
+
+class TestBlocker:
+    def test_token_blocking_finds_matches(self, tables):
+        left, right = tables
+        result = Blocker("name", method="token").block(left, right)
+        assert (0, 0) in result.pairs  # golden dragon
+        assert (2, 1) in result.pairs  # harbor view
+
+    def test_equality_blocking_strict(self, tables):
+        left, right = tables
+        result = Blocker("city", method="equality").block(left, right)
+        assert (0, 0) in result.pairs
+        assert (1, 2) not in result.pairs  # austin vs denver
+
+    def test_soundex_blocking(self, tables):
+        left, right = tables
+        result = Blocker("name", method="soundex").block(left, right)
+        assert (0, 0) in result.pairs  # golden ~ golden
+
+    def test_reduction_ratio(self, tables):
+        left, right = tables
+        result = Blocker("name", method="equality").block(left, right)
+        assert 0.0 <= result.reduction_ratio <= 1.0
+        # Equality on full names matches nothing here: full reduction.
+        assert result.reduction_ratio == 1.0
+
+    def test_pair_completeness(self, tables):
+        left, right = tables
+        result = Blocker("name", method="token").block(left, right)
+        assert result.pair_completeness([(0, 0), (2, 1)]) == 1.0
+        assert result.pair_completeness([(1, 2)]) == 0.0
+        assert result.pair_completeness([]) == 1.0
+
+    def test_missing_values_produce_no_keys(self, tables):
+        left, right = tables
+        schema = left.schema
+        from repro.data.records import Record
+
+        left.append(Record(schema=schema, values={}, record_id="empty"))
+        result = Blocker("name", method="token").block(left, right)
+        assert all(i != 3 for i, __ in result.pairs)
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigError):
+            Blocker("name", method="magic")
+
+    def test_empty_result_properties(self):
+        result = BlockingResult(pairs=(), n_left=0, n_right=0)
+        assert result.reduction_ratio == 0.0

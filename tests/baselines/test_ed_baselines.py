@@ -1,0 +1,86 @@
+"""Tests for the error-detection baselines (HoloClean / HoloDetect)."""
+
+import pytest
+
+from repro.baselines import HoloCleanDetector, HoloDetectDetector
+from repro.datasets import load_dataset
+from repro.errors import EvaluationError
+from repro.eval.metrics import f1_score
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return load_dataset("adult", size=300, seed=2)
+
+
+@pytest.fixture(scope="module")
+def adult_train():
+    return load_dataset("adult", size=300, seed=77)
+
+
+class TestHoloClean:
+    def test_fit_predict_shapes(self, adult):
+        model = HoloCleanDetector().fit(adult.instances)
+        predictions = model.predict(adult.instances)
+        assert len(predictions) == len(adult.instances)
+        assert all(isinstance(p, bool) for p in predictions)
+
+    def test_better_than_chance_worse_than_ml(self, adult, adult_train):
+        labels = [i.label for i in adult.instances]
+        hc = HoloCleanDetector().fit(adult.instances)
+        hc_f1 = f1_score(hc.predict(adult.instances), labels)
+        hd = HoloDetectDetector().fit(
+            adult.instances,
+            list(adult_train.fewshot_pool) + list(adult_train.instances[:48]),
+        )
+        hd_f1 = f1_score(hd.predict(adult.instances), labels)
+        assert hc_f1 > 0.15           # catches constraint violations
+        assert hd_f1 > hc_f1          # the paper's ordering
+
+    def test_perfect_precision_on_fd_violations(self, adult):
+        # HoloClean only flags real violations of mined structure, so its
+        # false positives should be rare on this benchmark.
+        labels = [i.label for i in adult.instances]
+        model = HoloCleanDetector().fit(adult.instances)
+        predictions = model.predict(adult.instances)
+        fp = sum(1 for p, y in zip(predictions, labels) if p and not y)
+        tp = sum(1 for p, y in zip(predictions, labels) if p and y)
+        assert tp > 0
+        assert fp <= tp * 0.2
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            HoloCleanDetector().fit([])
+
+    def test_predict_before_fit(self, adult):
+        with pytest.raises(EvaluationError):
+            HoloCleanDetector().predict_one(adult.instances[0])
+
+
+class TestHoloDetect:
+    def test_needs_both_inputs(self, adult):
+        with pytest.raises(EvaluationError):
+            HoloDetectDetector().fit([], adult.fewshot_pool)
+        with pytest.raises(EvaluationError):
+            HoloDetectDetector().fit(adult.instances, [])
+
+    def test_single_class_labels_rejected(self, adult):
+        clean_only = [i for i in adult.instances if not i.label][:10]
+        with pytest.raises(EvaluationError):
+            HoloDetectDetector().fit(adult.instances, clean_only)
+
+    def test_hospital_typos_caught(self):
+        test = load_dataset("hospital", size=250, seed=2)
+        train = load_dataset("hospital", size=250, seed=78)
+        model = HoloDetectDetector().fit(
+            test.instances,
+            list(train.fewshot_pool) + list(train.instances[:48]),
+        )
+        labels = [i.label for i in test.instances]
+        assert f1_score(model.predict(test.instances), labels) > 0.5
+
+    def test_deterministic_per_seed(self, adult, adult_train):
+        labeled = list(adult_train.fewshot_pool) + list(adult_train.instances[:32])
+        a = HoloDetectDetector(seed=5).fit(adult.instances, labeled)
+        b = HoloDetectDetector(seed=5).fit(adult.instances, labeled)
+        assert a.predict(adult.instances[:50]) == b.predict(adult.instances[:50])

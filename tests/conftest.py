@@ -1,0 +1,77 @@
+"""Shared fixtures: small datasets and simulated clients.
+
+Dataset fixtures are session-scoped because generation is deterministic
+and read-only; tests must not mutate the returned instances (copy first).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.records import Record
+from repro.data.schema import AttrType, Schema
+from repro.datasets import load_dataset
+from repro.llm.simulated import SimulatedLLM
+
+
+@pytest.fixture(scope="session")
+def restaurant_dataset():
+    return load_dataset("restaurant", size=60)
+
+
+@pytest.fixture(scope="session")
+def buy_dataset():
+    return load_dataset("buy", size=60)
+
+
+@pytest.fixture(scope="session")
+def adult_dataset():
+    return load_dataset("adult", size=120)
+
+
+@pytest.fixture(scope="session")
+def hospital_dataset():
+    return load_dataset("hospital", size=120)
+
+
+@pytest.fixture(scope="session")
+def synthea_dataset():
+    return load_dataset("synthea", size=120)
+
+
+@pytest.fixture(scope="session")
+def beer_dataset():
+    return load_dataset("beer", size=80)
+
+
+@pytest.fixture(scope="session")
+def amazon_google_dataset():
+    return load_dataset("amazon_google", size=120)
+
+
+@pytest.fixture(scope="session")
+def gpt35():
+    return SimulatedLLM("gpt-3.5")
+
+
+@pytest.fixture(scope="session")
+def gpt4():
+    return SimulatedLLM("gpt-4")
+
+
+@pytest.fixture()
+def people_schema() -> Schema:
+    return Schema.from_names(
+        "people",
+        ["name", "age", "city"],
+        types={"age": AttrType.NUMERIC},
+    )
+
+
+@pytest.fixture()
+def alice(people_schema) -> Record:
+    return Record(
+        schema=people_schema,
+        values={"name": "alice", "age": 30, "city": "boston"},
+        record_id="r0",
+    )

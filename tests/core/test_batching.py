@@ -1,0 +1,57 @@
+"""Tests for repro.core.batching."""
+
+import pytest
+
+from repro.core.batching import batch_homogeneity, make_batches
+from repro.errors import ConfigError
+
+
+class TestRandomBatching:
+    def test_partition_complete_and_disjoint(self, amazon_google_dataset):
+        instances = list(amazon_google_dataset.instances)
+        batches = make_batches(instances, batch_size=7, mode="random")
+        flat = [i for batch in batches for i in batch]
+        assert sorted(flat) == list(range(len(instances)))
+
+    def test_batch_size_respected(self, amazon_google_dataset):
+        instances = list(amazon_google_dataset.instances)
+        batches = make_batches(instances, batch_size=7)
+        assert all(len(b) <= 7 for b in batches)
+
+    def test_deterministic_per_seed(self, amazon_google_dataset):
+        instances = list(amazon_google_dataset.instances)
+        a = make_batches(instances, 5, seed=3)
+        b = make_batches(instances, 5, seed=3)
+        assert a == b
+
+    def test_empty_input(self):
+        assert make_batches([], 5) == []
+
+    def test_validation(self, amazon_google_dataset):
+        instances = list(amazon_google_dataset.instances)
+        with pytest.raises(ConfigError):
+            make_batches(instances, 0)
+        with pytest.raises(ConfigError):
+            make_batches(instances, 5, mode="sorted")
+
+
+class TestClusterBatching:
+    def test_partition_complete(self, amazon_google_dataset):
+        instances = list(amazon_google_dataset.instances)
+        batches = make_batches(instances, batch_size=7, mode="cluster")
+        flat = sorted(i for batch in batches for i in batch)
+        assert flat == list(range(len(instances)))
+
+    def test_more_homogeneous_than_random(self, amazon_google_dataset):
+        """The property the paper's cluster batching relies on."""
+        instances = list(amazon_google_dataset.instances)
+        random_batches = make_batches(instances, 7, mode="random", seed=0)
+        cluster_batches = make_batches(instances, 7, mode="cluster", seed=0)
+        assert batch_homogeneity(instances, cluster_batches) > batch_homogeneity(
+            instances, random_batches
+        )
+
+    def test_small_input_falls_back(self, amazon_google_dataset):
+        instances = list(amazon_google_dataset.instances)[:4]
+        batches = make_batches(instances, batch_size=10, mode="cluster")
+        assert len(batches) == 1

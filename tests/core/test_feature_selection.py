@@ -1,0 +1,54 @@
+"""Tests for repro.core.feature_selection."""
+
+import pytest
+
+from repro.core.feature_selection import FeatureSelection, select_features
+from repro.errors import ConfigError
+
+
+class TestFeatureSelection:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FeatureSelection(keep=())
+        with pytest.raises(ConfigError):
+            FeatureSelection(keep=("a", "a"))
+
+    def test_em_projection(self, beer_dataset):
+        selection = FeatureSelection(keep=("beer_name", "abv"))
+        inst = beer_dataset.instances[0]
+        projected = select_features(inst, selection)
+        assert projected.pair.left.schema.attribute_names == ("beer_name", "abv")
+        assert projected.pair.right.schema.attribute_names == ("beer_name", "abv")
+        assert projected.label == inst.label
+        # Original untouched.
+        assert "description" in inst.pair.left.schema
+
+    def test_di_target_always_kept(self, restaurant_dataset):
+        selection = FeatureSelection(keep=("phone",))
+        inst = restaurant_dataset.instances[0]
+        projected = select_features(inst, selection)
+        assert "city" in projected.record.schema
+        assert projected.record["city"] is None
+
+    def test_ed_labels_preserved(self, adult_dataset):
+        selection = FeatureSelection(keep=("age", "education", "educationnum"))
+        inst = adult_dataset.instances[0]
+        projected = select_features(inst, selection)
+        assert projected.label == inst.label
+        assert projected.target_attribute == inst.target_attribute
+
+    def test_sm_passthrough(self, synthea_dataset):
+        selection = FeatureSelection(keep=("name",))
+        inst = synthea_dataset.instances[0]
+        assert select_features(inst, selection) is inst
+
+    def test_unknown_attribute_rejected(self, beer_dataset):
+        selection = FeatureSelection(keep=("nope",))
+        with pytest.raises(ConfigError):
+            select_features(beer_dataset.instances[0], selection)
+
+    def test_schema_order_preserved(self, beer_dataset):
+        selection = FeatureSelection(keep=("abv", "beer_name"))
+        projected = select_features(beer_dataset.instances[0], selection)
+        # Projection follows schema order, not selection order.
+        assert projected.pair.left.schema.attribute_names == ("beer_name", "abv")

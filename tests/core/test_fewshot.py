@@ -1,0 +1,53 @@
+"""Tests for repro.core.fewshot."""
+
+import pytest
+
+from repro.core.fewshot import example_answer, example_reason, render_examples
+from repro.errors import PromptError
+
+
+class TestExampleAnswer:
+    def test_di_answer_is_true_value(self, restaurant_dataset):
+        inst = restaurant_dataset.fewshot_pool[0]
+        assert example_answer(inst) == inst.true_value
+
+    def test_binary_answers(self, beer_dataset):
+        for inst in beer_dataset.fewshot_pool:
+            assert example_answer(inst) == ("yes" if inst.label else "no")
+
+
+class TestExampleReason:
+    def test_di_reason_mentions_value(self, restaurant_dataset):
+        inst = restaurant_dataset.fewshot_pool[0]
+        reason = example_reason(inst)
+        assert inst.true_value in reason
+
+    def test_ed_reason_confirms_target(self, adult_dataset):
+        inst = adult_dataset.fewshot_pool[0]
+        assert inst.target_attribute in example_reason(inst)
+
+    def test_sm_reason_mentions_names(self, synthea_dataset):
+        inst = synthea_dataset.fewshot_pool[0]
+        reason = example_reason(inst)
+        assert inst.pair.left.name in reason
+
+
+class TestRenderExamples:
+    def test_reasoning_two_lines(self, restaurant_dataset):
+        examples = restaurant_dataset.sample_fewshot(2)
+        user, assistant = render_examples(examples, reasoning=True)
+        assert user.count("Question") == 2
+        assert assistant.count("Answer") == 2
+        # Each answer block spans two lines: marker+reason, then value.
+        first_block = assistant.split("Answer 2:")[0].strip()
+        assert len(first_block.splitlines()) == 2
+
+    def test_no_reasoning_single_lines(self, restaurant_dataset):
+        examples = restaurant_dataset.sample_fewshot(2)
+        __, assistant = render_examples(examples, reasoning=False)
+        for line in assistant.splitlines():
+            assert line.startswith("Answer")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PromptError):
+            render_examples([], reasoning=True)

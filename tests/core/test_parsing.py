@@ -1,0 +1,109 @@
+"""Tests for repro.core.parsing."""
+
+import pytest
+
+from repro.core.parsing import (
+    normalize_binary,
+    normalize_value,
+    parse_batch_answers,
+    parse_batch_answers_lenient,
+    split_answer_blocks,
+)
+from repro.data.instances import Task
+from repro.errors import AnswerFormatError
+
+
+class TestSplitAnswerBlocks:
+    def test_two_line_contract(self):
+        text = "Answer 1: because of the area code\natlanta\nAnswer 2: no reason\nboston"
+        blocks = split_answer_blocks(text, 2)
+        assert blocks[0].reason == "because of the area code"
+        assert blocks[0].answer == "atlanta"
+        assert blocks[1].answer == "boston"
+
+    def test_single_line_contract(self):
+        blocks = split_answer_blocks("Answer 1: yes\nAnswer 2: no", 2)
+        assert blocks[0].answer == "yes"
+        assert blocks[0].reason == ""
+
+    def test_single_question_without_marker(self):
+        blocks = split_answer_blocks("The reason text.\nyes", 1)
+        assert blocks[0].answer == "yes"
+
+    def test_empty_reply_raises(self):
+        with pytest.raises(AnswerFormatError):
+            split_answer_blocks("   \n  ", 1)
+
+    def test_wrong_count_raises(self):
+        with pytest.raises(AnswerFormatError):
+            split_answer_blocks("Answer 1: yes", 2)
+
+    def test_case_insensitive_marker(self):
+        blocks = split_answer_blocks("answer 1: yes", 1)
+        assert blocks[0].answer == "yes"
+
+
+class TestNormalizeBinary:
+    @pytest.mark.parametrize("text, expected", [
+        ("yes", True),
+        ("Yes.", True),
+        ('"no"', False),
+        ("No, they differ", False),
+        ("They are the same entity.", True),
+        ("They are not the same entity.", False),
+        ("There is an error in the value.", True),
+        ("The value looks clean.", False),
+    ])
+    def test_variants(self, text, expected):
+        assert normalize_binary(text) is expected
+
+    def test_unreadable_raises(self):
+        with pytest.raises(AnswerFormatError):
+            normalize_binary("perhaps maybe")
+
+
+class TestNormalizeValue:
+    @pytest.mark.parametrize("text, expected", [
+        ("atlanta", "atlanta"),
+        ('"atlanta"', "atlanta"),
+        ("atlanta.", "atlanta"),
+        ("The answer is atlanta", "atlanta"),
+        ("value: sony", "sony"),
+    ])
+    def test_variants(self, text, expected):
+        assert normalize_value(text) == expected
+
+    def test_empty_raises(self):
+        with pytest.raises(AnswerFormatError):
+            normalize_value('""')
+
+
+class TestParseBatchAnswers:
+    def test_binary_batch(self):
+        text = "Answer 1: yes\nAnswer 2: no"
+        assert parse_batch_answers(text, Task.ENTITY_MATCHING, 2) == [True, False]
+
+    def test_di_batch(self):
+        text = "Answer 1: some reason\natlanta\nAnswer 2: other\nboston"
+        out = parse_batch_answers(text, Task.DATA_IMPUTATION, 2)
+        assert out == ["atlanta", "boston"]
+
+
+class TestLenientParsing:
+    def test_partial_salvage(self):
+        text = "Answer 1: yes\ncomplete gibberish here\nAnswer 3: no"
+        out = parse_batch_answers_lenient(text, Task.ENTITY_MATCHING, 3)
+        assert out == [True, None, False]
+
+    def test_garbage_after_answer_skipped(self):
+        text = "Answer 1: a fine reason\nyes\nas an ai model i cannot decide"
+        out = parse_batch_answers_lenient(text, Task.ENTITY_MATCHING, 1)
+        assert out == [True]
+
+    def test_out_of_range_numbers_ignored(self):
+        text = "Answer 9: yes"
+        out = parse_batch_answers_lenient(text, Task.ENTITY_MATCHING, 2)
+        assert out == [None, None]
+
+    def test_never_raises(self):
+        assert parse_batch_answers_lenient("", Task.DATA_IMPUTATION, 2) == [None, None]

@@ -1,0 +1,149 @@
+"""Tests for repro.core.pipeline (against the simulated LLM and stubs)."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Preprocessor
+from repro.data.instances import PreprocessingDataset, Task
+from repro.errors import ContextWindowExceededError, EvaluationError
+from repro.llm.accounting import meter_response, request_prompt_tokens
+from repro.llm.base import CompletionRequest, CompletionResponse, Usage
+from repro.llm.profiles import get_profile
+
+
+class _ScriptedClient:
+    """A stub client answering every question 'yes' (or a fixed value)."""
+
+    def __init__(self, answer="yes", reasoning=True):
+        self.requests: list[CompletionRequest] = []
+        self._answer = answer
+        self._reasoning = reasoning
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        self.requests.append(request)
+        final = request.messages[-1].content
+        count = final.count("Question ")
+        blocks = []
+        for i in range(1, count + 1):
+            if self._reasoning:
+                blocks.append(f"Answer {i}: because I said so\n{self._answer}")
+            else:
+                blocks.append(f"Answer {i}: {self._answer}")
+        return meter_response(get_profile("gpt-3.5"), request, "\n".join(blocks))
+
+
+class _GarbageClient:
+    """A stub that never follows the answer format."""
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        return meter_response(
+            get_profile("gpt-3.5"), request, "I am not sure about anything"
+        )
+
+
+class _TinyWindowClient:
+    """Raises context overflow for prompts above a tiny budget."""
+
+    def __init__(self, budget=700):
+        self._budget = budget
+        self.overflows = 0
+        self._inner = _ScriptedClient()
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        if request_prompt_tokens(request) > self._budget:
+            self.overflows += 1
+            raise ContextWindowExceededError("gpt-3.5", 9999, self._budget)
+        return self._inner.complete(request)
+
+
+class TestPreprocessor:
+    def test_alignment_and_coverage(self, beer_dataset):
+        client = _ScriptedClient(answer="yes")
+        result = Preprocessor(client, PipelineConfig(model="gpt-3.5")).run(
+            beer_dataset
+        )
+        assert len(result.predictions) == len(beer_dataset.instances)
+        assert all(p is True for p in result.predictions)
+
+    def test_di_values_passed_through(self, restaurant_dataset):
+        client = _ScriptedClient(answer="atlanta")
+        result = Preprocessor(client, PipelineConfig(model="gpt-3.5")).run(
+            restaurant_dataset
+        )
+        assert set(result.predictions) == {"atlanta"}
+
+    def test_batching_reduces_requests(self, beer_dataset):
+        one = _ScriptedClient()
+        batched = _ScriptedClient()
+        Preprocessor(one, PipelineConfig(model="gpt-3.5", batch_size=1)).run(
+            beer_dataset
+        )
+        Preprocessor(batched, PipelineConfig(model="gpt-3.5", batch_size=10)).run(
+            beer_dataset
+        )
+        assert len(batched.requests) < len(one.requests)
+
+    def test_fewshot_zero_omits_examples(self, beer_dataset):
+        client = _ScriptedClient()
+        Preprocessor(client, PipelineConfig(model="gpt-3.5", fewshot=0)).run(
+            beer_dataset
+        )
+        for request in client.requests:
+            assert [m.role for m in request.messages] == ["system", "user"]
+
+    def test_garbage_replies_fall_back_to_no(self, beer_dataset):
+        result = Preprocessor(
+            _GarbageClient(), PipelineConfig(model="gpt-3.5")
+        ).run(beer_dataset)
+        assert result.n_fallbacks == len(beer_dataset.instances)
+        assert all(p is False for p in result.predictions)
+        assert result.n_format_retries > 0
+
+    def test_context_overflow_splits_batches(self, beer_dataset):
+        client = _TinyWindowClient(budget=900)
+        result = Preprocessor(
+            client, PipelineConfig(model="gpt-3.5", batch_size=15, fewshot=0)
+        ).run(beer_dataset)
+        assert client.overflows > 0
+        assert result.n_fallbacks == 0
+        assert len(result.predictions) == len(beer_dataset.instances)
+
+    def test_ed_groups_by_target_attribute(self, adult_dataset):
+        client = _ScriptedClient()
+        small = adult_dataset.subset(40)
+        Preprocessor(client, PipelineConfig(model="gpt-3.5")).run(small)
+        # Every request's system prompt names exactly one target attribute,
+        # and every question in it asks about that attribute.
+        for request in client.requests:
+            system = request.messages[0].content
+            final = request.messages[-1].content
+            import re
+
+            target = re.search(r'the "([^"]+)" attribute', system).group(1)
+            for line in final.splitlines():
+                if line.startswith("Question"):
+                    assert f'error in the "{target}" attribute' in line
+
+    def test_empty_dataset_rejected(self, beer_dataset):
+        empty = PreprocessingDataset(
+            name="empty", task=Task.ENTITY_MATCHING, instances=[]
+        )
+        with pytest.raises(EvaluationError):
+            Preprocessor(_ScriptedClient(), PipelineConfig()).run(empty)
+
+    def test_usage_accumulated(self, beer_dataset):
+        client = _ScriptedClient()
+        result = Preprocessor(client, PipelineConfig(model="gpt-3.5")).run(
+            beer_dataset
+        )
+        assert result.usage.prompt_tokens > 0
+        assert result.usage.completion_tokens > 0
+        assert result.estimated_seconds > 0
+        assert result.n_requests == len(client.requests)
+
+    def test_keep_raw(self, beer_dataset):
+        client = _ScriptedClient()
+        result = Preprocessor(client, PipelineConfig(model="gpt-3.5")).run(
+            beer_dataset, keep_raw=True
+        )
+        assert len(result.raw_replies) == result.n_requests

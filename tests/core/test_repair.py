@@ -1,0 +1,81 @@
+"""Tests for the detect-then-repair workflow."""
+
+import pytest
+
+from repro import PipelineConfig, SimulatedLLM
+from repro.core.workflows import repair_errors
+from repro.data.records import Table
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def client():
+    return SimulatedLLM("gpt-4")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PipelineConfig(model="gpt-4")
+
+
+class TestRepairErrors:
+    def test_repairs_cross_field_inconsistencies(self, client, config):
+        """An educationnum contradicting education is detected and the
+        consistent value restored."""
+        dataset = load_dataset("adult", size=60)
+        schema = dataset.instances[0].record.schema
+        records = [i.record.copy() for i in dataset.instances[:12]
+                   if not i.label]
+        table = Table(schema, records)
+        # Break row 0: bachelors should be level 13.
+        table[0]["education"] = "bachelors"
+        table[0]["educationnum"] = 2
+        result = repair_errors(
+            client, table, attributes=["educationnum"], config=config,
+            ed_fewshot=list(load_dataset("adult", size=60).fewshot_pool),
+        )
+        assert (0, "educationnum") in result.repairs
+        assert result.repairs[(0, "educationnum")] == "13"
+        assert str(result.table[0]["educationnum"]) == "13"
+        # The input table keeps its broken value.
+        assert int(table[0]["educationnum"]) == 2
+
+    def test_repairs_hospital_condition(self, client, config):
+        dataset = load_dataset("hospital", size=60)
+        schema = dataset.instances[0].record.schema
+        records = [i.record.copy() for i in dataset.instances[:10]
+                   if not i.label]
+        table = Table(schema, records)
+        table[0]["condition"] = "heaxrt attack"
+        # Make the row's measure consistent with the true condition.
+        table[0]["measurecode"] = "ami-2"
+        result = repair_errors(
+            client, table, attributes=["condition"], config=config,
+            ed_fewshot=list(dataset.fewshot_pool),
+        )
+        assert result.repairs.get((0, "condition")) == "heart attack"
+
+    def test_clean_table_untouched(self, client, config):
+        dataset = load_dataset("restaurant", size=30)
+        schema = dataset.instances[0].record.schema
+        records = []
+        for instance in dataset.instances[:8]:
+            record = instance.record.copy()
+            record["city"] = instance.true_value
+            records.append(record)
+        table = Table(schema, records)
+        result = repair_errors(client, table, attributes=["name", "type"],
+                               config=config)
+        assert result.repairs == {}
+
+    def test_accounting_covers_both_stages(self, client, config):
+        dataset = load_dataset("adult", size=60)
+        schema = dataset.instances[0].record.schema
+        table = Table(schema, [i.record.copy()
+                               for i in dataset.instances[:6]])
+        result = repair_errors(
+            client, table, attributes=["occupation"], config=config,
+            ed_fewshot=list(dataset.fewshot_pool),
+        )
+        assert result.report.n_requests >= 1
+        assert result.report.usage.total_tokens > 0

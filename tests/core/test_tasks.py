@@ -1,0 +1,68 @@
+"""Tests for repro.core.tasks."""
+
+import pytest
+
+from repro.core.tasks import (
+    ED_CONFIRM_TARGET,
+    ROLE_INSTRUCTION,
+    answer_format_instruction,
+    question_text,
+    task_text,
+)
+from repro.data.instances import DIInstance, Task
+from repro.data.records import Record
+from repro.data.schema import Schema
+from repro.errors import PromptError
+
+
+class TestTaskText:
+    def test_di_names_target(self):
+        text = task_text(Task.DATA_IMPUTATION, "city")
+        assert '"city"' in text.instruction
+        assert text.question_suffix == "What is the city?"
+
+    def test_ed_names_target(self):
+        text = task_text(Task.ERROR_DETECTION, "age")
+        assert '"age"' in text.instruction
+        assert "error" in text.question_suffix
+
+    def test_pair_tasks_need_no_target(self):
+        assert task_text(Task.SCHEMA_MATCHING).question_suffix
+        assert task_text(Task.ENTITY_MATCHING).question_suffix
+
+    def test_missing_target_raises(self):
+        with pytest.raises(PromptError):
+            task_text(Task.ERROR_DETECTION)
+
+
+class TestAnswerFormat:
+    def test_two_lines_with_reasoning(self):
+        text = answer_format_instruction(Task.ENTITY_MATCHING, reasoning=True)
+        assert "two lines" in text
+        assert "reason" in text
+
+    def test_one_line_without(self):
+        text = answer_format_instruction(Task.ENTITY_MATCHING, reasoning=False)
+        assert "one line" in text
+
+    def test_di_format_names_attribute(self):
+        text = answer_format_instruction(Task.DATA_IMPUTATION, True, "city")
+        assert '"city"' in text
+
+
+class TestQuestionText:
+    def test_numbering(self, people_schema):
+        record = Record(schema=people_schema, values={"name": "x"})
+        inst = DIInstance(record=record, target_attribute="city",
+                          true_value="boston")
+        text = question_text(inst, 7)
+        assert text.startswith("Question 7: Record is [")
+        assert text.endswith("What is the city?")
+
+
+class TestConstants:
+    def test_role_is_papers(self):
+        assert ROLE_INSTRUCTION == "You are a database engineer."
+
+    def test_confirm_target_wording(self):
+        assert "confirm the target attribute" in ED_CONFIRM_TARGET

@@ -1,0 +1,165 @@
+"""Tests for the table-level workflows."""
+
+import pytest
+
+from repro import PipelineConfig, SimulatedLLM
+from repro.core.workflows import (
+    detect_errors,
+    impute_missing,
+    match_entities,
+    match_schemas,
+)
+from repro.data.records import Table
+from repro.data.schema import Attribute, Schema
+from repro.datasets import load_dataset
+from repro.errors import ConfigError, EvaluationError
+
+
+@pytest.fixture(scope="module")
+def client():
+    return SimulatedLLM("gpt-4")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PipelineConfig(model="gpt-4")
+
+
+@pytest.fixture(scope="module")
+def restaurant_table():
+    """A table with half its city cells missing, built from the benchmark."""
+    dataset = load_dataset("restaurant", size=40)
+    schema = dataset.instances[0].record.schema
+    records = []
+    truths = {}
+    for index, instance in enumerate(dataset.instances):
+        record = instance.record.copy()
+        if index % 2 == 0:
+            record["city"] = instance.true_value  # known half
+        else:
+            truths[index] = instance.true_value   # held-out half
+        records.append(record)
+    return Table(schema, records), truths
+
+
+class TestDetectErrors:
+    def test_flags_injected_typos(self, client, config):
+        dataset = load_dataset("hospital", size=40)
+        schema = dataset.instances[0].record.schema
+        table = Table(schema, [i.record.copy() for i in dataset.instances[:10]])
+        table[0]["city"] = "bostxon"
+        result = detect_errors(
+            client, table, attributes=["city"], config=config,
+            fewshot=list(load_dataset("hospital", size=40).fewshot_pool),
+        )
+        assert any(f.row == 0 and f.attribute == "city" for f in result.flagged)
+        assert result.report.usage.total_tokens > 0
+
+    def test_unknown_attribute_rejected(self, client, config, restaurant_table):
+        table, __ = restaurant_table
+        with pytest.raises(ConfigError):
+            detect_errors(client, table, attributes=["nope"], config=config)
+
+    def test_missing_cells_skipped(self, client, config, restaurant_table):
+        table, __ = restaurant_table
+        result = detect_errors(client, table, attributes=["city"], config=config)
+        # Only the non-missing half is checked; none should be flagged as a
+        # typo (they are clean city names).
+        flagged_rows = {f.row for f in result.flagged}
+        missing_rows = {r for r in range(len(table)) if table[r]["city"] is None}
+        assert not flagged_rows & missing_rows
+
+
+class TestImputeMissing:
+    def test_fills_missing_cells_correctly(self, client, config, restaurant_table):
+        table, truths = restaurant_table
+        fewshot = list(load_dataset("restaurant", size=40).fewshot_pool)
+        result = impute_missing(client, table, "city", config=config,
+                                fewshot=fewshot)
+        assert set(result.imputed) == set(truths)
+        correct = sum(
+            1 for row, value in result.imputed.items()
+            if value == truths[row]
+        )
+        assert correct >= len(truths) * 0.8
+        # The repaired copy has no missing cities left.
+        assert all(record["city"] is not None for record in result.table)
+        # The input table is untouched.
+        assert any(record["city"] is None for record in table)
+
+    def test_nothing_missing_is_a_noop(self, client, config):
+        schema = Schema.from_names("t", ["a", "b"])
+        table = Table.from_rows(schema, [{"a": "x", "b": "y"}])
+        result = impute_missing(client, table, "b", config=config)
+        assert result.imputed == {}
+        assert result.report.n_requests == 0
+
+    def test_unknown_attribute_rejected(self, client, config, restaurant_table):
+        table, __ = restaurant_table
+        with pytest.raises(ConfigError):
+            impute_missing(client, table, "nope", config=config)
+
+
+class TestMatchSchemas:
+    def test_finds_clinical_correspondences(self, client):
+        left = Schema(name="l", attributes=(
+            Attribute("dob", description="demographic field for age derivation"),
+            Attribute("sex", description="biological classification noted at intake"),
+        ))
+        right = Schema(name="r", attributes=(
+            Attribute("birth_date", description="when the individual was born"),
+            Attribute("gender", description="administrative sex recorded for the person"),
+            Attribute("zip_code", description="postal routing number of the residence"),
+        ))
+        fewshot = list(load_dataset("synthea", size=40).fewshot_pool)
+        result = match_schemas(client, left, right,
+                               config=PipelineConfig(model="gpt-4"),
+                               fewshot=fewshot)
+        assert ("dob", "birth_date") in result.correspondences
+        assert ("sex", "gender") in result.correspondences
+        assert ("dob", "zip_code") not in result.correspondences
+
+    def test_empty_schema_rejected(self, client, config):
+        empty = Schema(name="e", attributes=())
+        other = Schema.from_names("o", ["a"])
+        with pytest.raises(EvaluationError):
+            match_schemas(client, empty, other, config=config)
+
+
+class TestMatchEntities:
+    @pytest.fixture(scope="class")
+    def catalogs(self):
+        dataset = load_dataset("beer", size=60)
+        schema = dataset.instances[0].pair.left.schema
+        left_records, right_records, expected = [], [], []
+        for instance in dataset.instances:
+            if instance.label:
+                expected.append((len(left_records), len(right_records)))
+            left_records.append(instance.pair.left)
+            right_records.append(instance.pair.right)
+        return (Table(schema, left_records), Table(schema, right_records),
+                expected, dataset)
+
+    def test_blocking_plus_matching(self, client, config, catalogs):
+        left, right, expected, dataset = catalogs
+        result = match_entities(
+            client, left, right, config=config,
+            fewshot=list(dataset.fewshot_pool),
+        )
+        assert result.n_candidates < len(left) * len(right)
+        assert result.reduction_ratio > 0.5
+        found = set(result.matches)
+        recovered = sum(1 for pair in expected if pair in found)
+        assert recovered >= len(expected) * 0.6
+
+    def test_schema_mismatch_rejected(self, client, config, catalogs):
+        left, __, __, __ = catalogs
+        other = Table.from_rows(Schema.from_names("o", ["x"]), [{"x": "1"}])
+        with pytest.raises(ConfigError):
+            match_entities(client, left, other, config=config)
+
+    def test_empty_table_rejected(self, client, config, catalogs):
+        left, __, __, __ = catalogs
+        empty = Table(left.schema, [])
+        with pytest.raises(EvaluationError):
+            match_entities(client, left, empty, config=config)

@@ -1,0 +1,67 @@
+"""Tests for repro.data.io."""
+
+import pytest
+
+from repro.data.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.data.records import Table
+from repro.data.schema import AttrType, Schema
+from repro.errors import DatasetError
+
+
+@pytest.fixture()
+def table():
+    schema = Schema.from_names("t", ["name", "n"], types={"n": AttrType.NUMERIC})
+    return Table.from_rows(
+        schema,
+        [{"name": "a", "n": 1}, {"name": "b", "n": None}],
+    )
+
+
+class TestCsv:
+    def test_roundtrip(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path, schema=table.schema)
+        assert len(loaded) == 2
+        assert loaded[0]["name"] == "a"
+        assert loaded[0]["n"] == 1
+        assert loaded[1]["n"] is None
+
+    def test_schema_inference(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.schema["n"].type is AttrType.NUMERIC
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            read_csv(path)
+
+    def test_header_only_needs_schema(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DatasetError):
+            read_csv(path)
+
+
+class TestJsonl:
+    def test_roundtrip(self, table, tmp_path):
+        path = tmp_path / "t.jsonl"
+        n = write_jsonl(table.records, path)
+        assert n == 2
+        loaded = read_jsonl(path, table.schema)
+        assert loaded[1]["name"] == "b"
+
+    def test_invalid_json_raises_with_line(self, table, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "a"}\nnot-json\n')
+        with pytest.raises(DatasetError, match="2"):
+            read_jsonl(path, table.schema)
+
+    def test_blank_lines_skipped(self, table, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a"}\n\n{"name": "b"}\n')
+        loaded = read_jsonl(path, table.schema)
+        assert len(loaded) == 2

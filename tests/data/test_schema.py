@@ -1,0 +1,94 @@
+"""Tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import Attribute, AttrType, Schema
+from repro.errors import SchemaError
+
+
+class TestAttrType:
+    def test_numeric_includes_binary(self):
+        assert AttrType.NUMERIC.is_numeric
+        assert AttrType.BINARY.is_numeric
+        assert not AttrType.TEXT.is_numeric
+
+    def test_textual_includes_categorical(self):
+        assert AttrType.TEXT.is_textual
+        assert AttrType.CATEGORICAL.is_textual
+        assert not AttrType.NUMERIC.is_textual
+
+
+class TestAttribute:
+    def test_defaults_to_text(self):
+        assert Attribute("name").type is AttrType.TEXT
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_str_is_name(self):
+        assert str(Attribute("city")) == "city"
+
+    def test_description_carried(self):
+        attr = Attribute("dob", description="date of birth")
+        assert attr.description == "date of birth"
+
+
+class TestSchema:
+    def test_from_names_order_preserved(self):
+        schema = Schema.from_names("t", ["b", "a", "c"])
+        assert schema.attribute_names == ("b", "a", "c")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_names("t", ["a", "a"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(name="", attributes=())
+
+    def test_lookup_by_name_and_index(self):
+        schema = Schema.from_names("t", ["a", "b"])
+        assert schema["a"].name == "a"
+        assert schema[1].name == "b"
+
+    def test_lookup_missing_raises(self):
+        schema = Schema.from_names("t", ["a"])
+        with pytest.raises(SchemaError):
+            schema["nope"]
+        with pytest.raises(SchemaError):
+            schema[5]
+
+    def test_contains_accepts_str_and_attribute(self):
+        schema = Schema.from_names("t", ["a"])
+        assert "a" in schema
+        assert Attribute("a") in schema
+        assert "b" not in schema
+
+    def test_index_of(self):
+        schema = Schema.from_names("t", ["a", "b", "c"])
+        assert schema.index_of("c") == 2
+        with pytest.raises(SchemaError):
+            schema.index_of("zz")
+
+    def test_project_preserves_requested_order(self):
+        schema = Schema.from_names("t", ["a", "b", "c"])
+        projected = schema.project(["c", "a"])
+        assert projected.attribute_names == ("c", "a")
+
+    def test_project_unknown_raises(self):
+        schema = Schema.from_names("t", ["a"])
+        with pytest.raises(SchemaError):
+            schema.project(["a", "zz"])
+
+    def test_types_applied(self):
+        schema = Schema.from_names(
+            "t", ["a", "b"], types={"a": AttrType.NUMERIC}
+        )
+        assert schema["a"].type is AttrType.NUMERIC
+        assert schema["b"].type is AttrType.TEXT
+
+    def test_len_and_iter(self):
+        schema = Schema.from_names("t", ["a", "b"])
+        assert len(schema) == 2
+        assert [a.name for a in schema] == ["a", "b"]

@@ -1,0 +1,130 @@
+"""Tests for repro.datasets.empairs."""
+
+import random
+
+import pytest
+
+from repro.data.schema import Schema
+from repro.datasets.empairs import (
+    EMPairGenerator,
+    PairProfile,
+    perturb_value,
+    render_view,
+    _jitter_numeric,
+)
+
+
+@pytest.fixture()
+def schema():
+    return Schema.from_names("things", ["title", "brand", "price"])
+
+
+def _entity(rng, index):
+    return {"title": f"brand thing t{index}", "brand": "brand",
+            "price": "10.00"}
+
+
+def _hard_negative(entity, rng):
+    return {"title": entity["title"] + " variant", "brand": entity["brand"],
+            "price": "12.00"}
+
+
+class TestPairProfile:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            PairProfile(divergence=1.5, drop_rate=0, positive_rate=0.5,
+                        hard_negative_rate=0)
+
+
+class TestPerturbValue:
+    def test_decimal_points_preserved(self):
+        # Punctuation stripping removes abbreviation dots but never a
+        # decimal point between digits (4.4% must not become 44%).
+        import re
+
+        stripped = re.sub(r"(?<!\d)\.|\.(?!\d)", "", "co. ltd 4.4%")
+        assert stripped == "co ltd 4.4%"
+        # Random typos may still delete the dot occasionally, but the
+        # *systematic* punctuation strip (50% of perturbations) must not:
+        # losses should stay rare.
+        rng = random.Random(0)
+        losses = sum(
+            "44%" in perturb_value("stone co. 4.4%", rng, intensity=1.0)
+            for __ in range(300)
+        )
+        assert losses < 30
+
+    def test_trailing_drop_never_removes_code(self):
+        rng = random.Random(1)
+        for __ in range(100):
+            out = perturb_value("adobe photoshop 5.0 deluxe", rng, 1.0)
+            # "5.0" may be typo'd, but never dropped wholesale by the
+            # trailing-token rule (only descriptive words are dropped).
+            assert any(ch.isdigit() for ch in out)
+
+
+class TestRenderView:
+    def test_unperturbed_view_verbatim(self, schema):
+        profile = PairProfile(divergence=0.9, drop_rate=0.9,
+                              positive_rate=0.5, hard_negative_rate=0.5)
+        record = render_view(_entity(random.Random(0), 1), schema,
+                             random.Random(0), profile, "x", perturb=False)
+        assert record["title"] == "brand thing t1"
+
+    def test_identity_field_never_dropped(self, schema):
+        profile = PairProfile(divergence=0.0, drop_rate=1.0,
+                              positive_rate=0.5, hard_negative_rate=0.5)
+        record = render_view(_entity(random.Random(0), 1), schema,
+                             random.Random(0), profile, "x", perturb=True)
+        assert record["title"] is not None
+        assert record["brand"] is None  # everything else dropped
+
+    def test_reroll_values(self, schema):
+        profile = PairProfile(divergence=0.0, drop_rate=0.0,
+                              positive_rate=0.5, hard_negative_rate=0.5,
+                              reroll_values={"brand": ("other",)})
+        record = render_view(_entity(random.Random(0), 1), schema,
+                             random.Random(0), profile, "x", perturb=True)
+        assert record["brand"] == "other"
+
+    def test_jitter_attribute(self, schema):
+        profile = PairProfile(divergence=0.0, drop_rate=0.0,
+                              positive_rate=0.5, hard_negative_rate=0.5,
+                              jitter_attributes=("price",))
+        record = render_view(_entity(random.Random(3), 1), schema,
+                             random.Random(3), profile, "x", perturb=True)
+        assert record["price"] != "10.00"
+
+
+class TestJitterNumeric:
+    def test_within_15_percent(self):
+        rng = random.Random(0)
+        for __ in range(100):
+            out = float(_jitter_numeric("100.00", rng))
+            assert 85.0 <= out <= 115.0
+
+    def test_affixes_kept(self):
+        out = _jitter_numeric("$100.00 usd", random.Random(0))
+        assert out.startswith("$") and out.endswith(" usd")
+
+    def test_non_numeric_passthrough(self):
+        assert _jitter_numeric("abc", random.Random(0)) == "abc"
+
+
+class TestEMPairGenerator:
+    def test_labels_and_count(self, schema):
+        profile = PairProfile(divergence=0.3, drop_rate=0.1,
+                              positive_rate=0.5, hard_negative_rate=0.5)
+        generator = EMPairGenerator(schema, _entity, _hard_negative, profile, "t")
+        instances = generator.generate(200, random.Random(0))
+        assert len(instances) == 200
+        rate = sum(1 for i in instances if i.label) / 200
+        assert 0.35 < rate < 0.65
+
+    def test_matches_share_identity_mostly(self, schema):
+        profile = PairProfile(divergence=0.0, drop_rate=0.0,
+                              positive_rate=1.0, hard_negative_rate=0.0)
+        generator = EMPairGenerator(schema, _entity, _hard_negative, profile, "t")
+        for inst in generator.generate(20, random.Random(0)):
+            assert inst.label
+            assert inst.pair.left["title"] == inst.pair.right["title"]

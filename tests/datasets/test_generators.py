@@ -1,0 +1,140 @@
+"""Generator behaviour common to all twelve benchmarks, plus dataset-
+specific invariants the solvers and baselines rely on."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.data.instances import DIInstance, EDInstance, EMInstance, SMInstance
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.datasets.adult import ADULT_SCHEMA
+from repro.datasets.vocabularies import AREA_CODE_TO_CITY, EDUCATION_LEVELS
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+class TestEveryDataset:
+    def test_sizes_and_pool_disjointness(self, name):
+        ds = load_dataset(name, size=50, seed=3)
+        assert len(ds.instances) == 50
+        assert ds.fewshot_pool
+        pool_ids = {i.instance_id for i in ds.fewshot_pool}
+        test_ids = {i.instance_id for i in ds.instances}
+        assert not pool_ids & test_ids
+
+    def test_determinism_within_process(self, name):
+        a = load_dataset(name, size=40, seed=9)
+        b = load_dataset(name, size=40, seed=9)
+        assert a is b  # cached
+
+    def test_instance_ids_unique(self, name):
+        ds = load_dataset(name, size=50, seed=3)
+        ids = [i.instance_id for i in ds.instances + ds.fewshot_pool]
+        assert len(ids) == len(set(ids))
+
+
+class TestBinaryPools:
+    @pytest.mark.parametrize(
+        "name", [n for n in DATASET_NAMES if n not in ("buy", "restaurant")]
+    )
+    def test_pool_has_both_classes(self, name):
+        ds = load_dataset(name, size=60, seed=4)
+        labels = {i.label for i in ds.fewshot_pool}
+        assert labels == {True, False}
+
+
+class TestEDInvariants:
+    def test_adult_positive_cells_differ_from_clean(self, adult_dataset):
+        for inst in adult_dataset.instances:
+            assert isinstance(inst, EDInstance)
+            if inst.label:
+                assert inst.clean_value is not None
+                assert str(inst.record[inst.target_attribute]) != inst.clean_value
+
+    def test_adult_clean_education_consistency(self, adult_dataset):
+        mapping = dict(EDUCATION_LEVELS)
+        for inst in adult_dataset.instances:
+            if inst.target_attribute == "educationnum" and not inst.label:
+                education = inst.record["education"]
+                if education in mapping:
+                    assert int(inst.record["educationnum"]) == mapping[education]
+
+    def test_adult_schema(self, adult_dataset):
+        for inst in adult_dataset.instances:
+            assert inst.record.schema.attribute_names == ADULT_SCHEMA.attribute_names
+
+    def test_hospital_stateavg_consistent_when_clean(self, hospital_dataset):
+        for inst in hospital_dataset.instances:
+            if inst.target_attribute == "stateavg" and not inst.label:
+                value = str(inst.record["stateavg"]) or ""
+                # Clean stateavg always has the {state}_{code} shape.
+                assert "_" in value
+
+
+class TestDIInvariants:
+    def test_restaurant_phone_identifies_city(self, restaurant_dataset):
+        for inst in restaurant_dataset.instances:
+            assert isinstance(inst, DIInstance)
+            area = str(inst.record["phone"]).split("-")[0]
+            assert AREA_CODE_TO_CITY[area] == inst.true_value
+
+    def test_buy_brand_in_name(self, buy_dataset):
+        for inst in buy_dataset.instances:
+            assert inst.true_value in str(inst.record["name"])
+
+    def test_target_cell_blank(self, restaurant_dataset, buy_dataset):
+        for ds in (restaurant_dataset, buy_dataset):
+            for inst in ds.instances:
+                assert inst.record[inst.target_attribute] is None
+
+
+class TestSMInvariants:
+    def test_pairs_have_descriptions(self, synthea_dataset):
+        for inst in synthea_dataset.instances:
+            assert isinstance(inst, SMInstance)
+            assert inst.pair.left.description
+            assert inst.pair.right.description
+
+    def test_positive_pairs_distinct_names(self, synthea_dataset):
+        for inst in synthea_dataset.instances:
+            if inst.label:
+                assert inst.pair.left.name != inst.pair.right.name
+
+
+class TestEMInvariants:
+    @pytest.mark.parametrize(
+        "name",
+        ["amazon_google", "walmart_amazon", "beer", "dblp_acm",
+         "dblp_scholar", "fodors_zagat", "itunes_amazon"],
+    )
+    def test_schemas_aligned_and_identity_present(self, name):
+        ds = load_dataset(name, size=60, seed=5)
+        for inst in ds.instances:
+            assert isinstance(inst, EMInstance)
+            left, right = inst.pair.left, inst.pair.right
+            assert left.schema.attribute_names == right.schema.attribute_names
+            first = left.schema.attribute_names[0]
+            # The identity field is never dropped in either view.
+            assert left[first] is not None
+            assert right[first] is not None
+
+    def test_positive_rate_in_declared_ballpark(self):
+        ds = load_dataset("amazon_google", size=500, seed=6)
+        assert 0.05 < ds.positive_rate < 0.25
+
+
+def test_cross_process_determinism():
+    """The same (name, size, seed) must be identical in a fresh process."""
+    snippet = (
+        "from repro.datasets import load_dataset;"
+        "ds = load_dataset('restaurant', size=20, seed=11);"
+        "print('|'.join(str(i.record['phone']) for i in ds.instances))"
+    )
+    runs = {
+        subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        for __ in range(2)
+    }
+    assert len(runs) == 1

@@ -1,0 +1,59 @@
+"""Tests for repro.datasets.registry."""
+
+import pytest
+
+from repro.data.instances import Task
+from repro.datasets import DATASET_NAMES, dataset_info, load_dataset
+from repro.datasets.registry import clear_cache
+from repro.errors import DatasetError, UnknownDatasetError
+
+
+class TestRegistry:
+    def test_all_twelve_present(self):
+        assert len(DATASET_NAMES) == 12
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownDatasetError):
+            load_dataset("nope")
+        with pytest.raises(UnknownDatasetError):
+            dataset_info("nope")
+
+    def test_info_matches_paper_tasks(self):
+        assert dataset_info("adult").task is Task.ERROR_DETECTION
+        assert dataset_info("buy").task is Task.DATA_IMPUTATION
+        assert dataset_info("synthea").task is Task.SCHEMA_MATCHING
+        assert dataset_info("beer").task is Task.ENTITY_MATCHING
+
+    def test_published_sizes(self):
+        # The benchmark's published test-set sizes (fm_data_tasks).
+        assert dataset_info("buy").default_size == 65
+        assert dataset_info("restaurant").default_size == 86
+        assert dataset_info("beer").default_size == 91
+        assert dataset_info("itunes_amazon").default_size == 109
+        assert dataset_info("fodors_zagat").default_size == 189
+
+    def test_requested_size_honored(self):
+        ds = load_dataset("beer", size=40)
+        assert len(ds) == 40
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("beer", size=0)
+
+    def test_caching_returns_same_object(self):
+        a = load_dataset("beer", size=30, seed=3)
+        b = load_dataset("beer", size=30, seed=3)
+        assert a is b
+
+    def test_clear_cache(self):
+        a = load_dataset("beer", size=31, seed=3)
+        clear_cache()
+        b = load_dataset("beer", size=31, seed=3)
+        assert a is not b
+
+    def test_seed_changes_content(self):
+        a = load_dataset("beer", size=30, seed=1)
+        b = load_dataset("beer", size=30, seed=2)
+        texts_a = [str(i.pair.left) for i in a.instances]
+        texts_b = [str(i.pair.left) for i in b.instances]
+        assert texts_a != texts_b

@@ -1,0 +1,96 @@
+"""Tests for the error-analysis tooling."""
+
+import pytest
+
+from repro import PipelineConfig, Preprocessor, SimulatedLLM
+from repro.data.instances import ground_truth_labels
+from repro.errors import EvaluationError
+from repro.eval.analysis import (
+    disagreements,
+    error_cases,
+    per_group_metrics,
+)
+
+
+@pytest.fixture(scope="module")
+def adult_run(adult_dataset):
+    result = Preprocessor(
+        SimulatedLLM("gpt-4"), PipelineConfig(model="gpt-4")
+    ).run(adult_dataset)
+    return adult_dataset, result.predictions
+
+
+class TestPerGroupMetrics:
+    def test_groups_by_target_attribute(self, adult_run):
+        dataset, predictions = adult_run
+        groups = per_group_metrics(list(dataset.instances), predictions)
+        names = {g.group for g in groups}
+        assert "age" in names or "occupation" in names
+        assert sum(g.n for g in groups) == len(dataset.instances)
+
+    def test_sorted_worst_first(self, adult_run):
+        dataset, predictions = adult_run
+        groups = per_group_metrics(list(dataset.instances), predictions)
+        scores = [g.score for g in groups]
+        assert scores == sorted(scores)
+
+    def test_di_uses_accuracy(self, restaurant_dataset):
+        result = Preprocessor(
+            SimulatedLLM("gpt-4"), PipelineConfig(model="gpt-4")
+        ).run(restaurant_dataset)
+        groups = per_group_metrics(
+            list(restaurant_dataset.instances), result.predictions
+        )
+        assert len(groups) == 1
+        assert groups[0].group == "city"
+        assert groups[0].score > 0.8
+
+    def test_misaligned_rejected(self, adult_run):
+        dataset, predictions = adult_run
+        with pytest.raises(EvaluationError):
+            per_group_metrics(list(dataset.instances), predictions[:-1])
+
+
+class TestDisagreements:
+    def test_finds_model_disagreements(self, adult_dataset):
+        weak = Preprocessor(
+            SimulatedLLM("gpt-3.5"),
+            PipelineConfig(model="gpt-3.5", fewshot=0, reasoning=False),
+        ).run(adult_dataset)
+        strong = Preprocessor(
+            SimulatedLLM("gpt-4"), PipelineConfig(model="gpt-4")
+        ).run(adult_dataset)
+        cases = disagreements(
+            list(adult_dataset.instances), weak.predictions, strong.predictions
+        )
+        assert cases
+        # The strong model should be right in most disagreements.
+        strong_wins = sum(1 for c in cases if c.b_is_right)
+        assert strong_wins > len(cases) / 2
+
+    def test_identical_runs_have_none(self, adult_run):
+        dataset, predictions = adult_run
+        assert disagreements(list(dataset.instances), predictions,
+                             predictions) == []
+
+
+class TestErrorCases:
+    def test_typed_mistakes(self, adult_run):
+        dataset, predictions = adult_run
+        cases = error_cases(list(dataset.instances), predictions)
+        truths = ground_truth_labels(dataset.instances)
+        wrong = sum(
+            1 for p, t in zip(predictions, truths) if bool(p) != bool(t)
+        )
+        assert len(cases) == wrong
+        for case in cases:
+            assert case.kind in ("false_positive", "false_negative")
+            if case.kind == "false_positive":
+                assert case.prediction and not case.truth
+
+    def test_di_wrong_value_kind(self, restaurant_dataset):
+        truths = [i.true_value for i in restaurant_dataset.instances]
+        wrong = ["nowhere"] * len(truths)
+        cases = error_cases(list(restaurant_dataset.instances), wrong)
+        assert len(cases) == len(truths)
+        assert all(c.kind == "wrong_value" for c in cases)

@@ -1,0 +1,33 @@
+"""Tests for the repro-eval command-line interface."""
+
+import pytest
+
+from repro.eval.__main__ import main
+
+
+class TestCli:
+    def test_table3_prints_measured_vs_paper(self, capsys):
+        assert main(["table3", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "(4.07)" in out   # the paper's token column appears
+        assert "batch" in out
+
+    def test_feature_selection_command(self, capsys):
+        assert main(["feature-selection"]) == 0
+        out = capsys.readouterr().out
+        assert "74.1" in out and "90.3" in out
+
+    def test_cluster_batching_command(self, capsys):
+        assert main(["cluster-batching", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "random batching" in out
+        assert "cluster batching" in out
+
+    def test_unknown_command_fails(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,80 @@
+"""Tests for repro.eval.experiments (small scales for speed)."""
+
+import pytest
+
+from repro.eval import experiments
+
+
+class TestPaperConstants:
+    def test_table1_covers_all_methods_and_paper_cells(self):
+        assert len(experiments.TABLE1_METHODS) == 10
+        # Exactly the paper's N/A structure for the classical baselines.
+        assert set(experiments.PAPER_TABLE1["holoclean"]) == {"adult", "hospital"}
+        assert set(experiments.PAPER_TABLE1["imp"]) == {"buy", "restaurant"}
+        assert set(experiments.PAPER_TABLE1["smat"]) == {"synthea"}
+        assert len(experiments.PAPER_TABLE1["ditto"]) == 7
+
+    def test_table3_paper_rows(self):
+        assert experiments.PAPER_TABLE3[1] == (44.0, 4.07, 8.14, 4.76)
+        assert experiments.PAPER_TABLE3[15] == (46.3, 1.49, 2.99, 1.60)
+
+
+class TestScaledSize:
+    def test_full_scale_is_none(self):
+        assert experiments.scaled_size("adult", 1.0) is None
+
+    def test_scaled_down_with_floor(self):
+        assert experiments.scaled_size("adult", 0.1) == 1000
+        assert experiments.scaled_size("buy", 0.1) == 60  # floor at 60
+
+
+class TestCells:
+    def test_llm_cell(self):
+        cell = experiments.run_table1_cell("gpt-4", "restaurant", scale=0.7)
+        assert cell.paper == 97.7
+        assert cell.measured is not None
+        assert 0.5 <= cell.measured <= 1.0
+        assert "(" in str(cell)
+
+    def test_baseline_cell(self):
+        cell = experiments.run_table1_cell("imp", "buy", scale=0.7)
+        assert cell.measured is not None
+
+    def test_not_applicable_combination(self):
+        cell = experiments.run_table1_cell("holoclean", "beer", scale=0.5)
+        assert cell.measured is None
+        assert cell.measured_pct == "N/A"
+
+    def test_unknown_method(self):
+        with pytest.raises(Exception):
+            experiments.run_table1_cell("gpt-5", "beer")
+
+    def test_table2_cell(self):
+        cell = experiments.run_table2_cell("ZS-T", "buy", scale=0.7)
+        assert cell.paper == 86.2
+        assert cell.measured is not None
+
+
+class TestTable3:
+    def test_token_amortization(self):
+        results = experiments.run_table3(scale=0.03, batch_sizes=(1, 8))
+        assert results[0].tokens_m > results[1].tokens_m
+        assert results[0].cost_usd > results[1].cost_usd
+        assert results[0].hours > results[1].hours
+
+    def test_f1_stays_in_band(self):
+        results = experiments.run_table3(scale=0.03, batch_sizes=(1, 8))
+        scores = [r.f1 for r in results]
+        assert all(s is not None for s in scores)
+        assert abs(scores[0] - scores[1]) < 0.15  # paper: minor fluctuations
+
+
+class TestInTextExperiments:
+    def test_feature_selection_direction(self):
+        result = experiments.run_feature_selection(scale=1.0)
+        assert result.score_b > result.score_a  # selection helps on Beer
+
+    def test_cluster_batching_runs(self):
+        result = experiments.run_cluster_batching(scale=0.05)
+        assert result.score_a is not None
+        assert result.score_b is not None

@@ -1,0 +1,68 @@
+"""Tests for repro.eval.harness."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.eval.harness import NOT_APPLICABLE_FALLBACK_RATE, evaluate_pipeline
+from repro.llm.accounting import meter_response
+from repro.llm.base import CompletionRequest, CompletionResponse
+from repro.llm.profiles import get_profile
+from repro.llm.simulated import SimulatedLLM
+
+
+class _AlwaysGarbage:
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        return meter_response(get_profile("gpt-3.5"), request, "mumble mumble")
+
+
+class TestEvaluatePipeline:
+    def test_run_fields(self, restaurant_dataset):
+        run = evaluate_pipeline(
+            SimulatedLLM("gpt-4"), PipelineConfig(model="gpt-4"),
+            restaurant_dataset,
+        )
+        assert run.dataset == "restaurant"
+        assert run.model == "gpt-4"
+        assert run.metric_name == "accuracy"
+        assert run.is_applicable
+        assert 0.0 <= run.score <= 1.0
+        assert run.total_tokens > 0
+        assert run.cost_usd > 0
+        assert run.hours > 0
+        assert run.n_instances == len(restaurant_dataset.instances)
+
+    def test_score_pct_format(self, restaurant_dataset):
+        run = evaluate_pipeline(
+            SimulatedLLM("gpt-4"), PipelineConfig(model="gpt-4"),
+            restaurant_dataset,
+        )
+        assert run.score_pct.replace(".", "").isdigit()
+
+    def test_na_on_persistent_garbage(self, restaurant_dataset):
+        run = evaluate_pipeline(
+            _AlwaysGarbage(), PipelineConfig(model="gpt-3.5"),
+            restaurant_dataset,
+        )
+        assert run.fallback_rate > NOT_APPLICABLE_FALLBACK_RATE
+        assert run.score is None
+        assert run.score_pct == "N/A"
+
+    def test_vicuna_na_on_error_detection(self, adult_dataset):
+        """The paper's Table 1: Vicuna cannot do ED — reproduced as N/A."""
+        small = adult_dataset.subset(30)
+        run = evaluate_pipeline(
+            SimulatedLLM("vicuna-13b"),
+            PipelineConfig(model="vicuna-13b"),
+            small,
+        )
+        assert run.score_pct == "N/A"
+
+    def test_vicuna_applicable_on_small_em(self, beer_dataset):
+        """…but it returns (mediocre) answers on small EM datasets."""
+        run = evaluate_pipeline(
+            SimulatedLLM("vicuna-13b"),
+            PipelineConfig(model="vicuna-13b"),
+            beer_dataset,
+        )
+        assert run.is_applicable
+        assert run.score < 0.85  # well below the GPT models

@@ -1,0 +1,38 @@
+"""Tests for repro.eval.reporting."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.reporting import format_score, render_table, side_by_side
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table("T", ["col", "x"], [["a", "1"], ["bbbb", "22"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1]
+        # All data rows equal length (aligned).
+        assert len(lines[3]) == len(lines[4])
+
+    def test_empty_rows_ok(self):
+        text = render_table("T", ["a"], [])
+        assert "a" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(EvaluationError):
+            render_table("T", ["a", "b"], [["only-one"]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(EvaluationError):
+            render_table("T", [], [])
+
+
+class TestFormatters:
+    def test_format_score(self):
+        assert format_score(0.925) == "92.5"
+        assert format_score(None) == "N/A"
+
+    def test_side_by_side(self):
+        assert side_by_side("92.5", 92.0) == "92.5 (92.0)"
+        assert side_by_side("92.5", None) == "92.5"

@@ -1,0 +1,148 @@
+"""Failure injection: the pipeline under a misbehaving API.
+
+Production LLM pipelines survive flaky clients; these tests inject
+transient garbage, intermittent rate-limit storms, partially-numbered
+replies, and abrupt context-window changes, and assert the stack degrades
+gracefully (correct alignment, counted fallbacks, no crashes).
+"""
+
+import pytest
+
+from repro import PipelineConfig, Preprocessor, SimulatedLLM
+from repro.errors import ContextWindowExceededError, RateLimitError
+from repro.llm.accounting import meter_response
+from repro.llm.base import CompletionRequest, CompletionResponse
+from repro.llm.profiles import get_profile
+from repro.llm.ratelimit import RateLimit, RetryingClient, SimulatedClock
+
+
+class _FlakyClient:
+    """Returns garbage on the first attempt of every batch, then recovers."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._seen: set[tuple] = set()
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        key = tuple(request.transcript)
+        if key not in self._seen:
+            self._seen.add(key)
+            return meter_response(
+                get_profile(request.model), request, "ERROR: upstream glitch"
+            )
+        return self._inner.complete(request)
+
+
+class _PartialClient:
+    """Answers only the odd-numbered questions of every batch."""
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        final = request.messages[-1].content
+        count = final.count("Question ")
+        blocks = [
+            f"Answer {i}: yes" for i in range(1, count + 1) if i % 2 == 1
+        ]
+        return meter_response(
+            get_profile(request.model), request, "\n".join(blocks)
+        )
+
+
+class _StormyLimiter:
+    """A client that raises RateLimitError on every other call."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._calls = 0
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        self._calls += 1
+        if self._calls % 2 == 1:
+            raise RateLimitError(retry_after=0.5)
+        return self._inner.complete(request)
+
+
+class _ShrinkingWindowClient:
+    """Starts refusing prompts over a budget after the first call."""
+
+    def __init__(self, inner, budget):
+        self._inner = inner
+        self._budget = budget
+        self._calls = 0
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        from repro.llm.accounting import request_prompt_tokens
+
+        self._calls += 1
+        if self._calls > 1 and request_prompt_tokens(request) > self._budget:
+            raise ContextWindowExceededError(
+                request.model, request_prompt_tokens(request), self._budget
+            )
+        return self._inner.complete(request)
+
+
+class TestTransientGarbage:
+    def test_retry_recovers_everything(self, restaurant_dataset):
+        client = _FlakyClient(SimulatedLLM("gpt-4"))
+        result = Preprocessor(
+            client, PipelineConfig(model="gpt-4", max_format_retries=1)
+        ).run(restaurant_dataset)
+        assert result.n_fallbacks == 0
+        assert result.n_format_retries > 0
+        assert all(p for p in result.predictions)
+
+    def test_no_retry_budget_counts_fallbacks(self, restaurant_dataset):
+        client = _FlakyClient(SimulatedLLM("gpt-4"))
+        result = Preprocessor(
+            client, PipelineConfig(model="gpt-4", max_format_retries=0)
+        ).run(restaurant_dataset)
+        assert result.n_fallbacks == len(restaurant_dataset.instances)
+
+
+class TestPartialReplies:
+    def test_salvage_preserves_alignment(self, beer_dataset):
+        result = Preprocessor(
+            _PartialClient(),
+            PipelineConfig(model="gpt-3.5", batch_size=4,
+                           max_format_retries=0),
+        ).run(beer_dataset)
+        n = len(beer_dataset.instances)
+        yes_count = sum(1 for p in result.predictions if p is True)
+        no_count = sum(1 for p in result.predictions if p is False)
+        assert yes_count + no_count == n
+        # Odd positions answered yes, even positions fell back to no.
+        assert yes_count > 0 and no_count > 0
+        assert result.n_fallbacks == no_count
+
+
+class TestRateLimitStorm:
+    def test_retrying_client_rides_it_out(self, restaurant_dataset):
+        stormy = _StormyLimiter(SimulatedLLM("gpt-4"))
+        client = RetryingClient(
+            stormy, RateLimit(10**6, 10**9), clock=SimulatedClock(),
+            max_retries=3,
+        )
+        # RetryingClient only handles its own limiter; upstream 429s
+        # surface to the pipeline, so wrap manually here.
+        class _Wrapper:
+            def complete(self, request):
+                for __ in range(4):
+                    try:
+                        return client.complete(request)
+                    except RateLimitError:
+                        continue
+                raise RateLimitError(1.0)
+
+        result = Preprocessor(
+            _Wrapper(), PipelineConfig(model="gpt-4")
+        ).run(restaurant_dataset)
+        assert result.n_fallbacks == 0
+
+
+class TestWindowShrink:
+    def test_batch_splitting_adapts(self, restaurant_dataset):
+        client = _ShrinkingWindowClient(SimulatedLLM("gpt-4"), budget=1200)
+        result = Preprocessor(
+            client, PipelineConfig(model="gpt-4", batch_size=12)
+        ).run(restaurant_dataset)
+        assert len(result.predictions) == len(restaurant_dataset.instances)
+        assert result.n_fallbacks < len(restaurant_dataset.instances) * 0.2

@@ -1,0 +1,140 @@
+"""The reproduction's headline claims, as executable assertions.
+
+These tests encode the *shape* statements of the paper's evaluation —
+who wins, roughly by what factor, where components help or hurt — at
+reduced dataset sizes.  Tolerances are generous: the claims are ordinal.
+"""
+
+import pytest
+
+from repro import PipelineConfig, SimulatedLLM, load_dataset
+from repro.core.config import ablation_config
+from repro.eval import evaluate_pipeline
+
+
+def _score(model, dataset, config=None):
+    config = config or PipelineConfig(model=model)
+    return evaluate_pipeline(SimulatedLLM(model), config, dataset).score
+
+
+class TestTable1Shape:
+    def test_gpt4_dominates_gpt35_overall(self):
+        """GPT-4 >= GPT-3.5 on the clear-majority of datasets (Table 1)."""
+        wins = 0
+        names = ["restaurant", "synthea", "amazon_google", "beer",
+                 "walmart_amazon", "hospital"]
+        for name in names:
+            dataset = load_dataset(name, size=150)
+            if _score("gpt-4", dataset) >= _score("gpt-3.5", dataset) - 0.02:
+                wins += 1
+        assert wins >= len(names) - 1
+
+    def test_fodors_zagat_at_ceiling(self):
+        dataset = load_dataset("fodors_zagat", size=150)
+        assert _score("gpt-4", dataset) > 0.95
+
+    def test_synthea_is_the_hard_task(self):
+        """Every method's worst task: SM on Synthea (best ~66.7 in paper)."""
+        synthea = _score("gpt-4", load_dataset("synthea", size=150))
+        restaurant = _score("gpt-4", load_dataset("restaurant", size=80))
+        assert synthea < 0.85
+        assert synthea < restaurant
+
+    def test_vicuna_na_outside_em(self):
+        for name in ("adult", "restaurant", "synthea"):
+            dataset = load_dataset(name, size=60)
+            run = evaluate_pipeline(
+                SimulatedLLM("vicuna-13b"),
+                PipelineConfig(model="vicuna-13b"), dataset,
+            )
+            assert not run.is_applicable, name
+
+    def test_vicuna_mediocre_on_em(self):
+        dataset = load_dataset("beer")
+        run = evaluate_pipeline(
+            SimulatedLLM("vicuna-13b"), PipelineConfig(model="vicuna-13b"),
+            dataset,
+        )
+        assert run.is_applicable
+        assert run.score < _score("gpt-3.5", dataset)
+
+
+class TestTable2Shape:
+    """The ablation orderings of Table 2 (GPT-3.5)."""
+
+    def test_fewshot_lifts_ed(self):
+        dataset = load_dataset("adult", size=250)
+        zs = _score("gpt-3.5", dataset, ablation_config("ZS-T"))
+        fs = _score("gpt-3.5", dataset, ablation_config("ZS-T+FS"))
+        assert fs > zs
+
+    def test_reasoning_lifts_ed_most(self):
+        dataset = load_dataset("adult", size=250)
+        fs = _score("gpt-3.5", dataset, ablation_config("ZS-T+FS+B"))
+        full = _score("gpt-3.5", dataset, ablation_config("ZS-T+FS+B+ZS-R"))
+        assert full > fs + 0.1
+
+    def test_reasoning_without_examples_collapses_sm(self):
+        dataset = load_dataset("synthea", size=200)
+        zs = _score("gpt-3.5", dataset, ablation_config("ZS-T+B"))
+        zsr = _score("gpt-3.5", dataset, ablation_config("ZS-T+B+ZS-R"))
+        assert zsr < zs  # the paper's 17.4 -> 5.9 drop
+
+    def test_fewshot_lifts_sm(self):
+        dataset = load_dataset("synthea", size=200)
+        zs = _score("gpt-3.5", dataset, ablation_config("ZS-T"))
+        fs = _score("gpt-3.5", dataset, ablation_config("ZS-T+FS"))
+        assert fs > zs + 0.1
+
+    def test_batching_roughly_neutral_on_quality(self):
+        dataset = load_dataset("buy")
+        single = _score("gpt-3.5", dataset, ablation_config("ZS-T+FS"))
+        batched = _score("gpt-3.5", dataset, ablation_config("ZS-T+FS+B"))
+        assert abs(single - batched) < 0.12
+
+
+class TestTable3Shape:
+    def test_batching_saves_tokens_cost_time(self):
+        dataset = load_dataset("adult", size=300)
+        runs = {}
+        for batch_size in (1, 15):
+            config = PipelineConfig(model="gpt-3.5", fewshot=0,
+                                    batch_size=batch_size)
+            runs[batch_size] = evaluate_pipeline(
+                SimulatedLLM("gpt-3.5"), config, dataset
+            )
+        assert runs[15].total_tokens < runs[1].total_tokens * 0.75
+        assert runs[15].cost_usd < runs[1].cost_usd * 0.75
+        assert runs[15].hours < runs[1].hours
+        # Quality holds (paper: minor fluctuations only).
+        assert abs(runs[15].score - runs[1].score) < 0.15
+
+
+class TestBaselineShape:
+    def test_ed_ordering_holodetect_over_holoclean(self):
+        from repro.baselines import HoloCleanDetector, HoloDetectDetector
+        from repro.eval.metrics import f1_score
+
+        test = load_dataset("hospital", size=250)
+        train = load_dataset("hospital", size=250, seed=55)
+        labels = [i.label for i in test.instances]
+        hc = HoloCleanDetector().fit(test.instances)
+        hd = HoloDetectDetector().fit(
+            test.instances,
+            list(train.fewshot_pool) + list(train.instances[:48]),
+        )
+        assert f1_score(hd.predict(test.instances), labels) > f1_score(
+            hc.predict(test.instances), labels
+        )
+
+    def test_sm_ordering_gpt4_over_smat(self):
+        from repro.baselines import SMATMatcher
+        from repro.eval.metrics import f1_score
+
+        test = load_dataset("synthea", size=200)
+        train = load_dataset("synthea", size=300, seed=55)
+        labels = [i.label for i in test.instances]
+        smat = SMATMatcher().fit(train.instances)
+        smat_f1 = f1_score(smat.predict(test.instances), labels)
+        gpt4 = _score("gpt-4", test)
+        assert gpt4 > smat_f1

@@ -1,0 +1,64 @@
+"""Tests for repro.llm.accounting."""
+
+import pytest
+
+from repro.llm.accounting import (
+    UsageLedger,
+    completion_tokens,
+    meter_response,
+    request_prompt_tokens,
+)
+from repro.llm.base import ChatMessage, CompletionRequest
+from repro.llm.profiles import get_profile
+
+
+@pytest.fixture()
+def request_():
+    return CompletionRequest(
+        messages=(ChatMessage(role="system", content="You are helpful."),
+                  ChatMessage(role="user", content="Question 1: hello?")),
+        model="gpt-3.5",
+    )
+
+
+class TestMetering:
+    def test_prompt_tokens_positive(self, request_):
+        assert request_prompt_tokens(request_) > 5
+
+    def test_meter_response_fills_usage_and_latency(self, request_):
+        profile = get_profile("gpt-3.5")
+        response = meter_response(profile, request_, "Answer 1: hi")
+        assert response.usage.prompt_tokens == request_prompt_tokens(request_)
+        assert response.usage.completion_tokens == completion_tokens("Answer 1: hi")
+        assert response.latency_s > profile.latency.base_s
+
+
+class TestUsageLedger:
+    def test_accumulation(self, request_):
+        profile = get_profile("gpt-3.5")
+        ledger = UsageLedger()
+        for __ in range(3):
+            response = meter_response(profile, request_, "Answer 1: hi")
+            ledger.record(request_, response)
+        assert ledger.n_requests == 3
+        assert ledger.total_tokens == 3 * (
+            request_prompt_tokens(request_) + completion_tokens("Answer 1: hi")
+        )
+        assert ledger.total_cost_usd > 0
+        assert ledger.total_hours > 0
+
+    def test_clear(self, request_):
+        profile = get_profile("gpt-3.5")
+        ledger = UsageLedger()
+        ledger.record(request_, meter_response(profile, request_, "x"))
+        ledger.clear()
+        assert ledger.n_requests == 0
+
+    def test_cost_uses_model_prices(self, request_):
+        ledger = UsageLedger()
+        gpt4_request = CompletionRequest(messages=request_.messages, model="gpt-4")
+        cheap = meter_response(get_profile("gpt-3.5"), request_, "x")
+        pricey = meter_response(get_profile("gpt-4"), gpt4_request, "x")
+        a = ledger.record(request_, cheap)
+        b = ledger.record(gpt4_request, pricey)
+        assert b.cost_usd > a.cost_usd

@@ -1,0 +1,57 @@
+"""Tests for repro.llm.base."""
+
+import pytest
+
+from repro.errors import LLMError
+from repro.llm.base import ChatMessage, CompletionRequest, LLMClient, Usage
+from repro.llm.simulated import SimulatedLLM
+
+
+class TestChatMessage:
+    def test_invalid_role(self):
+        with pytest.raises(LLMError):
+            ChatMessage(role="robot", content="x")
+
+    def test_valid_roles(self):
+        for role in ("system", "user", "assistant"):
+            assert ChatMessage(role=role, content="x").role == role
+
+
+class TestCompletionRequest:
+    def test_needs_messages(self):
+        with pytest.raises(LLMError):
+            CompletionRequest(messages=(), model="gpt-3.5")
+
+    def test_temperature_bounds(self):
+        message = (ChatMessage(role="user", content="x"),)
+        with pytest.raises(LLMError):
+            CompletionRequest(messages=message, model="m", temperature=2.5)
+
+    def test_max_tokens_positive(self):
+        message = (ChatMessage(role="user", content="x"),)
+        with pytest.raises(LLMError):
+            CompletionRequest(messages=message, model="m", max_tokens=0)
+
+    def test_transcript(self):
+        request = CompletionRequest(
+            messages=(ChatMessage(role="system", content="a"),
+                      ChatMessage(role="user", content="b")),
+            model="m",
+        )
+        assert request.transcript == [("system", "a"), ("user", "b")]
+
+
+class TestUsage:
+    def test_addition(self):
+        total = Usage(1, 2) + Usage(10, 20)
+        assert total.prompt_tokens == 11
+        assert total.total_tokens == 33
+
+    def test_negative_rejected(self):
+        with pytest.raises(LLMError):
+            Usage(-1, 0)
+
+
+class TestProtocol:
+    def test_simulated_llm_satisfies_protocol(self):
+        assert isinstance(SimulatedLLM("gpt-3.5"), LLMClient)

@@ -1,0 +1,71 @@
+"""Tests for repro.llm.cache."""
+
+import pytest
+
+from repro.llm.base import ChatMessage, CompletionRequest
+from repro.llm.cache import CachingClient, request_key
+from repro.llm.simulated import SimulatedLLM
+
+
+def _request(text='Question 1: Record is [a: "1"]. What is the b?'):
+    return CompletionRequest(
+        messages=(
+            ChatMessage(
+                role="system",
+                content='You are a database engineer.\nYou are requested to '
+                        'infer the value of the "b" attribute based on the '
+                        'values of other attributes.\nMUST answer each '
+                        'question in one line. You ONLY give the value of '
+                        'the "b" attribute.',
+            ),
+            ChatMessage(role="user", content=text),
+        ),
+        model="gpt-3.5",
+    )
+
+
+class TestCachingClient:
+    def test_hit_returns_same_text_zero_latency(self):
+        client = CachingClient(SimulatedLLM("gpt-3.5"))
+        first = client.complete(_request())
+        second = client.complete(_request())
+        assert second.text == first.text
+        assert second.latency_s == 0.0
+        assert client.hits == 1 and client.misses == 1
+
+    def test_different_requests_miss(self):
+        client = CachingClient(SimulatedLLM("gpt-3.5"))
+        client.complete(_request())
+        client.complete(_request('Question 1: Record is [a: "2"]. What is the b?'))
+        assert client.misses == 2
+
+    def test_lru_eviction(self):
+        client = CachingClient(SimulatedLLM("gpt-3.5"), max_entries=1)
+        client.complete(_request())
+        client.complete(_request('Question 1: Record is [a: "2"]. What is the b?'))
+        client.complete(_request())  # evicted -> miss again
+        assert client.misses == 3
+
+    def test_hit_rate(self):
+        client = CachingClient(SimulatedLLM("gpt-3.5"))
+        assert client.hit_rate == 0.0
+        client.complete(_request())
+        client.complete(_request())
+        assert client.hit_rate == 0.5
+
+    def test_clear(self):
+        client = CachingClient(SimulatedLLM("gpt-3.5"))
+        client.complete(_request())
+        client.clear()
+        client.complete(_request())
+        assert client.misses == 1
+
+    def test_key_includes_temperature(self):
+        a = _request()
+        b = CompletionRequest(messages=a.messages, model="gpt-3.5",
+                              temperature=1.0)
+        assert request_key(a) != request_key(b)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CachingClient(SimulatedLLM("gpt-3.5"), max_entries=0)

@@ -1,0 +1,124 @@
+"""Tests for repro.llm.knowledge."""
+
+import pytest
+
+from repro.llm.knowledge import KnowledgeBase
+
+
+@pytest.fixture()
+def omniscient():
+    return KnowledgeBase("oracle", coverage=1.0, concept_coverage=1.0)
+
+
+@pytest.fixture()
+def ignorant():
+    return KnowledgeBase("pebble", coverage=0.0, concept_coverage=0.0)
+
+
+class TestCoverageGating:
+    def test_full_coverage_knows_everything(self, omniscient):
+        assert omniscient.city_for_area_code("770") == "marietta"
+        assert omniscient.find_brand("sony bravia tv x100") == "sony"
+        assert omniscient.concept_of("dob") is not None
+
+    def test_zero_coverage_knows_nothing(self, ignorant):
+        assert ignorant.city_for_area_code("770") is None
+        assert ignorant.find_brand("sony bravia tv") is None
+        assert ignorant.concept_of("dob") is None
+
+    def test_partial_coverage_is_deterministic_per_model(self):
+        a = KnowledgeBase("gpt-3.5", 0.5, 0.5)
+        b = KnowledgeBase("gpt-3.5", 0.5, 0.5)
+        codes = ["212", "312", "404", "617", "713", "808"]
+        assert [a.city_for_area_code(c) for c in codes] == [
+            b.city_for_area_code(c) for c in codes
+        ]
+
+    def test_different_models_know_different_facts(self):
+        a = KnowledgeBase("model-a", 0.5, 0.5)
+        b = KnowledgeBase("model-b", 0.5, 0.5)
+        codes = [c for c in ("212", "312", "404", "617", "713", "808",
+                             "206", "303", "415", "512")]
+        answers_a = [a.city_for_area_code(c) is None for c in codes]
+        answers_b = [b.city_for_area_code(c) is None for c in codes]
+        assert answers_a != answers_b
+
+    def test_coverage_bounds_validated(self):
+        with pytest.raises(ValueError):
+            KnowledgeBase("m", coverage=1.5, concept_coverage=0.5)
+        with pytest.raises(ValueError):
+            KnowledgeBase("m", coverage=0.5, concept_coverage=-0.1)
+
+
+class TestGeography:
+    def test_unknown_area_code(self, omniscient):
+        assert omniscient.city_for_area_code("000") is None
+
+    def test_zip_prefix(self, omniscient):
+        assert omniscient.city_for_zip_prefix("300") == "marietta"
+
+    def test_state_for_city(self, omniscient):
+        assert omniscient.state_for_city("boston") == "ma"
+        assert omniscient.state_for_city("atlantis") is None
+
+
+class TestBrands:
+    def test_bigram_brand_preferred(self, omniscient):
+        found = omniscient.find_brand("western digital caviar drive wd100")
+        assert found == "western digital"
+
+    def test_aliases(self, omniscient):
+        assert omniscient.brand_alias("hp") == "hewlett-packard"
+        assert omniscient.city_alias("new york") == "new york city"
+        assert omniscient.brand_alias("unknown-brand") is None
+
+
+class TestDomains:
+    def test_closed_domain_flags(self, omniscient):
+        assert omniscient.is_closed_domain("sex")
+        assert not omniscient.is_closed_domain("hospitalname")
+
+    def test_small_domains_fully_known_at_moderate_coverage(self):
+        weak = KnowledgeBase("weakish", coverage=0.6, concept_coverage=0.2)
+        domain = weak.domain_of("sex")
+        assert domain == frozenset({"male", "female"})
+
+    def test_unknown_attribute_domain(self, omniscient):
+        assert omniscient.domain_of("frobnication") is None
+
+
+class TestSpellcheck:
+    def test_known_words(self, omniscient):
+        assert omniscient.knows_word("hospital")
+        assert omniscient.knows_word("pneumonia")
+
+    def test_typo_not_known_but_near(self, omniscient):
+        assert not omniscient.knows_word("hospitral")
+        assert omniscient.near_known_word("hospitel")
+
+    def test_numbers_pass(self, omniscient):
+        assert omniscient.knows_word("1234")
+
+    def test_short_words_not_near_matched(self, omniscient):
+        assert not omniscient.near_known_word("ab")
+
+
+class TestNumericRanges:
+    def test_known_ranges(self, omniscient):
+        assert omniscient.plausible_range("age") == (0, 120)
+        assert omniscient.plausible_range("frobs") is None
+
+    def test_education_mapping(self, omniscient):
+        assert omniscient.education_number("bachelors") == 13
+        assert omniscient.education_number("made-up") is None
+
+
+class TestConcepts:
+    def test_same_group_same_concept(self, omniscient):
+        assert omniscient.concept_of("dob") == omniscient.concept_of("birth_date")
+
+    def test_different_groups_differ(self, omniscient):
+        assert omniscient.concept_of("dob") != omniscient.concept_of("gender")
+
+    def test_unknown_attribute(self, omniscient):
+        assert omniscient.concept_of("frobnication") is None

@@ -1,0 +1,91 @@
+"""Tests for the DI data-type hint (paper Section 3.1)."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.parsing import parse_batch_answers
+from repro.core.prompts import PromptBuilder
+from repro.data.instances import DIInstance, Task
+from repro.data.records import Record
+from repro.data.schema import AttrType, Schema
+from repro.llm.base import CompletionRequest
+from repro.llm.simulated import SimulatedLLM
+
+
+@pytest.fixture()
+def hours_instances():
+    """Adult-style records with hoursperweek blanked for imputation."""
+    schema = Schema.from_names(
+        "adult", ["age", "occupation", "hoursperweek"],
+        types={"age": AttrType.NUMERIC, "hoursperweek": AttrType.NUMERIC},
+    )
+    instances = []
+    for i, occupation in enumerate(["sales", "exec-managerial", "tech-support"]):
+        record = Record(
+            schema=schema,
+            values={"age": 30 + i, "occupation": occupation,
+                    "hoursperweek": None},
+        )
+        instances.append(
+            DIInstance(record=record, target_attribute="hoursperweek",
+                       true_value="40", instance_id=f"h{i}")
+        )
+    return instances
+
+
+def _answers(instances, type_hint):
+    config = PipelineConfig(
+        model="gpt-4", fewshot=0, type_hint=type_hint,
+    )
+    builder = PromptBuilder(Task.DATA_IMPUTATION, config,
+                            target_attribute="hoursperweek")
+    prompt = builder.build(instances)
+    client = SimulatedLLM("gpt-4")
+    response = client.complete(
+        CompletionRequest(messages=prompt.messages, model="gpt-4")
+    )
+    return parse_batch_answers(response.text, Task.DATA_IMPUTATION,
+                               len(instances))
+
+
+class TestTypeHint:
+    def test_hint_appears_in_prompt(self, hours_instances):
+        hint = 'The "hoursperweek" attribute can be a range of integers.'
+        config = PipelineConfig(model="gpt-4", type_hint=hint)
+        builder = PromptBuilder(Task.DATA_IMPUTATION, config,
+                                target_attribute="hoursperweek")
+        prompt = builder.build(hours_instances)
+        assert hint in prompt.messages[0].content
+
+    def test_range_hint_changes_answer_shape(self, hours_instances):
+        """Paper: 'the LLM will respond with a range instead of a number'."""
+        hint = 'The "hoursperweek" attribute can be a range of integers.'
+        with_hint = _answers(hours_instances, hint)
+        without = _answers(hours_instances, None)
+        # Numeric answers under the hint come back as "lo-hi" ranges.
+        numeric_with = [a for a in with_hint
+                        if any(ch.isdigit() for ch in str(a))]
+        for answer in numeric_with:
+            assert "-" in str(answer)
+        numeric_without = [a for a in without
+                           if any(ch.isdigit() for ch in str(a))]
+        for answer in numeric_without:
+            assert "-" not in str(answer)
+
+    def test_non_numeric_answers_unaffected(self, restaurant_dataset):
+        hint = 'The "city" attribute can be a range of integers.'  # nonsense
+        config = PipelineConfig(model="gpt-4", fewshot=4, type_hint=hint)
+        builder = PromptBuilder(Task.DATA_IMPUTATION, config,
+                                target_attribute="city")
+        instances = list(restaurant_dataset.instances[:3])
+        prompt = builder.build(
+            instances, fewshot_examples=restaurant_dataset.sample_fewshot(4)
+        )
+        client = SimulatedLLM("gpt-4")
+        response = client.complete(
+            CompletionRequest(messages=prompt.messages, model="gpt-4")
+        )
+        answers = parse_batch_answers(response.text, Task.DATA_IMPUTATION, 3)
+        # City names pass through untouched — no fake ranges.
+        for answer in answers:
+            assert not str(answer).replace("-", "").isdigit()

@@ -1,0 +1,61 @@
+"""Tests for repro.ml.kmeans."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ml.kmeans import KMeans
+
+
+@pytest.fixture()
+def three_blobs():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.vstack([
+        center + rng.normal(scale=0.3, size=(30, 2)) for center in centers
+    ])
+    return points
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, three_blobs):
+        model = KMeans(k=3, seed=1).fit(three_blobs)
+        groups = model.clusters()
+        assert len(groups) == 3
+        # Each true blob should land in exactly one cluster.
+        for start in (0, 30, 60):
+            blob_labels = {int(model.labels_[i]) for i in range(start, start + 30)}
+            assert len(blob_labels) == 1
+
+    def test_deterministic_per_seed(self, three_blobs):
+        a = KMeans(k=3, seed=5).fit(three_blobs).labels_
+        b = KMeans(k=3, seed=5).fit(three_blobs).labels_
+        assert np.array_equal(a, b)
+
+    def test_fewer_points_than_k(self):
+        X = np.array([[0.0], [1.0]])
+        model = KMeans(k=5).fit(X)
+        assert len(model.clusters()) == 2
+        assert model.inertia_ == 0.0
+
+    def test_predict_assigns_nearest(self, three_blobs):
+        model = KMeans(k=3, seed=1).fit(three_blobs)
+        label_at_origin = model.predict(np.array([[0.1, -0.1]]))[0]
+        assert label_at_origin == model.labels_[0]
+
+    def test_every_point_assigned(self, three_blobs):
+        model = KMeans(k=3, seed=2).fit(three_blobs)
+        assert sum(len(c) for c in model.clusters()) == len(three_blobs)
+
+    def test_identical_points(self):
+        X = np.ones((10, 2))
+        model = KMeans(k=3, seed=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            KMeans(k=0)
+        with pytest.raises(ReproError):
+            KMeans(k=2).fit(np.zeros((0, 2)))
+        with pytest.raises(ReproError):
+            KMeans(k=2).predict(np.zeros((1, 2)))

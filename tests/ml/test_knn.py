@@ -1,0 +1,55 @@
+"""Tests for repro.ml.knn."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ml.knn import KNNClassifier, KNNImputer
+
+
+class TestKNNClassifier:
+    def test_majority_vote(self):
+        X = np.array([[1.0, 0.0], [0.9, 0.1], [0.0, 1.0]])
+        model = KNNClassifier(k=2).fit(X, ["a", "a", "b"])
+        assert model.predict_one(np.array([1.0, 0.05])) == "a"
+
+    def test_euclidean_metric(self):
+        X = np.array([[0.0], [10.0]])
+        model = KNNClassifier(k=1, metric="euclidean").fit(X, ["low", "high"])
+        assert model.predict_one(np.array([1.0])) == "low"
+
+    def test_k_larger_than_data(self):
+        X = np.array([[0.0], [1.0]])
+        model = KNNClassifier(k=50).fit(X, ["a", "a"])
+        assert model.predict(np.array([[0.5]])) == ["a"]
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+        with pytest.raises(ValueError):
+            KNNClassifier(metric="manhattan")
+        with pytest.raises(ReproError):
+            KNNClassifier().fit(np.zeros((2, 1)), ["a"])
+        with pytest.raises(ReproError):
+            KNNClassifier().predict(np.zeros((1, 1)))
+
+
+class TestKNNImputer:
+    def test_similarity_weighted_vote(self):
+        # One very close neighbor outvotes two distant ones.
+        X = np.array([[1.0, 0.0], [0.0, 1.0], [0.05, 1.0]])
+        model = KNNImputer(k=3).fit(X, ["near", "far", "far"])
+        assert model.impute_one(np.array([1.0, 0.02])) == "near"
+
+    def test_batch(self):
+        X = np.eye(3)
+        model = KNNImputer(k=1).fit(X, ["a", "b", "c"])
+        assert model.impute(X) == ["a", "b", "c"]
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            KNNImputer(k=0)
+        with pytest.raises(ReproError):
+            KNNImputer().fit(np.zeros((0, 1)), [])
+        with pytest.raises(ReproError):
+            KNNImputer().impute(np.zeros((1, 1)))

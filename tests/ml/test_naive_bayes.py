@@ -1,0 +1,54 @@
+"""Tests for repro.ml.naive_bayes."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ml.naive_bayes import MultinomialNB
+
+
+@pytest.fixture()
+def spam_model():
+    documents = [
+        ["win", "money", "now"],
+        ["win", "prize", "money"],
+        ["meeting", "tomorrow", "agenda"],
+        ["project", "meeting", "notes"],
+    ]
+    labels = ["spam", "spam", "ham", "ham"]
+    return MultinomialNB().fit(documents, labels)
+
+
+class TestMultinomialNB:
+    def test_classification(self, spam_model):
+        assert spam_model.predict_one(["money", "win"]) == "spam"
+        assert spam_model.predict_one(["meeting", "agenda"]) == "ham"
+
+    def test_unseen_terms_smoothed(self, spam_model):
+        # Must not crash or return -inf on novel vocabulary.
+        value = spam_model.log_likelihood(["zebra"], "spam")
+        assert value < 0
+
+    def test_predict_batch(self, spam_model):
+        out = spam_model.predict([["win"], ["meeting"]])
+        assert out == ["spam", "ham"]
+
+    def test_class_prior_influences(self):
+        documents = [["x"], ["x"], ["x"], ["y"]]
+        labels = ["a", "a", "a", "b"]
+        model = MultinomialNB().fit(documents, labels)
+        # A term seen in neither class defers to the prior.
+        assert model.predict_one(["unseen"]) == "a"
+
+    def test_unknown_class_raises(self, spam_model):
+        with pytest.raises(ReproError):
+            spam_model.log_likelihood(["x"], "nope")
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            MultinomialNB(alpha=0)
+        with pytest.raises(ReproError):
+            MultinomialNB().fit([], [])
+        with pytest.raises(ReproError):
+            MultinomialNB().fit([["x"]], ["a", "b"])
+        with pytest.raises(ReproError):
+            MultinomialNB().log_likelihood(["x"], "a")

@@ -1,0 +1,29 @@
+"""Tests for repro.ml.scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ml.scaling import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_passthrough(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)  # centered, not divided by zero
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(ReproError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ReproError):
+            StandardScaler().fit(np.zeros(3))

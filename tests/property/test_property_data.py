@@ -1,0 +1,58 @@
+"""Property-based tests for corruption and metrics invariants."""
+
+import random
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.corruption import numeric_outlier, typo
+from repro.eval.metrics import confusion_counts, f1_score
+
+values = st.text(alphabet=string.ascii_lowercase + " ", min_size=1, max_size=20)
+
+
+class TestCorruptionProperties:
+    @given(values, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=80)
+    def test_typo_always_changes(self, value, seed):
+        rng = random.Random(seed)
+        assert typo(value, rng).corrupted != value
+
+    @given(values, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=80)
+    def test_typo_at_most_one_edit_of_length(self, value, seed):
+        rng = random.Random(seed)
+        corrupted = typo(value, rng).corrupted
+        assert abs(len(corrupted) - len(value)) <= 1
+
+    @given(st.integers(min_value=1, max_value=10**6),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60)
+    def test_numeric_outlier_changes_value(self, value, seed):
+        rng = random.Random(seed)
+        out = numeric_outlier(value, rng)
+        assert float(out.corrupted) != float(value)
+
+
+class TestMetricProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=50), st.data())
+    @settings(max_examples=80)
+    def test_f1_bounds(self, labels, data):
+        predictions = [data.draw(st.booleans()) for __ in labels]
+        assert 0.0 <= f1_score(predictions, labels) <= 1.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=50))
+    def test_perfect_predictions(self, labels):
+        score = f1_score(labels, labels)
+        if any(labels):
+            assert score == 1.0
+        else:
+            assert score == 0.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=50), st.data())
+    @settings(max_examples=80)
+    def test_confusion_partitions(self, labels, data):
+        predictions = [data.draw(st.booleans()) for __ in labels]
+        m = confusion_counts(predictions, labels)
+        assert m.tp + m.fp + m.fn + m.tn == len(labels)

@@ -1,0 +1,57 @@
+"""Property-based tests for the coverage-gated knowledge base."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.knowledge import KnowledgeBase, _knows
+
+model_names = st.text(alphabet=string.ascii_lowercase + "-.", min_size=1,
+                      max_size=12)
+fact_keys = st.text(alphabet=string.ascii_lowercase + ":0123456789",
+                    min_size=1, max_size=20)
+coverages = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestKnowsProperties:
+    @given(model_names, fact_keys, coverages, coverages)
+    @settings(max_examples=150)
+    def test_monotone_in_coverage(self, model, key, c1, c2):
+        """A model never *loses* a fact when its coverage grows."""
+        low, high = sorted((c1, c2))
+        if _knows(model, key, low):
+            assert _knows(model, key, high)
+
+    @given(model_names, fact_keys, coverages)
+    @settings(max_examples=100)
+    def test_deterministic(self, model, key, coverage):
+        assert _knows(model, key, coverage) == _knows(model, key, coverage)
+
+    @given(model_names, fact_keys)
+    def test_extremes(self, model, key):
+        assert not _knows(model, key, 0.0)
+        assert _knows(model, key, 1.0)
+
+
+class TestKnowledgeBaseProperties:
+    @given(coverages)
+    @settings(max_examples=30)
+    def test_domain_monotone_in_coverage(self, coverage):
+        """Higher-coverage models know a superset of each domain."""
+        weak = KnowledgeBase("same-model", coverage=coverage * 0.5,
+                             concept_coverage=0.5)
+        strong = KnowledgeBase("same-model", coverage=coverage,
+                               concept_coverage=0.5)
+        for attribute in ("occupation", "country", "state"):
+            weak_domain = weak.domain_of(attribute) or frozenset()
+            strong_domain = strong.domain_of(attribute) or frozenset()
+            assert weak_domain <= strong_domain
+
+    @given(st.sampled_from(["212", "770", "617", "808", "303", "404"]))
+    def test_area_codes_answer_from_world(self, code):
+        """Full coverage returns exactly the generator's ground truth."""
+        from repro.datasets.vocabularies import AREA_CODE_TO_CITY
+
+        oracle = KnowledgeBase("oracle", 1.0, 1.0)
+        assert oracle.city_for_area_code(code) == AREA_CODE_TO_CITY[code]

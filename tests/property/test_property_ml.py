@@ -1,0 +1,64 @@
+"""Property-based tests for the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.kmeans import KMeans
+from repro.ml.logistic import LogisticRegression
+from repro.ml.scaling import StandardScaler
+
+matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(5, 30), st.integers(1, 4)),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestScalerProperties:
+    @given(matrices)
+    @settings(max_examples=40)
+    def test_transform_finite_and_centered(self, X):
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-6)
+
+
+class TestLogisticProperties:
+    @given(matrices)
+    @settings(max_examples=25)
+    def test_probabilities_valid(self, X):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=X.shape[0]).astype(np.float64)
+        if len(set(y.tolist())) < 2:
+            y[0] = 1.0 - y[0]
+        model = LogisticRegression(n_iter=50).fit(X, y)
+        p = model.predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+        assert np.all(np.isfinite(p))
+
+    @given(matrices)
+    @settings(max_examples=25)
+    def test_nonnegative_constraint_respected(self, X):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=X.shape[0]).astype(np.float64)
+        if len(set(y.tolist())) < 2:
+            y[0] = 1.0 - y[0]
+        model = LogisticRegression(n_iter=50, nonnegative=True).fit(X, y)
+        assert np.all(model.coef_ >= 0)
+
+
+class TestKMeansProperties:
+    @given(matrices, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25)
+    def test_partition_is_total(self, X, k):
+        model = KMeans(k=k, n_iter=10, seed=0).fit(X)
+        assert len(model.labels_) == X.shape[0]
+        assert sum(len(c) for c in model.clusters()) == X.shape[0]
+
+    @given(matrices)
+    @settings(max_examples=25)
+    def test_inertia_nonnegative(self, X):
+        model = KMeans(k=2, n_iter=10, seed=0).fit(X)
+        assert model.inertia_ >= 0.0

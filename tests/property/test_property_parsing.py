@@ -1,0 +1,64 @@
+"""Property-based tests for contextualization and answer parsing."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contextualize import parse_serialized_record, serialize_record
+from repro.core.parsing import parse_batch_answers_lenient, split_answer_blocks
+from repro.data.instances import Task
+from repro.data.records import Record
+from repro.data.schema import Schema
+
+# Attribute names: word-ish; values avoid quotes/backslashes (cells in the
+# benchmarks never contain them; the serialization format reserves them).
+attr_names = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+    min_size=1, max_size=6, unique=True,
+)
+_CELL_ALPHABET = "".join(
+    chr(c) for c in range(32, 127) if chr(c) not in '"\\'
+)
+cell_values = st.one_of(
+    st.none(),
+    st.text(alphabet=_CELL_ALPHABET, min_size=1, max_size=20),
+)
+
+
+class TestSerializationRoundtrip:
+    @given(attr_names, st.data())
+    @settings(max_examples=80)
+    def test_parse_inverts_serialize(self, names, data):
+        schema = Schema.from_names("t", names)
+        values = {name: data.draw(cell_values) for name in names}
+        record = Record(schema=schema, values=values)
+        parsed = parse_serialized_record(serialize_record(record))
+        for name in names:
+            expected = record[name]
+            got = parsed.get(name)
+            if expected is None:
+                assert got is None
+            else:
+                assert got == str(expected)
+
+
+class TestLenientParsing:
+    @given(st.text(max_size=200), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80)
+    def test_never_raises_and_length_correct(self, text, expected):
+        out = parse_batch_answers_lenient(text, Task.ENTITY_MATCHING, expected)
+        assert len(out) == expected
+        assert all(o in (True, False, None) for o in out)
+
+    @given(st.lists(st.sampled_from(["yes", "no"]), min_size=1, max_size=10))
+    def test_wellformed_always_parsed(self, answers):
+        text = "\n".join(
+            f"Answer {i}: {a}" for i, a in enumerate(answers, start=1)
+        )
+        blocks = split_answer_blocks(text, len(answers))
+        assert [b.answer for b in blocks] == answers
+        lenient = parse_batch_answers_lenient(
+            text, Task.ENTITY_MATCHING, len(answers)
+        )
+        assert lenient == [a == "yes" for a in answers]

@@ -1,0 +1,76 @@
+"""Tests for repro.text.embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.text.embeddings import (
+    HashingEmbedder,
+    average_pairwise_similarity,
+    nearest_neighbors,
+)
+
+
+class TestHashingEmbedder:
+    def test_deterministic_across_instances(self):
+        a = HashingEmbedder().embed("hello world")
+        b = HashingEmbedder().embed("hello world")
+        assert np.array_equal(a, b)
+
+    def test_unit_norm(self):
+        v = HashingEmbedder().embed("some text here")
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_empty_text_is_zero(self):
+        v = HashingEmbedder().embed("")
+        assert np.allclose(v, 0.0)
+
+    def test_similar_texts_closer_than_different(self):
+        e = HashingEmbedder()
+        base = "stone brewing pale ale"
+        near = e.similarity(base, "stone brewing pale ale 6%")
+        far = e.similarity(base, "database query optimization")
+        assert near > far
+
+    def test_embed_all_shape(self):
+        matrix = HashingEmbedder(dim=64).embed_all(["a", "b", "c"])
+        assert matrix.shape == (3, 64)
+
+    def test_embed_all_empty(self):
+        matrix = HashingEmbedder(dim=64).embed_all([])
+        assert matrix.shape == (0, 64)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(dim=0)
+        with pytest.raises(ValueError):
+            HashingEmbedder(ngram=-1)
+
+
+class TestNeighbors:
+    def test_nearest_first(self):
+        e = HashingEmbedder()
+        corpus = ["red apple", "green apple", "blue car"]
+        matrix = e.embed_all(corpus)
+        order = nearest_neighbors(e.embed("red apple pie"), matrix, k=2)
+        assert order[0] == 0
+
+    def test_empty_matrix(self):
+        e = HashingEmbedder(dim=8)
+        assert nearest_neighbors(e.embed("x"), np.zeros((0, 8))) == []
+
+
+class TestPairwiseSimilarity:
+    def test_identical_rows(self):
+        e = HashingEmbedder()
+        matrix = e.embed_all(["same text", "same text"])
+        assert average_pairwise_similarity(matrix) == pytest.approx(1.0)
+
+    def test_single_row_is_one(self):
+        e = HashingEmbedder()
+        assert average_pairwise_similarity(e.embed_all(["x"])) == 1.0
+
+    def test_mixed_lower_than_homogeneous(self):
+        e = HashingEmbedder()
+        homogeneous = e.embed_all(["apple pie", "apple pies"])
+        mixed = e.embed_all(["apple pie", "query engine"])
+        assert average_pairwise_similarity(homogeneous) > average_pairwise_similarity(mixed)

@@ -1,0 +1,45 @@
+"""Tests for repro.text.tokenize."""
+
+from repro.text.tokenize import count_message_tokens, count_tokens, word_tokens
+
+
+class TestWordTokens:
+    def test_punctuation_are_tokens(self):
+        assert word_tokens("a, b.") == ["a", ",", "b", "."]
+
+    def test_contractions_stay_together(self):
+        assert word_tokens("don't stop") == ["don't", "stop"]
+
+
+class TestCountTokens:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_short_words_cost_one(self):
+        assert count_tokens("a bc def") == 3
+
+    def test_long_words_cost_subwords(self):
+        # 13 characters -> ceil(13/6) = 3 subword pieces
+        assert count_tokens("extraordinary") == 3
+
+    def test_monotone_in_text_length(self):
+        assert count_tokens("one two three") > count_tokens("one two")
+
+    def test_rough_english_rate(self):
+        text = "the quick brown fox jumps over the lazy dog " * 20
+        tokens = count_tokens(text)
+        words = len(text.split())
+        # ~1-1.5 tokens per English word
+        assert words <= tokens <= int(words * 1.5)
+
+
+class TestMessageTokens:
+    def test_framing_overhead(self):
+        base = count_tokens("hello")
+        framed = count_message_tokens([("user", "hello")])
+        assert framed > base  # role + separators cost extra
+
+    def test_more_messages_cost_more(self):
+        one = count_message_tokens([("user", "x")])
+        two = count_message_tokens([("user", "x"), ("assistant", "y")])
+        assert two > one
