@@ -1,0 +1,61 @@
+"""Executor scaling smoke — sequential vs concurrent simulated makespan.
+
+Reruns the Table 3 batch setting (Adult ED, GPT-3.5, no few-shot) through
+the batch executor at 1 and 8 lanes.  Predictions must be bit-identical —
+concurrency only reshapes the virtual timeline — while the 8-lane makespan
+must land at or below half the sequential estimate (the acceptance bar;
+list scheduling over 8 lanes typically lands near 1/8th).
+"""
+
+from benchmarks.conftest import run_once
+from repro import PipelineConfig, Preprocessor, SimulatedLLM, load_dataset
+from repro.eval.reporting import render_execution_report, render_table
+
+#: full Table 3 run uses the Adult dataset's published size
+FULL_SIZE = 1000
+
+
+def _run(dataset, concurrency, seed):
+    client = SimulatedLLM("gpt-3.5", seed=seed)
+    config = PipelineConfig(
+        model="gpt-3.5", fewshot=0, seed=seed, concurrency=concurrency
+    )
+    return Preprocessor(client, config).run(dataset)
+
+
+def _sweep(scale, seed):
+    size = max(120, int(FULL_SIZE * scale))
+    dataset = load_dataset("adult", size=size)
+    return {c: _run(dataset, c, seed) for c in (1, 2, 8)}
+
+
+def test_concurrent_makespan_halves_sequential(benchmark, scale, seed):
+    results = run_once(benchmark, _sweep, scale, seed)
+
+    rows = [
+        [
+            str(c),
+            f"{r.estimated_seconds:.1f}",
+            f"{r.execution.sequential_s:.1f}",
+            f"{r.execution.speedup:.2f}x",
+            f"{r.execution.mean_utilization * 100:.0f}%",
+        ]
+        for c, r in sorted(results.items())
+    ]
+    print()
+    print(render_table(
+        "Executor scaling — Adult ED, GPT-3.5, no few-shot",
+        ["lanes", "makespan s", "sequential s", "speedup", "mean util"],
+        rows,
+    ))
+    print(render_execution_report(results[8].execution))
+
+    sequential = results[1]
+    concurrent = results[8]
+    # Concurrency must not change what the pipeline predicts.
+    assert concurrent.predictions == sequential.predictions
+    assert concurrent.usage == sequential.usage
+    # Acceptance bar: 8 lanes finish in at most half the sequential time.
+    assert concurrent.estimated_seconds <= 0.5 * sequential.estimated_seconds
+    # Two lanes already help.
+    assert results[2].estimated_seconds < sequential.estimated_seconds

@@ -19,6 +19,8 @@ Quickstart::
 
 from repro.core import (
     CostEstimate,
+    ExecutionReport,
+    ExecutorConfig,
     PipelineConfig,
     PipelineResult,
     Preprocessor,
@@ -54,6 +56,8 @@ __all__ = [
     "PipelineConfig",
     "PipelineResult",
     "PromptBuilder",
+    "ExecutorConfig",
+    "ExecutionReport",
     "FeatureSelection",
     "SimulatedLLM",
     "get_profile",

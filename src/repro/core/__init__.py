@@ -10,8 +10,18 @@ task predictions.
 from repro.core.config import PipelineConfig
 from repro.core.contextualize import serialize_instance, serialize_record
 from repro.core.dryrun import CostEstimate, compare_batch_sizes, estimate_cost
+from repro.core.executor import (
+    BatchExecutor,
+    ExecutionReport,
+    ExecutorConfig,
+    LaneReport,
+)
 from repro.core.feature_selection import FeatureSelection, select_features
-from repro.core.pipeline import PipelineResult, Preprocessor
+from repro.core.pipeline import (
+    PipelineResult,
+    Preprocessor,
+    default_temperature_for,
+)
 from repro.core.prompts import PromptBuilder
 from repro.core.batching import make_batches
 from repro.core.workflows import (
@@ -27,6 +37,11 @@ __all__ = [
     "Preprocessor",
     "PipelineResult",
     "PromptBuilder",
+    "BatchExecutor",
+    "ExecutorConfig",
+    "ExecutionReport",
+    "LaneReport",
+    "default_temperature_for",
     "serialize_record",
     "serialize_instance",
     "FeatureSelection",

@@ -63,6 +63,10 @@ class PipelineConfig:
         Seed for batching shuffles and few-shot sampling.
     max_format_retries:
         How many times a batch is re-asked when the answer does not parse.
+    concurrency:
+        Worker lanes for the batch executor; 1 reproduces the paper's
+        sequential cost model, N overlaps request latency across N lanes
+        (time is modeled as makespan instead of a sum).
     """
 
     model: str = "gpt-3.5"
@@ -75,6 +79,7 @@ class PipelineConfig:
     temperature: float | None = None
     seed: int = 0
     max_format_retries: int = 1
+    concurrency: int = 1
 
     def __post_init__(self) -> None:
         if self.fewshot is not None and self.fewshot < 0:
@@ -89,6 +94,10 @@ class PipelineConfig:
             )
         if self.max_format_retries < 0:
             raise ConfigError("max_format_retries must be >= 0")
+        if self.concurrency < 1:
+            raise ConfigError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
 
     def fewshot_for(self, task: Task) -> int:
         """Effective few-shot count for ``task``."""

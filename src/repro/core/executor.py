@@ -1,0 +1,353 @@
+"""Concurrent batch executor with fault-tolerant scheduling.
+
+The paper's cost analysis (§4.5) models completion calls as sequential, so
+wall-clock grows linearly with batch count and one stalled request blocks
+the run.  A production deployment issues requests over N concurrent lanes;
+this module schedules the pipeline's per-batch calls across such lanes on
+the simulated timeline:
+
+- **Lanes** (:class:`~repro.llm.ratelimit.LaneClock`): each call is
+  list-scheduled onto the lane that frees up earliest, so lane latencies
+  overlap while the RPM/TPM budget stays global across lanes.
+- **Fault tolerance**: every call gets a retry budget with exponential
+  backoff plus deterministic jitter; a modeled per-call timeout converts
+  latency spikes into retryable failures.
+- **Circuit breaker**: repeated consecutive failures on a lane trip a
+  per-lane breaker that holds the lane closed for a cooldown, shedding
+  load from a misbehaving upstream instead of hammering it.
+- **Graceful degradation**: when one call's retry budget is exhausted the
+  executor raises :class:`~repro.errors.ExecutionGiveUpError`; the
+  pipeline reacts by splitting the batch into smaller ones (recorded here
+  as fallback splits) before resorting to safe fallback answers.
+
+Determinism: calls are *issued* in submission order regardless of lane
+count — only the virtual time accounting differs between concurrency
+levels — so a deterministic client produces bit-identical predictions at
+any concurrency, and ``concurrency=1`` reproduces the sequential model
+exactly.  An :class:`ExecutionReport` summarizes the run: makespan versus
+the sequential estimate, and per-lane utilization/retry/breaker counters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ContextWindowExceededError,
+    ExecutionGiveUpError,
+    RateLimitError,
+    TransientLLMError,
+)
+from repro.llm.accounting import request_prompt_tokens
+from repro.llm.base import CompletionRequest, CompletionResponse, LLMClient
+from repro.llm.ratelimit import LaneClock, RateLimit, RateLimiter
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Scheduling and fault-tolerance knobs for one executor.
+
+    Parameters
+    ----------
+    concurrency:
+        Number of worker lanes (1 = the paper's sequential model).
+    max_attempts:
+        Total tries per completion call before giving up (1 = no retry).
+    timeout_s:
+        Modeled per-call timeout; a response whose latency exceeds it is
+        discarded and retried, charging the timeout to the lane.  ``None``
+        disables timeouts.
+    base_backoff_s / backoff_multiplier / max_backoff_s:
+        Exponential backoff between attempts of one call.
+    jitter:
+        Fraction of the backoff added as deterministic jitter (seeded),
+        de-synchronizing lanes that fail together.
+    breaker_threshold:
+        Consecutive failures on one lane that trip its circuit breaker
+        (0 disables the breaker).
+    breaker_cooldown_s:
+        How long a tripped lane stays closed.
+    max_rate_limit_waits:
+        Rate-limit stalls tolerated per call before giving up; stalls wait
+        out the window and do not count toward the breaker.
+    rate_limit:
+        Optional global RPM/TPM budget shared by all lanes.
+    seed:
+        Seed for the jitter stream.
+    """
+
+    concurrency: int = 1
+    max_attempts: int = 3
+    timeout_s: float | None = None
+    base_backoff_s: float = 1.0
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 60.0
+    jitter: float = 0.1
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 30.0
+    max_rate_limit_waits: int = 8
+    rate_limit: RateLimit | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold cannot be negative")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s cannot be negative")
+        if self.max_rate_limit_waits < 0:
+            raise ValueError("max_rate_limit_waits cannot be negative")
+
+
+@dataclass
+class LaneReport:
+    """One lane's share of a run."""
+
+    lane: int
+    n_calls: int = 0
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_rate_limit_waits: int = 0
+    n_breaker_trips: int = 0
+    busy_s: float = 0.0
+    utilization: float = 0.0
+
+
+@dataclass
+class ExecutionReport:
+    """Structured summary of one executor run.
+
+    ``makespan_s`` is the virtual wall-clock of the whole run (latest lane
+    finish time); ``sequential_s`` is what the same calls would have taken
+    end-to-end on a single lane — their ratio is the modeled speedup.
+    """
+
+    concurrency: int
+    lanes: list[LaneReport] = field(default_factory=list)
+    makespan_s: float = 0.0
+    sequential_s: float = 0.0
+    n_calls: int = 0
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_rate_limit_waits: int = 0
+    n_breaker_trips: int = 0
+    n_giveups: int = 0
+    n_fallback_splits: int = 0
+
+    @property
+    def speedup(self) -> float:
+        """Sequential estimate over makespan (1.0 when nothing overlaps)."""
+        if self.makespan_s <= 0:
+            return 1.0
+        return self.sequential_s / self.makespan_s
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.lanes:
+            return 0.0
+        return sum(lane.utilization for lane in self.lanes) / len(self.lanes)
+
+
+@dataclass
+class _LaneState:
+    """Mutable fault bookkeeping for one lane (times live in LaneClock)."""
+
+    consecutive_failures: int = 0
+    open_until: float = 0.0
+
+
+class BatchExecutor:
+    """Schedules completion calls over N lanes of simulated time.
+
+    One executor serves one pipeline run: its lane clocks and report
+    accumulate across every :meth:`call`.  Calls execute in invocation
+    order (Python is single-threaded; concurrency is a property of the
+    *virtual* timeline), so a deterministic client yields identical
+    responses at every lane count.
+    """
+
+    def __init__(self, client: LLMClient, config: ExecutorConfig | None = None):
+        self._client = client
+        self._config = config or ExecutorConfig()
+        self._clock = LaneClock(self._config.concurrency)
+        self._lanes = [_LaneState() for __ in range(self._config.concurrency)]
+        self._limiter = (
+            RateLimiter(self._config.rate_limit)
+            if self._config.rate_limit is not None
+            else None
+        )
+        self._rng = random.Random(self._config.seed)
+        self._stats = ExecutionReport(
+            concurrency=self._config.concurrency,
+            lanes=[LaneReport(lane=i) for i in range(self._config.concurrency)],
+        )
+
+    @property
+    def config(self) -> ExecutorConfig:
+        return self._config
+
+    @property
+    def clock(self) -> LaneClock:
+        return self._clock
+
+    def call(
+        self, request: CompletionRequest, ready_at: float = 0.0
+    ) -> tuple[CompletionResponse, float]:
+        """Run one completion call; return (response, virtual finish time).
+
+        ``ready_at`` is the earliest virtual time this call may start —
+        the finish time of whatever it depends on (e.g. the failed attempt
+        a format retry follows).  Raises
+        :class:`~repro.errors.ExecutionGiveUpError` once the retry budget
+        is spent, and lets :class:`ContextWindowExceededError` propagate
+        untouched (it is a prompt-size problem, not a fault).
+        """
+        config = self._config
+        lane = self._pick_lane(ready_at)
+        state = self._lanes[lane]
+        report = self._stats.lanes[lane]
+        start = max(self._clock.available_at(lane), ready_at, state.open_until)
+        backoff = config.base_backoff_s
+        attempts = 0
+        rate_limit_waits = 0
+        last_reason = "no attempt made"
+        while True:
+            if self._limiter is not None:
+                try:
+                    self._limiter.check(
+                        request_prompt_tokens(request),
+                        now=start,
+                        floor=min(self._clock.min_available, start),
+                    )
+                except RateLimitError as exc:
+                    rate_limit_waits += 1
+                    report.n_rate_limit_waits += 1
+                    self._stats.n_rate_limit_waits += 1
+                    if rate_limit_waits > config.max_rate_limit_waits:
+                        self._give_up(lane, start, exc_attempts=attempts or 1,
+                                      reason=f"rate limited: {exc}")
+                    # Stalls wait out the window (idle, not busy) and do
+                    # not count as failures toward the circuit breaker.
+                    start += max(exc.retry_after, self._jittered(backoff))
+                    backoff = self._next_backoff(backoff)
+                    continue
+            attempts += 1
+            try:
+                response = self._client.complete(request)
+            except ContextWindowExceededError:
+                raise
+            except RateLimitError as exc:
+                # An upstream 429 (the provider's limiter, not ours).
+                rate_limit_waits += 1
+                report.n_rate_limit_waits += 1
+                self._stats.n_rate_limit_waits += 1
+                attempts -= 1  # a stall, not a failed attempt
+                if rate_limit_waits > config.max_rate_limit_waits:
+                    self._give_up(lane, start, exc_attempts=max(attempts, 1),
+                                  reason=f"rate limited upstream: {exc}")
+                start += max(exc.retry_after, self._jittered(backoff))
+                backoff = self._next_backoff(backoff)
+                continue
+            except TransientLLMError as exc:
+                start = self._clock.occupy(lane, start, exc.latency_s)
+                last_reason = str(exc)
+                start, backoff = self._after_failure(
+                    lane, start, backoff, attempts, last_reason
+                )
+                continue
+            latency = response.latency_s
+            if config.timeout_s is not None and latency > config.timeout_s:
+                # The caller would have hung up at the deadline: charge the
+                # timeout (not the full spike) and retry the call.
+                start = self._clock.occupy(lane, start, config.timeout_s)
+                report.n_timeouts += 1
+                self._stats.n_timeouts += 1
+                last_reason = (
+                    f"timed out after {config.timeout_s:.1f}s "
+                    f"(modeled latency {latency:.1f}s)"
+                )
+                start, backoff = self._after_failure(
+                    lane, start, backoff, attempts, last_reason
+                )
+                continue
+            finished = self._clock.occupy(lane, start, latency)
+            state.consecutive_failures = 0
+            report.n_calls += 1
+            self._stats.n_calls += 1
+            return response, finished
+
+    def report(self) -> ExecutionReport:
+        """Snapshot the run's counters with final time accounting."""
+        stats = self._stats
+        stats.makespan_s = self._clock.makespan
+        stats.sequential_s = sum(
+            self._clock.busy_seconds(i) for i in range(self._clock.n_lanes)
+        )
+        for lane_report in stats.lanes:
+            lane_report.busy_s = self._clock.busy_seconds(lane_report.lane)
+            lane_report.utilization = self._clock.utilization(lane_report.lane)
+        return stats
+
+    def record_fallback_split(self, n_subbatches: int) -> None:
+        """Note that a given-up batch degraded into smaller sub-batches."""
+        self._stats.n_fallback_splits += n_subbatches
+
+    def _pick_lane(self, ready_at: float) -> int:
+        floors = [
+            max(state.open_until, ready_at) for state in self._lanes
+        ]
+        return self._clock.earliest_lane(not_before=floors)
+
+    def _after_failure(
+        self,
+        lane: int,
+        start: float,
+        backoff: float,
+        attempts: int,
+        reason: str,
+    ) -> tuple[float, float]:
+        """Book one failed attempt; return (next start time, next backoff)."""
+        config = self._config
+        state = self._lanes[lane]
+        report = self._stats.lanes[lane]
+        state.consecutive_failures += 1
+        if (
+            config.breaker_threshold
+            and state.consecutive_failures >= config.breaker_threshold
+        ):
+            state.open_until = start + config.breaker_cooldown_s
+            state.consecutive_failures = 0
+            report.n_breaker_trips += 1
+            self._stats.n_breaker_trips += 1
+        if attempts >= config.max_attempts:
+            self._give_up(lane, start, exc_attempts=attempts, reason=reason)
+        report.n_retries += 1
+        self._stats.n_retries += 1
+        next_start = max(start + self._jittered(backoff), state.open_until)
+        return next_start, self._next_backoff(backoff)
+
+    def _give_up(self, lane: int, at: float, exc_attempts: int, reason: str):
+        self._clock.idle_until(lane, at)
+        self._stats.n_giveups += 1
+        raise ExecutionGiveUpError(exc_attempts, reason, at=at)
+
+    def _jittered(self, backoff: float) -> float:
+        return backoff * (1.0 + self._config.jitter * self._rng.random())
+
+    def _next_backoff(self, backoff: float) -> float:
+        return min(
+            backoff * self._config.backoff_multiplier,
+            self._config.max_backoff_s,
+        )

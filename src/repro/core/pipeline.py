@@ -16,10 +16,12 @@ so instances are grouped by target attribute and batched within groups.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.core.batching import make_batches
 from repro.core.config import PipelineConfig
+from repro.core.executor import BatchExecutor, ExecutionReport, ExecutorConfig
 from repro.core.feature_selection import select_features
 from repro.core.parsing import parse_batch_answers, parse_batch_answers_lenient
 from repro.core.prompts import PromptBuilder
@@ -29,8 +31,10 @@ from repro.errors import (
     AnswerFormatError,
     ContextWindowExceededError,
     EvaluationError,
+    ExecutionGiveUpError,
 )
 from repro.llm.base import CompletionRequest, LLMClient, Usage
+from repro.llm.profiles import get_profile
 
 #: the paper's temperature settings (Section 4.1)
 DEFAULT_TEMPERATURE = {
@@ -41,13 +45,28 @@ DEFAULT_TEMPERATURE = {
 }
 
 
+def default_temperature_for(model: str) -> float:
+    """The paper's sampling temperature for ``model``, validated loudly.
+
+    The model name is resolved against the registered profiles
+    (:mod:`repro.llm.profiles`), so a typo or an unregistered model raises
+    :class:`~repro.errors.UnknownModelError` instead of silently running
+    the whole experiment at a generic temperature.
+    """
+    profile = get_profile(model)
+    return DEFAULT_TEMPERATURE.get(profile.name, profile.default_temperature)
+
+
 @dataclass
 class PipelineResult:
     """Everything one run produced.
 
     ``predictions`` aligns index-for-index with the instances that were
     run.  ``estimated_hours`` is the modeled wall-clock a metered API would
-    have taken (requests are sequential, as in the paper's cost analysis).
+    have taken: the *makespan* of the run's completion calls over the
+    configured worker lanes.  At ``concurrency=1`` this reduces to the
+    paper's sequential sum (§4.5); ``execution`` carries the full per-lane
+    scheduling report.
     """
 
     predictions: list[bool | str]
@@ -57,6 +76,7 @@ class PipelineResult:
     n_fallbacks: int
     estimated_seconds: float
     raw_replies: list[str] = field(default_factory=list)
+    execution: ExecutionReport | None = None
 
     @property
     def estimated_hours(self) -> float:
@@ -78,20 +98,41 @@ class _RunStats:
     n_requests: int = 0
     n_retries: int = 0
     n_fallbacks: int = 0
-    seconds: float = 0.0
     raw_replies: list[str] = field(default_factory=list)
 
 
 class Preprocessor:
-    """Runs one configured pipeline against datasets."""
+    """Runs one configured pipeline against datasets.
 
-    def __init__(self, client: LLMClient, config: PipelineConfig | None = None):
+    Completion calls go through a :class:`BatchExecutor` scheduling them
+    over ``config.concurrency`` lanes of simulated time; pass
+    ``executor_config`` to tune its fault-tolerance knobs (retry budget,
+    timeout, circuit breaker, rate limit).  The executor's ``concurrency``
+    and ``seed`` always follow the pipeline config.
+    """
+
+    def __init__(
+        self,
+        client: LLMClient,
+        config: PipelineConfig | None = None,
+        executor_config: ExecutorConfig | None = None,
+    ):
         self._client = client
         self._config = config or PipelineConfig()
+        base = executor_config or ExecutorConfig()
+        self._executor_config = dataclasses.replace(
+            base,
+            concurrency=self._config.concurrency,
+            seed=self._config.seed,
+        )
 
     @property
     def config(self) -> PipelineConfig:
         return self._config
+
+    @property
+    def executor_config(self) -> ExecutorConfig:
+        return self._executor_config
 
     def run(
         self,
@@ -121,11 +162,12 @@ class Preprocessor:
         temperature = (
             config.temperature
             if config.temperature is not None
-            else DEFAULT_TEMPERATURE.get(config.model, 0.7)
+            else default_temperature_for(config.model)
         )
 
         predictions: list[bool | str | None] = [None] * len(instances)
         stats = _RunStats(keep_raw=keep_raw)
+        executor = BatchExecutor(self._client, self._executor_config)
 
         for group_indices in self._group_by_target(instances):
             group = [instances[i] for i in group_indices]
@@ -146,20 +188,22 @@ class Preprocessor:
                 batch = [group[p] for p in batch_positions]
                 batch_predictions = self._run_batch(
                     builder, batch, group_fewshot, temperature,
-                    dataset.task, stats,
+                    dataset.task, stats, executor, ready_at=0.0,
                 )
                 for position, prediction in zip(batch_positions, batch_predictions):
                     predictions[group_indices[position]] = prediction
 
         assert all(p is not None for p in predictions)
+        report = executor.report()
         return PipelineResult(
             predictions=predictions,  # type: ignore[arg-type]
             usage=stats.usage,
             n_requests=stats.n_requests,
             n_format_retries=stats.n_retries,
             n_fallbacks=stats.n_fallbacks,
-            estimated_seconds=stats.seconds,
+            estimated_seconds=report.makespan_s,
             raw_replies=stats.raw_replies,
+            execution=report,
         )
 
     def _run_batch(
@@ -170,12 +214,18 @@ class Preprocessor:
         temperature: float,
         task: Task,
         stats: "_RunStats",
+        executor: BatchExecutor,
+        ready_at: float = 0.0,
     ) -> list[bool | str]:
         """Answer one batch, splitting it when the prompt cannot fit.
 
         Context-window overflows halve the batch recursively (what any
         production pipeline does when a model's window is tight); a single
-        instance that still cannot fit becomes a fallback answer.
+        instance that still cannot fit becomes a fallback answer.  When
+        the executor's retry budget for a call is exhausted the batch
+        degrades the same way — smaller batches first, safe fallback
+        answers last.  ``ready_at`` is the virtual time this batch's work
+        may start (format retries depend on the reply they re-ask).
         """
         config = self._config
         fallback: bool | str = "" if task is Task.DATA_IMPUTATION else False
@@ -189,26 +239,44 @@ class Preprocessor:
         last_text = ""
         for attempt in range(attempts):
             try:
-                response = self._client.complete(request)
+                response, ready_at = executor.call(request, ready_at=ready_at)
             except ContextWindowExceededError:
                 if len(batch) > 1:
                     half = len(batch) // 2
                     return self._run_batch(
-                        builder, batch[:half], fewshot, temperature, task, stats
+                        builder, batch[:half], fewshot, temperature, task,
+                        stats, executor, ready_at,
                     ) + self._run_batch(
-                        builder, batch[half:], fewshot, temperature, task, stats
+                        builder, batch[half:], fewshot, temperature, task,
+                        stats, executor, ready_at,
                     )
                 if fewshot:
                     # A single instance that does not fit may still fit
                     # without the demonstration block.
                     return self._run_batch(
-                        builder, batch, [], temperature, task, stats
+                        builder, batch, [], temperature, task,
+                        stats, executor, ready_at,
+                    )
+                stats.n_fallbacks += len(batch)
+                return [fallback] * len(batch)
+            except ExecutionGiveUpError as giveup:
+                resume_at = max(ready_at, giveup.at)
+                if len(batch) > 1:
+                    # Degrade gracefully: a smaller prompt is likelier to
+                    # get through a struggling upstream.
+                    executor.record_fallback_split(2)
+                    half = len(batch) // 2
+                    return self._run_batch(
+                        builder, batch[:half], fewshot, temperature, task,
+                        stats, executor, resume_at,
+                    ) + self._run_batch(
+                        builder, batch[half:], fewshot, temperature, task,
+                        stats, executor, resume_at,
                     )
                 stats.n_fallbacks += len(batch)
                 return [fallback] * len(batch)
             stats.n_requests += 1
             stats.usage = stats.usage + response.usage
-            stats.seconds += response.latency_s
             last_text = response.text
             if stats.keep_raw:
                 stats.raw_replies.append(response.text)

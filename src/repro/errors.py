@@ -72,6 +72,36 @@ class RateLimitError(LLMError):
         super().__init__(f"rate limit exceeded; retry after {retry_after:.2f}s")
 
 
+class TransientLLMError(LLMError):
+    """A retryable upstream failure (5xx, dropped connection, glitch).
+
+    ``latency_s`` is the modeled wall-clock burned before the failure
+    surfaced, charged to the lane that made the attempt.
+    """
+
+    def __init__(self, message: str = "transient upstream failure",
+                 latency_s: float = 0.0):
+        self.latency_s = latency_s
+        super().__init__(message)
+
+
+class ExecutionGiveUpError(LLMError):
+    """The executor exhausted its retry budget for one completion call.
+
+    Callers degrade gracefully: the pipeline splits the batch into smaller
+    ones before falling back to safe answers.
+    """
+
+    def __init__(self, attempts: int, reason: str, at: float = 0.0):
+        self.attempts = attempts
+        self.reason = reason
+        #: virtual time of the abandonment; recovery work starts after it
+        self.at = at
+        super().__init__(
+            f"completion call abandoned after {attempts} attempt(s): {reason}"
+        )
+
+
 class ModelNotApplicableError(LLMError):
     """The model cannot return reasonable answers for this task/dataset.
 

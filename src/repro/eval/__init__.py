@@ -14,8 +14,11 @@ from repro.eval.analysis import (
     per_group_metrics,
 )
 from repro.eval.harness import EvaluationRun, evaluate_pipeline
+from repro.eval.reporting import render_execution_report, render_table
 
 __all__ = [
+    "render_table",
+    "render_execution_report",
     "accuracy",
     "f1_score",
     "precision_recall_f1",

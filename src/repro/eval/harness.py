@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import PipelineConfig
+from repro.core.executor import ExecutionReport
 from repro.core.pipeline import PipelineResult, Preprocessor
 from repro.data.instances import PreprocessingDataset, ground_truth_labels
 from repro.errors import ContextWindowExceededError
@@ -24,7 +25,13 @@ NOT_APPLICABLE_FALLBACK_RATE = 0.30
 
 @dataclass(frozen=True)
 class EvaluationRun:
-    """One scored (model, config, dataset) cell."""
+    """One scored (model, config, dataset) cell.
+
+    ``hours`` is the modeled makespan over the configured worker lanes;
+    ``hours_sequential`` is the single-lane estimate of the same calls
+    (identical at ``concurrency=1``).  ``execution`` carries the full
+    per-lane scheduling report when the run produced one.
+    """
 
     dataset: str
     model: str
@@ -36,6 +43,15 @@ class EvaluationRun:
     hours: float
     n_requests: int
     fallback_rate: float
+    hours_sequential: float = 0.0
+    execution: ExecutionReport | None = None
+
+    @property
+    def speedup(self) -> float:
+        """Sequential hours over makespan hours (1.0 when nothing overlaps)."""
+        if self.hours <= 0:
+            return 1.0
+        return self.hours_sequential / self.hours
 
     @property
     def is_applicable(self) -> bool:
@@ -82,6 +98,12 @@ def evaluate_pipeline(
         hours=result.estimated_hours,
         n_requests=result.n_requests,
         fallback_rate=fallback_rate,
+        hours_sequential=(
+            result.execution.sequential_s / 3600.0
+            if result.execution is not None
+            else result.estimated_hours
+        ),
+        execution=result.execution,
     )
 
 

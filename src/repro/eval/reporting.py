@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.executor import ExecutionReport
 from repro.errors import EvaluationError
 
 
@@ -51,3 +52,38 @@ def side_by_side(measured: str, paper: float | str | None) -> str:
     if paper is None:
         return measured
     return f"{measured} ({paper})"
+
+
+def render_execution_report(report: ExecutionReport) -> str:
+    """Render an executor run as a per-lane utilization table.
+
+    One row per lane (calls, busy time, utilization, retries, timeouts,
+    rate-limit waits, breaker trips) plus a summary line comparing the
+    makespan against the single-lane sequential estimate.
+    """
+    rows = [
+        [
+            str(lane.lane),
+            str(lane.n_calls),
+            f"{lane.busy_s:.1f}",
+            f"{lane.utilization * 100:.0f}%",
+            str(lane.n_retries),
+            str(lane.n_timeouts),
+            str(lane.n_rate_limit_waits),
+            str(lane.n_breaker_trips),
+        ]
+        for lane in report.lanes
+    ]
+    table = render_table(
+        f"Execution — {report.concurrency} lane(s)",
+        ["lane", "calls", "busy s", "util", "retries", "timeouts",
+         "rl-waits", "breaker"],
+        rows,
+    )
+    summary = (
+        f"makespan {report.makespan_s:.1f}s vs sequential "
+        f"{report.sequential_s:.1f}s (speedup {report.speedup:.2f}x); "
+        f"{report.n_giveups} give-up(s), "
+        f"{report.n_fallback_splits} fallback split(s)"
+    )
+    return f"{table}\n{summary}"

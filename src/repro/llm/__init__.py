@@ -18,11 +18,14 @@ from repro.llm.base import (
     LLMClient,
     Usage,
 )
+from repro.llm.faults import Fault, FaultInjectingClient
 from repro.llm.profiles import ModelProfile, get_profile, list_profiles
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.accounting import UsageLedger
 
 __all__ = [
+    "Fault",
+    "FaultInjectingClient",
     "ChatMessage",
     "CompletionRequest",
     "CompletionResponse",

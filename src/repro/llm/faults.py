@@ -1,0 +1,91 @@
+"""Deterministic fault injection for LLM clients.
+
+Production preprocessing survives flaky upstreams; this module makes flaky
+upstreams *reproducible*.  :class:`FaultInjectingClient` wraps any
+:class:`~repro.llm.base.LLMClient` and applies a scripted fault plan keyed
+by call index (1-based), so tests and failure drills replay bit-identical
+fault sequences regardless of scheduling.
+
+Fault kinds:
+
+- ``transient`` — raise :class:`~repro.errors.TransientLLMError` (a 5xx /
+  dropped-connection stand-in), optionally charging burned latency;
+- ``latency`` — serve the real response but with its modeled latency
+  overridden (a spike that trips the executor's timeout);
+- ``rate_limit`` — raise :class:`~repro.errors.RateLimitError` (an
+  upstream 429) with a scripted retry-after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping
+
+from repro.errors import LLMError, RateLimitError, TransientLLMError
+from repro.llm.base import CompletionRequest, CompletionResponse, LLMClient
+
+_KINDS = ("transient", "latency", "rate_limit")
+
+#: a plan maps a 1-based call index to the fault to inject (or None)
+FaultPlan = Callable[[int], "Fault | None"]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted misbehaviour."""
+
+    kind: str
+    retry_after: float = 1.0    # rate_limit: scripted Retry-After
+    latency_s: float = 0.0      # transient: burned time; latency: override
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise LLMError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+
+
+class FaultInjectingClient:
+    """Applies a scripted fault plan in front of another client.
+
+    ``plan`` is either a mapping of 1-based call indices to
+    :class:`Fault` or a callable returning the fault for an index.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        plan: Mapping[int, Fault] | FaultPlan,
+    ):
+        self._inner = inner
+        self._plan: FaultPlan = (
+            plan if callable(plan) else lambda index: plan.get(index)
+        )
+        self.n_calls = 0
+        self.n_injected = 0
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        self.n_calls += 1
+        fault = self._plan(self.n_calls)
+        if fault is None:
+            return self._inner.complete(request)
+        self.n_injected += 1
+        if fault.kind == "transient":
+            raise TransientLLMError(fault.message, latency_s=fault.latency_s)
+        if fault.kind == "rate_limit":
+            raise RateLimitError(fault.retry_after)
+        response = self._inner.complete(request)
+        return replace(response, latency_s=fault.latency_s)
+
+
+def fail_first(n: int, fault: Fault) -> FaultPlan:
+    """A plan injecting ``fault`` on the first ``n`` calls."""
+    return lambda index: fault if index <= n else None
+
+
+def fail_every(k: int, fault: Fault) -> FaultPlan:
+    """A plan injecting ``fault`` on every ``k``-th call."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return lambda index: fault if index % k == 0 else None

@@ -32,6 +32,84 @@ class SimulatedClock:
         self._now += seconds
 
 
+class LaneClock:
+    """Per-lane virtual clocks over one shared simulated timeline.
+
+    A lane models one concurrent request slot of a deployment.  Each lane
+    has its own "available at" time; occupying a lane charges busy time to
+    it, so concurrent lanes *overlap* latency instead of summing it.  The
+    makespan — the wall-clock of the whole run — is the latest lane time,
+    while ``sum(busy)`` recovers the sequential estimate.
+    """
+
+    def __init__(self, n_lanes: int):
+        if n_lanes < 1:
+            raise ValueError(f"need at least one lane, got {n_lanes}")
+        self._avail = [0.0] * n_lanes
+        self._busy = [0.0] * n_lanes
+
+    @property
+    def n_lanes(self) -> int:
+        return len(self._avail)
+
+    def available_at(self, lane: int) -> float:
+        return self._avail[lane]
+
+    def busy_seconds(self, lane: int) -> float:
+        return self._busy[lane]
+
+    @property
+    def min_available(self) -> float:
+        """Earliest time any lane can start a new request."""
+        return min(self._avail)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual wall-clock of everything scheduled so far."""
+        return max(self._avail)
+
+    def earliest_lane(self, not_before: list[float] | None = None) -> int:
+        """Lane that can start soonest (ties break to the lowest index).
+
+        ``not_before`` optionally holds a per-lane floor (e.g. a circuit
+        breaker's reopen time) combined with lane availability.
+        """
+        best_lane, best_time = 0, float("inf")
+        for lane, avail in enumerate(self._avail):
+            start = avail if not_before is None else max(avail, not_before[lane])
+            if start < best_time:
+                best_lane, best_time = lane, start
+        return best_lane
+
+    def occupy(self, lane: int, start: float, duration: float) -> float:
+        """Charge ``duration`` busy seconds to ``lane`` beginning at ``start``.
+
+        ``start`` may not precede the lane's availability (no time travel);
+        any gap between availability and ``start`` is idle time.  Returns
+        the finish time.
+        """
+        if duration < 0:
+            raise ValueError("cannot occupy a lane for negative time")
+        if start < self._avail[lane] - 1e-9:
+            raise ValueError(
+                f"lane {lane} is busy until {self._avail[lane]:.3f}, "
+                f"cannot start at {start:.3f}"
+            )
+        self._avail[lane] = start + duration
+        self._busy[lane] += duration
+        return self._avail[lane]
+
+    def idle_until(self, lane: int, time: float) -> None:
+        """Push a lane's availability forward without charging busy time."""
+        if time > self._avail[lane]:
+            self._avail[lane] = time
+
+    def utilization(self, lane: int) -> float:
+        """Busy fraction of this lane relative to the run's makespan."""
+        span = self.makespan
+        return self._busy[lane] / span if span > 0 else 0.0
+
+
 @dataclass
 class RateLimit:
     """A requests-per-minute plus tokens-per-minute budget."""
@@ -45,30 +123,54 @@ class RateLimit:
 
 
 class RateLimiter:
-    """Sliding one-minute window over a simulated clock."""
+    """Sliding one-minute window over a simulated clock.
 
-    def __init__(self, limit: RateLimit, clock: SimulatedClock):
+    The budget is *global*: with lane-aware scheduling every lane checks
+    against the same event window, so N concurrent lanes overlap latency
+    but still share one RPM/TPM allowance — exactly how commercial APIs
+    meter an account, not a connection.
+    """
+
+    def __init__(self, limit: RateLimit, clock: SimulatedClock | None = None):
         self._limit = limit
         self._clock = clock
         self._events: list[tuple[float, int]] = []  # (time, tokens)
 
-    def _prune(self) -> None:
-        cutoff = self._clock.now - 60.0
-        self._events = [(t, n) for t, n in self._events if t > cutoff]
+    def check(
+        self,
+        tokens: int,
+        now: float | None = None,
+        floor: float | None = None,
+    ) -> None:
+        """Record an attempt at virtual time ``now``; raise on over-budget.
 
-    def check(self, tokens: int) -> None:
-        """Record an attempt; raise :class:`RateLimitError` if over budget."""
-        self._prune()
-        n_requests = len(self._events)
-        n_tokens = sum(n for __, n in self._events)
+        ``now`` defaults to the attached clock's time (the sequential
+        case).  Lanes run at different virtual times, so a caller passes
+        its lane's time explicitly; ``floor`` is the earliest time any
+        lane could still issue a request — events older than ``floor - 60``
+        can never be observed again and are pruned.
+        """
+        if now is None:
+            if self._clock is None:
+                raise ValueError("RateLimiter needs a clock or an explicit now")
+            now = self._clock.now
+        if floor is None:
+            floor = now
+        self._events = [
+            (t, n) for t, n in self._events if t > min(floor, now) - 60.0
+        ]
+        window = [(t, n) for t, n in self._events if now - 60.0 < t <= now]
+        n_requests = len(window)
+        n_tokens = sum(n for __, n in window)
         if (
             n_requests + 1 > self._limit.requests_per_minute
             or n_tokens + tokens > self._limit.tokens_per_minute
         ):
-            oldest = self._events[0][0] if self._events else self._clock.now
-            retry_after = max(0.001, oldest + 60.0 - self._clock.now)
+            oldest = window[0][0] if window else now
+            retry_after = max(0.001, oldest + 60.0 - now)
             raise RateLimitError(retry_after)
-        self._events.append((self._clock.now, tokens))
+        self._events.append((now, tokens))
+        self._events.sort(key=lambda event: event[0])
 
 
 class RetryingClient:

@@ -36,6 +36,12 @@ class TestPipelineConfig:
             PipelineConfig(temperature=3.0)
         with pytest.raises(ConfigError):
             PipelineConfig(max_format_retries=-1)
+        with pytest.raises(ConfigError):
+            PipelineConfig(concurrency=0)
+
+    def test_concurrency_defaults_sequential(self):
+        assert PipelineConfig().concurrency == 1
+        assert PipelineConfig(concurrency=8).concurrency == 8
 
     def test_with_components(self):
         config = PipelineConfig().with_components(fewshot=False, batching=False)

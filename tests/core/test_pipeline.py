@@ -3,9 +3,18 @@
 import pytest
 
 from repro.core.config import PipelineConfig
-from repro.core.pipeline import Preprocessor
+from repro.core.executor import ExecutorConfig
+from repro.core.pipeline import (
+    DEFAULT_TEMPERATURE,
+    Preprocessor,
+    default_temperature_for,
+)
 from repro.data.instances import PreprocessingDataset, Task
-from repro.errors import ContextWindowExceededError, EvaluationError
+from repro.errors import (
+    ContextWindowExceededError,
+    EvaluationError,
+    UnknownModelError,
+)
 from repro.llm.accounting import meter_response, request_prompt_tokens
 from repro.llm.base import CompletionRequest, CompletionResponse, Usage
 from repro.llm.profiles import get_profile
@@ -147,3 +156,57 @@ class TestPreprocessor:
             beer_dataset, keep_raw=True
         )
         assert len(result.raw_replies) == result.n_requests
+
+    def test_execution_report_attached(self, beer_dataset):
+        client = _ScriptedClient()
+        result = Preprocessor(client, PipelineConfig(model="gpt-3.5")).run(
+            beer_dataset
+        )
+        report = result.execution
+        assert report is not None
+        assert report.concurrency == 1
+        assert report.n_calls == result.n_requests
+        assert result.estimated_seconds == pytest.approx(report.makespan_s)
+
+    def test_executor_follows_pipeline_concurrency(self, beer_dataset):
+        config = PipelineConfig(model="gpt-3.5", concurrency=4, seed=3)
+        preprocessor = Preprocessor(
+            _ScriptedClient(), config, ExecutorConfig(max_attempts=5)
+        )
+        # concurrency and seed come from the pipeline config; other
+        # executor knobs survive.
+        assert preprocessor.executor_config.concurrency == 4
+        assert preprocessor.executor_config.seed == 3
+        assert preprocessor.executor_config.max_attempts == 5
+        result = preprocessor.run(beer_dataset)
+        assert result.execution.concurrency == 4
+
+
+class TestDefaultTemperature:
+    def test_paper_values(self):
+        assert default_temperature_for("gpt-3.5") == 0.75
+        assert default_temperature_for("gpt-4") == 0.65
+        assert default_temperature_for("gpt-3") == 0.75
+        assert default_temperature_for("vicuna-13b") == 0.2
+
+    def test_every_entry_names_a_registered_profile(self):
+        for model in DEFAULT_TEMPERATURE:
+            assert default_temperature_for(model) == DEFAULT_TEMPERATURE[model]
+
+    def test_unknown_model_fails_loudly(self):
+        with pytest.raises(UnknownModelError):
+            default_temperature_for("gpt-5-turbo")
+
+    def test_pipeline_rejects_unknown_model_up_front(self, beer_dataset):
+        config = PipelineConfig(model="gpt-5-turbo")
+        with pytest.raises(UnknownModelError):
+            Preprocessor(_ScriptedClient(), config).run(beer_dataset)
+
+    def test_explicit_temperature_bypasses_lookup(self, beer_dataset):
+        # A caller bringing their own model (and temperature) is not
+        # forced through the registry.
+        client = _ScriptedClient()
+        config = PipelineConfig(model="gpt-5-turbo", temperature=0.5)
+        result = Preprocessor(client, config).run(beer_dataset)
+        assert len(result.predictions) == len(beer_dataset.instances)
+        assert all(r.temperature == 0.5 for r in client.requests)
