@@ -1,0 +1,108 @@
+"""Observability overhead — traced vs untraced pipeline runs.
+
+Reruns the Adult ED setting with ``observability`` off and on at 1 and 8
+lanes.  The virtual outputs (predictions, tokens, makespan) must be
+bit-identical — tracing observes the timeline, it never shapes it — and
+the wall-clock overhead of recording spans and metrics must stay small.
+
+Besides the printed table, the run writes ``BENCH_observability.json``
+(machine-readable: tokens, makespans, span counts, and the measured
+trace overhead per configuration) for CI artifact upload.  Set
+``REPRO_BENCH_OUT`` to change the output path.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro import PipelineConfig, Preprocessor, SimulatedLLM, load_dataset
+from repro.eval.reporting import render_table
+
+#: full Table 3 run uses the Adult dataset's published size
+FULL_SIZE = 1000
+
+#: traced runs may take at most this multiple of the untraced wall-clock
+MAX_OVERHEAD_RATIO = 2.0
+
+
+def _run(dataset, concurrency, seed, observability):
+    client = SimulatedLLM("gpt-3.5", seed=seed)
+    config = PipelineConfig(
+        model="gpt-3.5", fewshot=0, seed=seed,
+        concurrency=concurrency, observability=observability,
+    )
+    started = time.perf_counter()
+    result = Preprocessor(client, config).run(dataset)
+    return result, time.perf_counter() - started
+
+
+def _sweep(scale, seed):
+    size = max(120, int(FULL_SIZE * scale))
+    dataset = load_dataset("adult", size=size)
+    out = {}
+    for concurrency in (1, 8):
+        plain, plain_s = _run(dataset, concurrency, seed, False)
+        traced, traced_s = _run(dataset, concurrency, seed, True)
+        out[concurrency] = {
+            "plain": plain, "plain_s": plain_s,
+            "traced": traced, "traced_s": traced_s,
+        }
+    return out
+
+
+def test_tracing_is_free_on_the_virtual_clock(benchmark, scale, seed):
+    results = run_once(benchmark, _sweep, scale, seed)
+
+    rows, payload = [], {}
+    for concurrency, cell in sorted(results.items()):
+        plain, traced = cell["plain"], cell["traced"]
+        overhead = (
+            cell["traced_s"] / cell["plain_s"] if cell["plain_s"] > 0 else 1.0
+        )
+        n_spans = traced.observation.tracer.n_spans
+        rows.append([
+            str(concurrency),
+            f"{plain.estimated_seconds:.1f}",
+            f"{traced.estimated_seconds:.1f}",
+            str(n_spans),
+            f"{overhead:.2f}x",
+        ])
+        payload[f"lanes_{concurrency}"] = {
+            "tokens": plain.usage.total_tokens,
+            "makespan_s": plain.estimated_seconds,
+            "traced_makespan_s": traced.estimated_seconds,
+            "n_spans": n_spans,
+            "plain_wall_s": cell["plain_s"],
+            "traced_wall_s": cell["traced_s"],
+            "trace_overhead_ratio": overhead,
+        }
+    print()
+    print(render_table(
+        "Observability overhead — Adult ED, GPT-3.5, no few-shot",
+        ["lanes", "makespan s", "traced s", "spans", "wall overhead"],
+        rows,
+    ))
+
+    out_path = os.environ.get("REPRO_BENCH_OUT", "BENCH_observability.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")
+
+    for cell in results.values():
+        plain, traced = cell["plain"], cell["traced"]
+        # Tracing must not perturb the simulation in any way.
+        assert traced.predictions == plain.predictions
+        assert traced.usage == plain.usage
+        assert traced.estimated_seconds == plain.estimated_seconds
+        # ...and must record something when enabled.
+        assert traced.observation.tracer.n_spans > 0
+        assert plain.observation is None
+    # Wall-clock overhead stays bounded (generous: CI machines are noisy).
+    slowest = max(
+        cell["traced_s"] / cell["plain_s"]
+        for cell in results.values() if cell["plain_s"] > 0
+    )
+    assert slowest <= MAX_OVERHEAD_RATIO, (
+        f"tracing overhead {slowest:.2f}x exceeds {MAX_OVERHEAD_RATIO}x"
+    )

@@ -67,6 +67,13 @@ class PipelineConfig:
         Worker lanes for the batch executor; 1 reproduces the paper's
         sequential cost model, N overlaps request latency across N lanes
         (time is modeled as makespan instead of a sum).
+    observability:
+        Attach a tracer and metrics registry (:mod:`repro.obs`) to the
+        run: spans per batch phase and completion call on the simulated
+        clock, counters/histograms for requests, retries, cache hits and
+        tokens, all surfaced through ``PipelineResult.observation``.
+        Off by default; the disabled path does no observability work at
+        all, and enabling it never changes predictions.
     """
 
     model: str = "gpt-3.5"
@@ -80,6 +87,7 @@ class PipelineConfig:
     seed: int = 0
     max_format_retries: int = 1
     concurrency: int = 1
+    observability: bool = False
 
     def __post_init__(self) -> None:
         if self.fewshot is not None and self.fewshot < 0:

@@ -42,6 +42,8 @@ from repro.errors import (
 from repro.llm.accounting import request_prompt_tokens
 from repro.llm.base import CompletionRequest, CompletionResponse, LLMClient
 from repro.llm.ratelimit import LaneClock, RateLimit, RateLimiter
+from repro.obs import RunObservation
+from repro.obs.tracing import Span
 
 
 @dataclass(frozen=True)
@@ -145,6 +147,10 @@ class ExecutionReport:
     n_breaker_trips: int = 0
     n_giveups: int = 0
     n_fallback_splits: int = 0
+    #: response-cache traffic observed during the run (0/0 when the client
+    #: has no cache in front of it)
+    n_cache_hits: int = 0
+    n_cache_misses: int = 0
 
     @property
     def speedup(self) -> float:
@@ -158,6 +164,12 @@ class ExecutionReport:
         if not self.lanes:
             return 0.0
         return sum(lane.utilization for lane in self.lanes) / len(self.lanes)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over total cache lookups (0.0 when no cache was observed)."""
+        total = self.n_cache_hits + self.n_cache_misses
+        return self.n_cache_hits / total if total else 0.0
 
 
 @dataclass
@@ -178,13 +190,22 @@ class BatchExecutor:
     responses at every lane count.
     """
 
-    def __init__(self, client: LLMClient, config: ExecutorConfig | None = None):
+    def __init__(
+        self,
+        client: LLMClient,
+        config: ExecutorConfig | None = None,
+        obs: RunObservation | None = None,
+    ):
         self._client = client
         self._config = config or ExecutorConfig()
+        self._obs = obs
         self._clock = LaneClock(self._config.concurrency)
         self._lanes = [_LaneState() for __ in range(self._config.concurrency)]
         self._limiter = (
-            RateLimiter(self._config.rate_limit)
+            RateLimiter(
+                self._config.rate_limit,
+                metrics=obs.metrics if obs is not None else None,
+            )
             if self._config.rate_limit is not None
             else None
         )
@@ -203,7 +224,10 @@ class BatchExecutor:
         return self._clock
 
     def call(
-        self, request: CompletionRequest, ready_at: float = 0.0
+        self,
+        request: CompletionRequest,
+        ready_at: float = 0.0,
+        parent: Span | None = None,
     ) -> tuple[CompletionResponse, float]:
         """Run one completion call; return (response, virtual finish time).
 
@@ -212,13 +236,67 @@ class BatchExecutor:
         a format retry follows).  Raises
         :class:`~repro.errors.ExecutionGiveUpError` once the retry budget
         is spent, and lets :class:`ContextWindowExceededError` propagate
-        untouched (it is a prompt-size problem, not a fault).
+        untouched (it is a prompt-size problem, not a fault).  When
+        observability is on, the whole call — waits, retries, breaker
+        trips — becomes one ``llm.call`` span under ``parent``.
         """
         config = self._config
         lane = self._pick_lane(ready_at)
         state = self._lanes[lane]
         report = self._stats.lanes[lane]
         start = max(self._clock.available_at(lane), ready_at, state.open_until)
+        span: Span | None = None
+        if self._obs is not None:
+            span = self._obs.tracer.start_span(
+                "llm.call", start, parent=parent,
+                lane=lane, model=request.model,
+            )
+        try:
+            response, finished = self._attempt_loop(
+                request, lane, start, span
+            )
+        except ContextWindowExceededError:
+            if span is not None:
+                span.set_attribute("outcome", "context_window")
+                span.end(start)
+            raise
+        except ExecutionGiveUpError as giveup:
+            if span is not None:
+                span.set_attribute("outcome", "giveup")
+                span.end(max(giveup.at, span.start_s))
+            raise
+        state.consecutive_failures = 0
+        report.n_calls += 1
+        self._stats.n_calls += 1
+        if span is not None:
+            span.set_attribute("outcome", "ok")
+            span.set_attribute("prompt_tokens", response.usage.prompt_tokens)
+            span.set_attribute(
+                "completion_tokens", response.usage.completion_tokens
+            )
+            span.set_attribute("latency_s", response.latency_s)
+            span.end(finished)
+            metrics = self._obs.metrics
+            metrics.counter("executor.calls").inc()
+            metrics.counter("llm.prompt_tokens").inc(
+                response.usage.prompt_tokens
+            )
+            metrics.counter("llm.completion_tokens").inc(
+                response.usage.completion_tokens
+            )
+            metrics.histogram("llm.call_latency_s").observe(response.latency_s)
+        return response, finished
+
+    def _attempt_loop(
+        self,
+        request: CompletionRequest,
+        lane: int,
+        start: float,
+        span: Span | None,
+    ) -> tuple[CompletionResponse, float]:
+        """The retry loop of one call (shared bookkeeping stays in call)."""
+        config = self._config
+        report = self._stats.lanes[lane]
         backoff = config.base_backoff_s
         attempts = 0
         rate_limit_waits = 0
@@ -235,6 +313,9 @@ class BatchExecutor:
                     rate_limit_waits += 1
                     report.n_rate_limit_waits += 1
                     self._stats.n_rate_limit_waits += 1
+                    self._count("executor.rate_limit_waits")
+                    self._event(span, "throttle.wait", start,
+                                retry_after=exc.retry_after, source="local")
                     if rate_limit_waits > config.max_rate_limit_waits:
                         self._give_up(lane, start, exc_attempts=attempts or 1,
                                       reason=f"rate limited: {exc}")
@@ -253,6 +334,9 @@ class BatchExecutor:
                 rate_limit_waits += 1
                 report.n_rate_limit_waits += 1
                 self._stats.n_rate_limit_waits += 1
+                self._count("executor.rate_limit_waits")
+                self._event(span, "throttle.wait", start,
+                            retry_after=exc.retry_after, source="upstream")
                 attempts -= 1  # a stall, not a failed attempt
                 if rate_limit_waits > config.max_rate_limit_waits:
                     self._give_up(lane, start, exc_attempts=max(attempts, 1),
@@ -264,7 +348,7 @@ class BatchExecutor:
                 start = self._clock.occupy(lane, start, exc.latency_s)
                 last_reason = str(exc)
                 start, backoff = self._after_failure(
-                    lane, start, backoff, attempts, last_reason
+                    lane, start, backoff, attempts, last_reason, span
                 )
                 continue
             latency = response.latency_s
@@ -274,19 +358,20 @@ class BatchExecutor:
                 start = self._clock.occupy(lane, start, config.timeout_s)
                 report.n_timeouts += 1
                 self._stats.n_timeouts += 1
+                self._count("executor.timeouts")
+                self._event(span, "timeout", start,
+                            timeout_s=config.timeout_s, latency_s=latency)
                 last_reason = (
                     f"timed out after {config.timeout_s:.1f}s "
                     f"(modeled latency {latency:.1f}s)"
                 )
                 start, backoff = self._after_failure(
-                    lane, start, backoff, attempts, last_reason
+                    lane, start, backoff, attempts, last_reason, span
                 )
                 continue
-            finished = self._clock.occupy(lane, start, latency)
-            state.consecutive_failures = 0
-            report.n_calls += 1
-            self._stats.n_calls += 1
-            return response, finished
+            if span is not None:
+                span.set_attribute("attempts", attempts)
+            return response, self._clock.occupy(lane, start, latency)
 
     def report(self) -> ExecutionReport:
         """Snapshot the run's counters with final time accounting."""
@@ -298,11 +383,20 @@ class BatchExecutor:
         for lane_report in stats.lanes:
             lane_report.busy_s = self._clock.busy_seconds(lane_report.lane)
             lane_report.utilization = self._clock.utilization(lane_report.lane)
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            metrics.gauge("executor.makespan_s").set(stats.makespan_s)
+            metrics.gauge("executor.sequential_s").set(stats.sequential_s)
+            for lane_report in stats.lanes:
+                metrics.gauge(
+                    f"executor.lane{lane_report.lane}.busy_s"
+                ).set(lane_report.busy_s)
         return stats
 
     def record_fallback_split(self, n_subbatches: int) -> None:
         """Note that a given-up batch degraded into smaller sub-batches."""
         self._stats.n_fallback_splits += n_subbatches
+        self._count("executor.fallback_splits", n_subbatches)
 
     def _pick_lane(self, ready_at: float) -> int:
         floors = [
@@ -317,6 +411,7 @@ class BatchExecutor:
         backoff: float,
         attempts: int,
         reason: str,
+        span: Span | None = None,
     ) -> tuple[float, float]:
         """Book one failed attempt; return (next start time, next backoff)."""
         config = self._config
@@ -331,17 +426,34 @@ class BatchExecutor:
             state.consecutive_failures = 0
             report.n_breaker_trips += 1
             self._stats.n_breaker_trips += 1
+            self._count("executor.breaker_trips")
+            self._event(span, "breaker.trip", start,
+                        lane=lane, open_until=state.open_until)
         if attempts >= config.max_attempts:
             self._give_up(lane, start, exc_attempts=attempts, reason=reason)
         report.n_retries += 1
         self._stats.n_retries += 1
+        self._count("executor.retries")
+        self._event(span, "retry", start, attempt=attempts, reason=reason)
         next_start = max(start + self._jittered(backoff), state.open_until)
         return next_start, self._next_backoff(backoff)
 
     def _give_up(self, lane: int, at: float, exc_attempts: int, reason: str):
         self._clock.idle_until(lane, at)
         self._stats.n_giveups += 1
+        self._count("executor.giveups")
         raise ExecutionGiveUpError(exc_attempts, reason, at=at)
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        """Bump an observability counter (no-op when observability is off)."""
+        if self._obs is not None:
+            self._obs.metrics.counter(name).inc(amount)
+
+    @staticmethod
+    def _event(span: Span | None, name: str, time_s: float, **attrs) -> None:
+        """Attach a point event to the call span when tracing is on."""
+        if span is not None:
+            span.add_event(name, time_s, **attrs)
 
     def _jittered(self, backoff: float) -> float:
         return backoff * (1.0 + self._config.jitter * self._rng.random())

@@ -33,8 +33,11 @@ from repro.errors import (
     EvaluationError,
     ExecutionGiveUpError,
 )
+from repro.llm.accounting import request_prompt_tokens
 from repro.llm.base import CompletionRequest, LLMClient, Usage
 from repro.llm.profiles import get_profile
+from repro.obs import RunObservation
+from repro.obs.tracing import Span
 
 #: the paper's temperature settings (Section 4.1)
 DEFAULT_TEMPERATURE = {
@@ -77,6 +80,9 @@ class PipelineResult:
     estimated_seconds: float
     raw_replies: list[str] = field(default_factory=list)
     execution: ExecutionReport | None = None
+    #: tracer + metrics of the run, present when the config enabled
+    #: observability (never affects predictions or accounting)
+    observation: RunObservation | None = None
 
     @property
     def estimated_hours(self) -> float:
@@ -85,6 +91,21 @@ class PipelineResult:
     @property
     def total_tokens(self) -> int:
         return self.usage.total_tokens
+
+
+def _end_span(span: Span | None, time_s: float, **attrs: object) -> None:
+    """Close an (optional) span at ``time_s``, attaching final attributes.
+
+    Tolerates ``None`` (observability off) and clamps to the span's start
+    so degraded paths that resolve "in the past" still produce a valid
+    trace.
+    """
+    if span is None:
+        return
+    for key, value in attrs.items():
+        span.set_attribute(key, value)
+    if not span.finished:
+        span.end(max(time_s, span.start_s))
 
 
 @dataclass
@@ -167,7 +188,22 @@ class Preprocessor:
 
         predictions: list[bool | str | None] = [None] * len(instances)
         stats = _RunStats(keep_raw=keep_raw)
-        executor = BatchExecutor(self._client, self._executor_config)
+        obs = RunObservation() if config.observability else None
+        run_span: Span | None = None
+        cache_binder = getattr(self._client, "bind_metrics", None)
+        if obs is not None:
+            if callable(cache_binder):
+                cache_binder(obs.metrics)
+            run_span = obs.tracer.start_span(
+                "pipeline.run", 0.0,
+                dataset=dataset.name, model=config.model,
+                concurrency=config.concurrency, n_instances=len(instances),
+            )
+        # Cache traffic is surfaced per run: snapshot the client's counters
+        # (if it has any) so the report carries this run's delta only.
+        cache_hits_before = getattr(self._client, "hits", None)
+        cache_misses_before = getattr(self._client, "misses", None)
+        executor = BatchExecutor(self._client, self._executor_config, obs=obs)
 
         for group_indices in self._group_by_target(instances):
             group = [instances[i] for i in group_indices]
@@ -189,12 +225,22 @@ class Preprocessor:
                 batch_predictions = self._run_batch(
                     builder, batch, group_fewshot, temperature,
                     dataset.task, stats, executor, ready_at=0.0,
+                    obs=obs, parent=run_span,
                 )
                 for position, prediction in zip(batch_positions, batch_predictions):
                     predictions[group_indices[position]] = prediction
 
         assert all(p is not None for p in predictions)
         report = executor.report()
+        if isinstance(cache_hits_before, int) and isinstance(cache_misses_before, int):
+            report.n_cache_hits = self._client.hits - cache_hits_before
+            report.n_cache_misses = self._client.misses - cache_misses_before
+        if obs is not None:
+            if report.n_cache_hits or report.n_cache_misses:
+                obs.metrics.gauge("cache.hit_rate").set(report.cache_hit_rate)
+            run_span.end(report.makespan_s)
+            if callable(cache_binder):
+                cache_binder(None)  # this run's registry must stop counting
         return PipelineResult(
             predictions=predictions,  # type: ignore[arg-type]
             usage=stats.usage,
@@ -204,6 +250,7 @@ class Preprocessor:
             estimated_seconds=report.makespan_s,
             raw_replies=stats.raw_replies,
             execution=report,
+            observation=obs,
         )
 
     def _run_batch(
@@ -216,6 +263,8 @@ class Preprocessor:
         stats: "_RunStats",
         executor: BatchExecutor,
         ready_at: float = 0.0,
+        obs: RunObservation | None = None,
+        parent: Span | None = None,
     ) -> list[bool | str]:
         """Answer one batch, splitting it when the prompt cannot fit.
 
@@ -226,75 +275,151 @@ class Preprocessor:
         degrades the same way — smaller batches first, safe fallback
         answers last.  ``ready_at`` is the virtual time this batch's work
         may start (format retries depend on the reply they re-ask).
+
+        With observability on, the batch becomes a ``pipeline.batch`` span
+        whose children mark the phases — contextualize → prompt →
+        complete → parse — on the virtual timeline; splits recurse into
+        sibling batch spans under the same parent.
         """
         config = self._config
         fallback: bool | str = "" if task is Task.DATA_IMPUTATION else False
+        batch_span: Span | None = None
+        if obs is not None:
+            batch_span = obs.tracer.start_span(
+                "pipeline.batch", ready_at, parent=parent,
+                n_instances=len(batch), task=task.name,
+            )
+            obs.metrics.counter("pipeline.batches").inc()
+            obs.metrics.histogram(
+                "pipeline.batch_size", buckets=(1, 2, 4, 8, 16, 32)
+            ).observe(len(batch))
+            # Contextualization and prompt assembly consume no modeled
+            # latency: they mark the timeline as zero-duration phases.
+            _end_span(
+                obs.tracer.start_span(
+                    "pipeline.contextualize", ready_at, parent=batch_span,
+                    n_instances=len(batch), n_fewshot=len(fewshot),
+                ),
+                ready_at,
+            )
         prompt = builder.build(batch, fewshot_examples=fewshot)
         request = CompletionRequest(
             messages=prompt.messages,
             model=config.model,
             temperature=temperature,
         )
+        if obs is not None:
+            _end_span(
+                obs.tracer.start_span(
+                    "pipeline.prompt", ready_at, parent=batch_span,
+                    n_messages=len(request.messages),
+                    prompt_tokens=request_prompt_tokens(request),
+                ),
+                ready_at,
+            )
         attempts = 1 + config.max_format_retries
         last_text = ""
         for attempt in range(attempts):
+            complete_span: Span | None = None
+            if obs is not None:
+                complete_span = obs.tracer.start_span(
+                    "pipeline.complete", ready_at, parent=batch_span,
+                    attempt=attempt,
+                )
             try:
-                response, ready_at = executor.call(request, ready_at=ready_at)
+                response, ready_at = executor.call(
+                    request, ready_at=ready_at, parent=complete_span
+                )
             except ContextWindowExceededError:
+                _end_span(complete_span, ready_at, outcome="context_window")
                 if len(batch) > 1:
+                    _end_span(batch_span, ready_at, outcome="split")
+                    if obs is not None:
+                        obs.metrics.counter("pipeline.batch_splits").inc()
                     half = len(batch) // 2
                     return self._run_batch(
                         builder, batch[:half], fewshot, temperature, task,
-                        stats, executor, ready_at,
+                        stats, executor, ready_at, obs, parent,
                     ) + self._run_batch(
                         builder, batch[half:], fewshot, temperature, task,
-                        stats, executor, ready_at,
+                        stats, executor, ready_at, obs, parent,
                     )
                 if fewshot:
                     # A single instance that does not fit may still fit
                     # without the demonstration block.
+                    _end_span(batch_span, ready_at, outcome="retry_zero_shot")
                     return self._run_batch(
                         builder, batch, [], temperature, task,
-                        stats, executor, ready_at,
+                        stats, executor, ready_at, obs, parent,
                     )
                 stats.n_fallbacks += len(batch)
+                _end_span(batch_span, ready_at, outcome="fallback")
+                if obs is not None:
+                    obs.metrics.counter("pipeline.fallbacks").inc(len(batch))
                 return [fallback] * len(batch)
             except ExecutionGiveUpError as giveup:
                 resume_at = max(ready_at, giveup.at)
+                _end_span(complete_span, resume_at, outcome="giveup")
                 if len(batch) > 1:
                     # Degrade gracefully: a smaller prompt is likelier to
                     # get through a struggling upstream.
                     executor.record_fallback_split(2)
+                    _end_span(batch_span, resume_at, outcome="split")
+                    if obs is not None:
+                        obs.metrics.counter("pipeline.batch_splits").inc()
                     half = len(batch) // 2
                     return self._run_batch(
                         builder, batch[:half], fewshot, temperature, task,
-                        stats, executor, resume_at,
+                        stats, executor, resume_at, obs, parent,
                     ) + self._run_batch(
                         builder, batch[half:], fewshot, temperature, task,
-                        stats, executor, resume_at,
+                        stats, executor, resume_at, obs, parent,
                     )
                 stats.n_fallbacks += len(batch)
+                _end_span(batch_span, resume_at, outcome="fallback")
+                if obs is not None:
+                    obs.metrics.counter("pipeline.fallbacks").inc(len(batch))
                 return [fallback] * len(batch)
+            _end_span(complete_span, ready_at, outcome="ok")
             stats.n_requests += 1
             stats.usage = stats.usage + response.usage
             last_text = response.text
             if stats.keep_raw:
                 stats.raw_replies.append(response.text)
+            parse_span: Span | None = None
+            if obs is not None:
+                parse_span = obs.tracer.start_span(
+                    "pipeline.parse", ready_at, parent=batch_span,
+                    n_expected=len(batch),
+                )
             try:
-                return parse_batch_answers(response.text, task, len(batch))
+                answers = parse_batch_answers(response.text, task, len(batch))
             except AnswerFormatError:
+                _end_span(parse_span, ready_at, outcome="format_error")
                 if attempt < attempts - 1:
                     stats.n_retries += 1
+                    if obs is not None:
+                        obs.metrics.counter("pipeline.format_retries").inc()
+            else:
+                _end_span(parse_span, ready_at, outcome="ok")
+                _end_span(batch_span, ready_at, outcome="ok")
+                return answers
         # Retries exhausted: salvage the parseable answers and fall back to
         # the safe answer only where none parsed.
         salvaged = parse_batch_answers_lenient(last_text, task, len(batch))
         results: list[bool | str] = []
+        n_salvage_fallbacks = 0
         for answer in salvaged:
             if answer is None:
                 stats.n_fallbacks += 1
+                n_salvage_fallbacks += 1
                 results.append(fallback)
             else:
                 results.append(answer)
+        _end_span(batch_span, ready_at, outcome="salvaged",
+                  n_fallbacks=n_salvage_fallbacks)
+        if obs is not None and n_salvage_fallbacks:
+            obs.metrics.counter("pipeline.fallbacks").inc(n_salvage_fallbacks)
         return results
 
     @staticmethod

@@ -8,14 +8,21 @@ Usage::
     python -m repro.eval feature-selection
     python -m repro.eval cluster-batching
     python -m repro.eval all [--scale 0.1]
+    python -m repro.eval run --dataset beer [--model gpt-3.5]
+                             [--manifest out.json] [--chrome out.trace.json]
+    python -m repro.eval trace manifest.json [--chrome out.trace.json]
 
 Every cell prints as ``measured (paper)`` so the reproduction gap is
 visible inline.  ``--scale 1.0`` runs the published dataset sizes.
+``run`` performs one observed evaluation and writes its manifest;
+``trace`` renders a previously written manifest (and can convert its
+span trace to the Chrome ``chrome://tracing`` format).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.eval import experiments
@@ -97,6 +104,77 @@ def _cmd_cluster_batching(args: argparse.Namespace) -> None:
     print()
 
 
+def _cmd_run(args: argparse.Namespace) -> None:
+    """One observed evaluation run; optionally writes its manifest."""
+    from repro import PipelineConfig, SimulatedLLM, load_dataset
+    from repro.eval.harness import evaluate_pipeline
+    from repro.eval.reporting import render_execution_report
+    from repro.obs import (
+        render_metrics_summary,
+        render_trace_summary,
+        spans_from_json,
+        trace_to_chrome,
+    )
+
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    config = PipelineConfig(
+        model=args.model,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        observability=True,
+    )
+    run = evaluate_pipeline(
+        SimulatedLLM(args.model, seed=args.seed), config, dataset,
+        manifest_path=args.manifest,
+    )
+    print(
+        f"{args.dataset} / {args.model}: {run.metric_name} {run.score_pct}, "
+        f"{run.total_tokens} tokens, ${run.cost_usd:.2f}, {run.hours:.3f}h"
+    )
+    if run.execution is not None:
+        print(render_execution_report(run.execution))
+    print(render_trace_summary(spans_from_json(run.manifest.trace)))
+    print(render_metrics_summary(run.manifest.metrics))
+    if args.manifest:
+        print(f"manifest written to {args.manifest}")
+    if args.chrome:
+        spans = spans_from_json(run.manifest.trace)
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(trace_to_chrome(spans), handle)
+        print(f"chrome trace written to {args.chrome}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    """Render a previously written run manifest."""
+    from repro.obs import (
+        RunManifest,
+        render_metrics_summary,
+        render_trace_summary,
+        spans_from_json,
+        trace_to_chrome,
+    )
+
+    manifest = RunManifest.load(args.manifest)
+    evaluation = manifest.evaluation
+    score = evaluation.get("score")
+    score_text = "N/A" if score is None else f"{score * 100:.1f}"
+    print(
+        f"Manifest v{manifest.version} — "
+        f"{manifest.dataset.get('name')} / {evaluation.get('model')}: "
+        f"{evaluation.get('metric_name')} {score_text}, "
+        f"{evaluation.get('total_tokens')} tokens, "
+        f"{evaluation.get('hours', 0.0):.3f}h "
+        f"(speedup {evaluation.get('speedup', 1.0):.2f}x)"
+    )
+    spans = spans_from_json(manifest.trace)
+    print(render_trace_summary(spans))
+    print(render_metrics_summary(manifest.metrics))
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(trace_to_chrome(spans), handle)
+        print(f"chrome trace written to {args.chrome}")
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     _cmd_table1(args)
     _cmd_table2(args)
@@ -125,6 +203,27 @@ def main(argv: list[str] | None = None) -> int:
     ):
         command = sub.add_parser(name, parents=[common])
         command.set_defaults(handler=handler)
+    run_cmd = sub.add_parser(
+        "run", help="one observed evaluation run (writes a manifest)"
+    )
+    run_cmd.add_argument("--dataset", required=True)
+    run_cmd.add_argument("--model", default="gpt-3.5")
+    run_cmd.add_argument("--size", type=int, default=None,
+                         help="instance count (default: the dataset's)")
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument("--concurrency", type=int, default=1)
+    run_cmd.add_argument("--manifest", default=None,
+                         help="write the run manifest JSON here")
+    run_cmd.add_argument("--chrome", default=None,
+                         help="write a chrome://tracing JSON here")
+    run_cmd.set_defaults(handler=_cmd_run)
+    trace_cmd = sub.add_parser(
+        "trace", help="render a run manifest written by `run`"
+    )
+    trace_cmd.add_argument("manifest", help="path to a manifest JSON")
+    trace_cmd.add_argument("--chrome", default=None,
+                           help="write a chrome://tracing JSON here")
+    trace_cmd.set_defaults(handler=_cmd_trace)
     args = parser.parse_args(argv)
     args.handler(args)
     return 0

@@ -8,16 +8,18 @@ not applicable, as Vicuna is for most datasets in Table 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.core.config import PipelineConfig
 from repro.core.executor import ExecutionReport
 from repro.core.pipeline import PipelineResult, Preprocessor
 from repro.data.instances import PreprocessingDataset, ground_truth_labels
-from repro.errors import ContextWindowExceededError
+from repro.errors import ContextWindowExceededError, EvaluationError
 from repro.eval.metrics import score_predictions
 from repro.llm.base import LLMClient
 from repro.llm.profiles import get_profile
+from repro.obs import RunManifest, build_manifest
 
 #: fallback-answer fraction beyond which a result is reported "N/A"
 NOT_APPLICABLE_FALLBACK_RATE = 0.30
@@ -45,6 +47,9 @@ class EvaluationRun:
     fallback_rate: float
     hours_sequential: float = 0.0
     execution: ExecutionReport | None = None
+    #: the run's provenance record, present when the config enabled
+    #: observability
+    manifest: RunManifest | None = field(default=None, compare=False)
 
     @property
     def speedup(self) -> float:
@@ -69,8 +74,20 @@ def evaluate_pipeline(
     client: LLMClient,
     config: PipelineConfig,
     dataset: PreprocessingDataset,
+    manifest_path: str | Path | None = None,
 ) -> EvaluationRun:
-    """Run ``config`` against ``dataset`` through ``client`` and score it."""
+    """Run ``config`` against ``dataset`` through ``client`` and score it.
+
+    With ``config.observability`` on, the returned run carries a
+    :class:`~repro.obs.manifest.RunManifest` (config, model profile,
+    dataset, metrics snapshot, execution report, full trace); pass
+    ``manifest_path`` to also write it to disk as one JSON artifact.
+    """
+    if manifest_path is not None and not config.observability:
+        raise EvaluationError(
+            "manifest_path requires PipelineConfig(observability=True) — "
+            "there is nothing to write otherwise"
+        )
     profile = get_profile(config.model)
     preprocessor = Preprocessor(client, config)
     try:
@@ -85,7 +102,7 @@ def evaluate_pipeline(
         score = None
     else:
         score = score_predictions(dataset.task, result.predictions, labels)
-    return EvaluationRun(
+    run = EvaluationRun(
         dataset=dataset.name,
         model=profile.name,
         metric_name=dataset.task.metric_name,
@@ -104,6 +121,47 @@ def evaluate_pipeline(
             else result.estimated_hours
         ),
         execution=result.execution,
+    )
+    if result.observation is not None:
+        manifest = _manifest_for(config, profile, dataset, run, result)
+        if manifest_path is not None:
+            manifest.write(manifest_path)
+        run = replace(run, manifest=manifest)
+    return run
+
+
+def _manifest_for(
+    config: PipelineConfig,
+    profile,
+    dataset: PreprocessingDataset,
+    run: EvaluationRun,
+    result: PipelineResult,
+) -> RunManifest:
+    """Assemble the provenance manifest of one observed evaluation run."""
+    evaluation = {
+        "dataset": run.dataset,
+        "model": run.model,
+        "metric_name": run.metric_name,
+        "score": run.score,
+        "n_instances": run.n_instances,
+        "total_tokens": run.total_tokens,
+        "cost_usd": run.cost_usd,
+        "hours": run.hours,
+        "hours_sequential": run.hours_sequential,
+        "speedup": run.speedup,
+        "n_requests": run.n_requests,
+        "fallback_rate": run.fallback_rate,
+    }
+    return build_manifest(
+        config=config,
+        model_profile=profile,
+        dataset_name=dataset.name,
+        task=dataset.task,
+        n_instances=len(dataset.instances),
+        evaluation=evaluation,
+        metrics_snapshot=result.observation.snapshot(),
+        execution=result.execution,
+        spans=result.observation.tracer.spans,
     )
 
 

@@ -86,4 +86,11 @@ def render_execution_report(report: ExecutionReport) -> str:
         f"{report.n_giveups} give-up(s), "
         f"{report.n_fallback_splits} fallback split(s)"
     )
-    return f"{table}\n{summary}"
+    lines = [table, summary]
+    if report.n_cache_hits or report.n_cache_misses:
+        lines.append(
+            f"cache: {report.n_cache_hits} hit(s), "
+            f"{report.n_cache_misses} miss(es) "
+            f"(hit rate {report.cache_hit_rate * 100:.0f}%)"
+        )
+    return "\n".join(lines)

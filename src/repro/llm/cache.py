@@ -10,8 +10,12 @@ the full request.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 from repro.llm.base import CompletionRequest, CompletionResponse, LLMClient
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 def request_key(request: CompletionRequest) -> tuple:
@@ -33,19 +37,36 @@ class CachingClient:
     to (the ledger decides what to meter).
     """
 
-    def __init__(self, inner: LLMClient, max_entries: int = 4096):
+    def __init__(
+        self,
+        inner: LLMClient,
+        max_entries: int = 4096,
+        metrics: "MetricsRegistry | None" = None,
+    ):
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self._inner = inner
         self._max_entries = max_entries
         self._cache: OrderedDict[tuple, CompletionResponse] = OrderedDict()
+        self._metrics = metrics
         self.hits = 0
         self.misses = 0
+
+    def bind_metrics(self, metrics: "MetricsRegistry | None") -> None:
+        """Attach (or detach) a metrics registry for hit/miss counters.
+
+        The pipeline calls this when observability is on, so cache traffic
+        lands in the run's metrics snapshot without the cache having to
+        know about runs.
+        """
+        self._metrics = metrics
 
     def complete(self, request: CompletionRequest) -> CompletionResponse:
         key = request_key(request)
         if key in self._cache:
             self.hits += 1
+            if self._metrics is not None:
+                self._metrics.counter("cache.hits").inc()
             self._cache.move_to_end(key)
             cached = self._cache[key]
             return CompletionResponse(
@@ -55,6 +76,8 @@ class CachingClient:
                 latency_s=0.0,
             )
         self.misses += 1
+        if self._metrics is not None:
+            self._metrics.counter("cache.misses").inc()
         response = self._inner.complete(request)
         self._cache[key] = response
         if len(self._cache) > self._max_entries:

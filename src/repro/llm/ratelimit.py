@@ -10,10 +10,14 @@ and the total simulated time feeds the experiment's hours column.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import LLMError, RateLimitError
 from repro.llm.accounting import request_prompt_tokens
 from repro.llm.base import CompletionRequest, CompletionResponse, LLMClient
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 class SimulatedClock:
@@ -131,9 +135,15 @@ class RateLimiter:
     meter an account, not a connection.
     """
 
-    def __init__(self, limit: RateLimit, clock: SimulatedClock | None = None):
+    def __init__(
+        self,
+        limit: RateLimit,
+        clock: SimulatedClock | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ):
         self._limit = limit
         self._clock = clock
+        self._metrics = metrics
         self._events: list[tuple[float, int]] = []  # (time, tokens)
 
     def check(
@@ -168,6 +178,9 @@ class RateLimiter:
         ):
             oldest = window[0][0] if window else now
             retry_after = max(0.001, oldest + 60.0 - now)
+            if self._metrics is not None:
+                self._metrics.counter("ratelimit.throttled").inc()
+                self._metrics.histogram("ratelimit.wait_s").observe(retry_after)
             raise RateLimitError(retry_after)
         self._events.append((now, tokens))
         self._events.sort(key=lambda event: event[0])

@@ -1,0 +1,77 @@
+"""Observability: span tracing, metrics, and run manifests.
+
+The pipeline's cost/latency story (tokens, dollars, hours) is a
+*scheduling outcome* of the executor's virtual timeline; this package
+makes that timeline visible.  Everything runs on the simulated clock —
+spans and metrics carry virtual times, never wall-clock — so enabling
+observability changes no prediction and two identical runs produce
+byte-identical traces and manifests.
+
+- :mod:`repro.obs.tracing` — ``Tracer``/``Span`` with parent links,
+  attributes, and point events;
+- :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  fixed-bucket histograms;
+- :mod:`repro.obs.export` — JSON / Chrome ``chrome://tracing`` / text
+  renderings of a trace;
+- :mod:`repro.obs.manifest` — the single-JSON provenance record of a run.
+
+Enable it with ``PipelineConfig(observability=True)``; the pipeline then
+attaches a :class:`RunObservation` to its result.  When the knob is off
+(the default) no tracer or registry is ever constructed and the hot path
+pays only a ``None`` check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.export import (
+    render_metrics_summary,
+    render_trace_summary,
+    spans_from_json,
+    trace_to_chrome,
+    trace_to_json,
+)
+from repro.obs.manifest import MANIFEST_VERSION, ManifestError, RunManifest, build_manifest
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, SpanEvent, Tracer, TracingError
+
+__all__ = [
+    "RunObservation",
+    "Tracer",
+    "Span",
+    "SpanEvent",
+    "TracingError",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "trace_to_json",
+    "trace_to_chrome",
+    "spans_from_json",
+    "render_trace_summary",
+    "render_metrics_summary",
+    "RunManifest",
+    "build_manifest",
+    "ManifestError",
+    "MANIFEST_VERSION",
+]
+
+
+@dataclass
+class RunObservation:
+    """The tracer and metrics registry of one observed pipeline run."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def snapshot(self) -> dict:
+        """The metrics snapshot (shorthand used by reporting layers)."""
+        return self.metrics.snapshot()

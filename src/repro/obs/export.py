@@ -1,0 +1,150 @@
+"""Trace exporters: JSON, Chrome ``chrome://tracing``, and a text summary.
+
+Three views of the same span list:
+
+- :func:`trace_to_json` — the lossless form embedded in run manifests;
+- :func:`trace_to_chrome` — the Chrome trace-event format (open
+  ``chrome://tracing`` or https://ui.perfetto.dev and load the file);
+  spans become complete (``"ph": "X"``) events on one track per lane,
+  span events become instant (``"ph": "i"``) marks;
+- :func:`render_trace_summary` — an aligned text table aggregating spans
+  by name, for terminals and CI logs.
+
+All times are virtual seconds from the simulated clock; Chrome expects
+microseconds, so the exporter scales by 1e6.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.obs.tracing import Span
+
+#: Chrome trace timestamps are microseconds
+_CHROME_US = 1_000_000.0
+
+
+def trace_to_json(spans: Sequence[Span]) -> dict:
+    """The lossless JSON form of a trace (what the manifest embeds)."""
+    return {"spans": [span.to_dict() for span in spans]}
+
+
+def spans_from_json(payload: dict) -> list[Span]:
+    """Rebuild :class:`Span` objects from :func:`trace_to_json` output."""
+    spans = []
+    for item in payload.get("spans", []):
+        span = Span(
+            span_id=item["span_id"],
+            name=item["name"],
+            start_s=item["start_s"],
+            parent_id=item.get("parent_id"),
+            attributes=dict(item.get("attributes", {})),
+        )
+        if item.get("end_s") is not None:
+            span.end(item["end_s"])
+        for event in item.get("events", []):
+            span.add_event(
+                event["name"], event["time_s"], **event.get("attributes", {})
+            )
+        spans.append(span)
+    return spans
+
+
+def trace_to_chrome(spans: Sequence[Span]) -> dict:
+    """Spans as a Chrome trace-event document.
+
+    The lane attribute (set by the executor) becomes the thread id, so
+    the timeline shows one swimlane per worker lane; spans without a lane
+    render on track 0.
+    """
+    events: list[dict] = []
+    for span in spans:
+        tid = span.attributes.get("lane", 0)
+        args = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            **{k: v for k, v in span.attributes.items() if k != "lane"},
+        }
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".")[0],
+            "ph": "X",
+            "ts": span.start_s * _CHROME_US,
+            "dur": span.duration_s * _CHROME_US,
+            "pid": 0,
+            "tid": tid,
+            "args": args,
+        })
+        for event in span.events:
+            events.append({
+                "name": event.name,
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": event.time_s * _CHROME_US,
+                "pid": 0,
+                "tid": tid,
+                "args": dict(event.attributes),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_trace_summary(spans: Sequence[Span]) -> str:
+    """Aggregate spans by name into an aligned text table.
+
+    One row per span name (first-seen order): count, total virtual
+    seconds, mean seconds, and how many point events fired inside.
+    """
+    # Local import: reporting depends on core, which must stay importable
+    # without the obs package being instantiated.
+    from repro.eval.reporting import render_table
+
+    if not spans:
+        return "trace: no spans recorded"
+    groups: OrderedDict[str, list[Span]] = OrderedDict()
+    for span in spans:
+        groups.setdefault(span.name, []).append(span)
+    rows = []
+    for name, members in groups.items():
+        total = sum(span.duration_s for span in members)
+        n_events = sum(len(span.events) for span in members)
+        rows.append([
+            name,
+            str(len(members)),
+            f"{total:.2f}",
+            f"{total / len(members):.3f}",
+            str(n_events),
+        ])
+    wall = max(
+        (span.end_s for span in spans if span.end_s is not None), default=0.0
+    )
+    table = render_table(
+        f"Trace — {len(spans)} span(s), {wall:.1f}s virtual wall-clock",
+        ["span", "count", "total s", "mean s", "events"],
+        rows,
+    )
+    return table
+
+
+def render_metrics_summary(snapshot: dict) -> str:
+    """Counters and gauges of a metrics snapshot as aligned text."""
+    from repro.eval.reporting import render_table
+
+    rows = [
+        [name, "counter", f"{value:g}"]
+        for name, value in snapshot.get("counters", {}).items()
+    ] + [
+        [name, "gauge", f"{value:g}"]
+        for name, value in snapshot.get("gauges", {}).items()
+    ] + [
+        [
+            name,
+            "histogram",
+            f"n={data['count']} sum={data['sum']:.2f}",
+        ]
+        for name, data in snapshot.get("histograms", {}).items()
+    ]
+    if not rows:
+        return "metrics: none recorded"
+    return render_table("Metrics", ["name", "kind", "value"], rows)

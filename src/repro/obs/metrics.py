@@ -1,0 +1,159 @@
+"""A small in-process metrics registry: counters, gauges, histograms.
+
+Modeled on the Prometheus client surface but fully deterministic and
+allocation-light: metrics are created lazily by name, histograms use
+*fixed* bucket bounds chosen at creation (no adaptive resizing, so two
+identical runs snapshot identically), and a snapshot is a plain dict that
+serializes straight into the run manifest.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+class MetricsError(ReproError):
+    """A metric was registered or used inconsistently."""
+
+
+#: default histogram bounds (seconds-ish scale, powers of two)
+DEFAULT_BUCKETS: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style buckets plus sum/count).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything above the last bound.
+    """
+
+    name: str
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    n_observations: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise MetricsError(f"histogram {self.name!r} needs at least one bucket")
+        if list(self.bounds) != sorted(self.bounds):
+            raise MetricsError(f"histogram {self.name!r} bounds must be sorted")
+        if len(set(self.bounds)) != len(self.bounds):
+            raise MetricsError(f"histogram {self.name!r} bounds must be distinct")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.n_observations += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n_observations if self.n_observations else 0.0
+
+
+class MetricsRegistry:
+    """Lazily creates metrics by name and snapshots them as plain data.
+
+    One name maps to exactly one metric kind; asking for an existing name
+    with a different kind (or different histogram bounds) raises
+    :class:`MetricsError` rather than silently splitting the series.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        self._check_kind(name, "counter")
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_kind(name, "gauge")
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        self._check_kind(name, "histogram")
+        existing = self._histograms.get(name)
+        if existing is not None:
+            if existing.bounds != tuple(buckets):
+                raise MetricsError(
+                    f"histogram {name!r} already registered with bounds "
+                    f"{existing.bounds}, got {tuple(buckets)}"
+                )
+            return existing
+        histogram = Histogram(name, bounds=tuple(buckets))
+        self._histograms[name] = histogram
+        return histogram
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        kinds = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in kinds.items():
+            if other_kind != kind and name in table:
+                raise MetricsError(
+                    f"metric {name!r} is already a {other_kind}, not a {kind}"
+                )
+
+    def snapshot(self) -> dict:
+        """All metrics as a JSON-ready dict, keys sorted for determinism."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(histogram.bounds),
+                    "counts": list(histogram.counts),
+                    "sum": histogram.total,
+                    "count": histogram.n_observations,
+                }
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,148 @@
+"""Deterministic span tracing over the simulated clock.
+
+A :class:`Span` covers one unit of pipeline work — a batch, a completion
+call, a parse — on the *virtual* timeline: its start and end are LaneClock
+times, not wall-clock, so two runs of the same configuration produce
+byte-identical traces.  Spans nest through explicit parent links (the
+executor passes its batch span as the parent of each call span) and carry
+attributes plus point-in-time events (a retry, a throttle wait, a breaker
+trip).
+
+The :class:`Tracer` hands out monotonically increasing span ids and keeps
+every span it started, in start order; exporters
+(:mod:`repro.obs.export`) turn the list into JSON or a Chrome trace.
+Nothing here reads a real clock — all times come from the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+class TracingError(ReproError):
+    """A span was used in a way that cannot produce a coherent trace."""
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation inside a span (a retry, a wait, a trip)."""
+
+    name: str
+    time_s: float
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "time_s": self.time_s,
+            "attributes": dict(self.attributes),
+        }
+
+
+@dataclass
+class Span:
+    """One timed unit of work on the virtual timeline."""
+
+    span_id: int
+    name: str
+    start_s: float
+    parent_id: int | None = None
+    end_s: float | None = None
+    attributes: dict[str, object] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+
+    def set_attribute(self, key: str, value: object) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def add_event(self, name: str, time_s: float, **attributes: object) -> SpanEvent:
+        """Record a point event; events keep their insertion order."""
+        event = SpanEvent(name=name, time_s=time_s, attributes=dict(attributes))
+        self.events.append(event)
+        return event
+
+    def end(self, time_s: float) -> "Span":
+        """Close the span at virtual time ``time_s`` (idempotence is an error)."""
+        if self.end_s is not None:
+            raise TracingError(f"span {self.name!r} (#{self.span_id}) already ended")
+        if time_s < self.start_s:
+            raise TracingError(
+                f"span {self.name!r} cannot end at {time_s:.3f} "
+                f"before its start {self.start_s:.3f}"
+            )
+        self.end_s = time_s
+        return self
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Span length; an unfinished span has zero duration."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attributes": dict(self.attributes),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+
+class Tracer:
+    """Collects the spans of one run, in deterministic start order.
+
+    Span ids are sequential from 1, so the id stream — and therefore the
+    exported trace — depends only on the order spans are started, which
+    the executor keeps invariant across concurrency levels.
+    """
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._next_id = 1
+
+    def start_span(
+        self,
+        name: str,
+        start_s: float,
+        parent: Span | None = None,
+        **attributes: object,
+    ) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            start_s=start_s,
+            parent_id=parent.span_id if parent is not None else None,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
+    @property
+    def spans(self) -> list[Span]:
+        """Every started span, in start order (including unfinished ones)."""
+        return list(self._spans)
+
+    @property
+    def n_spans(self) -> int:
+        return len(self._spans)
+
+    def finished_spans(self) -> list[Span]:
+        return [span for span in self._spans if span.finished]
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with this name, in start order."""
+        return [span for span in self._spans if span.name == name]
+
+    def children_of(self, parent: Span) -> list[Span]:
+        return [span for span in self._spans if span.parent_id == parent.span_id]

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.core.config import PipelineConfig
-from repro.eval.harness import NOT_APPLICABLE_FALLBACK_RATE, evaluate_pipeline
+from repro.errors import ContextWindowExceededError
+from repro.eval.harness import (
+    NOT_APPLICABLE_FALLBACK_RATE,
+    EvaluationRun,
+    _not_applicable,
+    evaluate_pipeline,
+)
 from repro.llm.accounting import meter_response
 from repro.llm.base import CompletionRequest, CompletionResponse
 from repro.llm.profiles import get_profile
@@ -13,6 +19,11 @@ from repro.llm.simulated import SimulatedLLM
 class _AlwaysGarbage:
     def complete(self, request: CompletionRequest) -> CompletionResponse:
         return meter_response(get_profile("gpt-3.5"), request, "mumble mumble")
+
+
+class _AlwaysOverflows:
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        raise ContextWindowExceededError("gpt-3.5", 999_999, 4096)
 
 
 class TestEvaluatePipeline:
@@ -66,3 +77,74 @@ class TestEvaluatePipeline:
         )
         assert run.is_applicable
         assert run.score < 0.85  # well below the GPT models
+
+
+class TestNotApplicable:
+    """The N/A rule's constructor and the paths that reach it."""
+
+    def test_fields_of_the_na_cell(self, restaurant_dataset):
+        run = _not_applicable(
+            restaurant_dataset, PipelineConfig(model="gpt-3.5"), "gpt-3.5"
+        )
+        assert run.score is None
+        assert not run.is_applicable
+        assert run.score_pct == "N/A"
+        assert run.dataset == "restaurant"
+        assert run.model == "gpt-3.5"
+        assert run.metric_name == restaurant_dataset.task.metric_name
+        assert run.n_instances == len(restaurant_dataset.instances)
+        assert run.total_tokens == 0
+        assert run.cost_usd == 0.0
+        assert run.hours == 0.0
+        assert run.n_requests == 0
+        assert run.fallback_rate == 1.0
+        assert run.execution is None
+        assert run.manifest is None
+
+    def test_context_overflow_reports_na(self, restaurant_dataset):
+        """A prompt that can never be posed yields the N/A cell."""
+        run = evaluate_pipeline(
+            _AlwaysOverflows(), PipelineConfig(model="gpt-3.5", fewshot=0),
+            restaurant_dataset,
+        )
+        assert run.score_pct == "N/A"
+        assert run.n_requests == 0
+        assert run.hours == 0.0
+
+
+class TestSpeedupEdgeCases:
+    """EvaluationRun.speedup must be well-defined off the happy path."""
+
+    def _run(self, hours, hours_sequential=0.0, execution=None):
+        return EvaluationRun(
+            dataset="beer", model="gpt-3.5", metric_name="f1", score=0.9,
+            n_instances=10, total_tokens=100, cost_usd=0.1, hours=hours,
+            n_requests=1, fallback_rate=0.0,
+            hours_sequential=hours_sequential, execution=execution,
+        )
+
+    def test_zero_hours_means_no_speedup_claim(self):
+        """A free run (all cache hits) reports 1.0, not a division error."""
+        assert self._run(hours=0.0, hours_sequential=0.0).speedup == 1.0
+
+    def test_zero_hours_even_with_sequential_estimate(self):
+        assert self._run(hours=0.0, hours_sequential=2.0).speedup == 1.0
+
+    def test_missing_execution_defaults_to_no_overlap(self):
+        """Without an execution report, hours_sequential defaults to 0."""
+        run = self._run(hours=1.0)
+        assert run.execution is None
+        assert run.speedup == 0.0  # explicit: nothing to compare against
+
+    def test_na_cell_speedup_is_one(self, restaurant_dataset):
+        run = _not_applicable(
+            restaurant_dataset, PipelineConfig(model="gpt-3.5"), "gpt-3.5"
+        )
+        assert run.speedup == 1.0
+
+    def test_concurrency_one_speedup_is_one(self, beer_dataset):
+        run = evaluate_pipeline(
+            SimulatedLLM("gpt-3.5"), PipelineConfig(model="gpt-3.5"),
+            beer_dataset,
+        )
+        assert run.speedup == pytest.approx(1.0)

@@ -23,11 +23,16 @@ TASK_DATASETS = [
 ]
 
 
-def _run(dataset, concurrency, model="gpt-3.5", seed=0):
+def _run(dataset, concurrency, model="gpt-3.5", seed=0, observability=False):
     # A fresh client per run: the simulated LLM's reply stream depends on
     # its call sequence, which is exactly what must not vary with lanes.
     client = SimulatedLLM(model, seed=seed)
-    config = PipelineConfig(model=model, concurrency=concurrency, seed=seed)
+    config = PipelineConfig(
+        model=model,
+        concurrency=concurrency,
+        seed=seed,
+        observability=observability,
+    )
     return Preprocessor(client, config).run(dataset)
 
 
@@ -62,6 +67,52 @@ class TestPredictionsAreConcurrencyInvariant:
             for c in CONCURRENCIES
         }
         assert len(estimates) == 1
+
+
+@pytest.mark.parametrize("fixture_name", TASK_DATASETS)
+class TestObservabilityNeverChangesResults:
+    """Tracing consumes no randomness and models no time, so turning it
+    on must leave predictions, usage, and timing bit-identical."""
+
+    @pytest.mark.parametrize("concurrency", CONCURRENCIES)
+    def test_bit_identical_with_and_without_obs(
+        self, fixture_name, concurrency, request
+    ):
+        dataset = request.getfixturevalue(fixture_name)
+        plain = _run(dataset, concurrency=concurrency)
+        traced = _run(dataset, concurrency=concurrency, observability=True)
+        assert traced.predictions == plain.predictions
+        assert traced.usage == plain.usage
+        assert traced.n_requests == plain.n_requests
+        assert traced.n_fallbacks == plain.n_fallbacks
+        assert traced.estimated_seconds == plain.estimated_seconds
+        assert traced.execution.sequential_s == plain.execution.sequential_s
+
+    def test_observation_is_populated_only_when_enabled(
+        self, fixture_name, request
+    ):
+        dataset = request.getfixturevalue(fixture_name)
+        plain = _run(dataset, concurrency=2)
+        traced = _run(dataset, concurrency=2, observability=True)
+        assert plain.observation is None
+        assert traced.observation is not None
+        assert traced.observation.tracer.n_spans > 0
+        calls = traced.observation.metrics.snapshot()["counters"]
+        assert calls["executor.calls"] == traced.n_requests
+
+    def test_traces_are_reproducible(self, fixture_name, request):
+        dataset = request.getfixturevalue(fixture_name)
+        runs = [
+            _run(dataset, concurrency=8, observability=True)
+            for _ in range(2)
+        ]
+        dumps = [
+            [span.to_dict() for span in run.observation.tracer.spans]
+            for run in runs
+        ]
+        assert dumps[0] == dumps[1]
+        snapshots = [run.observation.snapshot() for run in runs]
+        assert snapshots[0] == snapshots[1]
 
 
 class TestCacheHitsAreOrderIndependent:

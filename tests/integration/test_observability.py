@@ -1,0 +1,103 @@
+"""End-to-end observability: manifest, Chrome trace, and the trace CLI.
+
+A full evaluation run with ``observability=True`` must produce a manifest
+whose JSON round-trips exactly, whose span trace converts to a valid
+Chrome ``chrome://tracing`` document, and which the ``trace`` CLI
+subcommand can render back into a human-readable summary.
+"""
+
+import json
+
+import pytest
+
+from repro import PipelineConfig, SimulatedLLM
+from repro.errors import EvaluationError
+from repro.eval.__main__ import main
+from repro.eval.harness import evaluate_pipeline
+from repro.obs import RunManifest, spans_from_json, trace_to_chrome
+
+
+@pytest.fixture()
+def observed_run(beer_dataset, tmp_path):
+    config = PipelineConfig(
+        model="gpt-3.5", concurrency=4, observability=True
+    )
+    path = tmp_path / "run.json"
+    run = evaluate_pipeline(
+        SimulatedLLM("gpt-3.5"), config, beer_dataset, manifest_path=path
+    )
+    return run, path
+
+
+class TestManifestEndToEnd:
+    def test_requires_observability(self, beer_dataset, tmp_path):
+        config = PipelineConfig(model="gpt-3.5")
+        with pytest.raises(EvaluationError, match="observability"):
+            evaluate_pipeline(
+                SimulatedLLM("gpt-3.5"), config, beer_dataset,
+                manifest_path=tmp_path / "run.json",
+            )
+
+    def test_json_round_trips(self, observed_run):
+        run, path = observed_run
+        loaded = RunManifest.load(path)
+        assert loaded == run.manifest
+        # re-serialising the loaded manifest is byte-identical
+        # (write() terminates the file with a newline)
+        assert loaded.dumps() + "\n" == path.read_text(encoding="utf-8")
+
+    def test_manifest_matches_the_run(self, observed_run):
+        run, _ = observed_run
+        manifest = run.manifest
+        assert manifest.dataset["name"] == "beer"
+        assert manifest.evaluation["score"] == run.score
+        assert manifest.evaluation["total_tokens"] == run.total_tokens
+        assert manifest.execution["n_calls"] == run.n_requests
+        counters = manifest.metrics["counters"]
+        assert counters["executor.calls"] == run.n_requests
+        assert manifest.trace["spans"], "trace must not be empty"
+
+    def test_chrome_trace_is_valid_json(self, observed_run, tmp_path):
+        run, _ = observed_run
+        spans = spans_from_json(run.manifest.trace)
+        document = trace_to_chrome(spans)
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        parsed = json.loads(path.read_text(encoding="utf-8"))
+        assert parsed["displayTimeUnit"] == "ms"
+        complete = [e for e in parsed["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+
+
+class TestTraceCli:
+    def test_run_subcommand_writes_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        chrome = tmp_path / "chrome.json"
+        code = main([
+            "run", "--dataset", "beer", "--size", "12",
+            "--concurrency", "2",
+            "--manifest", str(manifest), "--chrome", str(chrome),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "beer / gpt-3.5" in out
+        assert manifest.exists()
+        assert json.loads(chrome.read_text(encoding="utf-8"))["traceEvents"]
+
+    def test_trace_subcommand_renders_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        assert main([
+            "run", "--dataset", "beer", "--size", "12",
+            "--manifest", str(manifest),
+        ]) == 0
+        capsys.readouterr()
+        chrome = tmp_path / "chrome.json"
+        assert main(["trace", str(manifest), "--chrome", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "Manifest v1" in out
+        assert "pipeline.run" in out
+        assert "executor.calls" in out
+        assert json.loads(chrome.read_text(encoding="utf-8"))["traceEvents"]

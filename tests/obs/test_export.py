@@ -1,0 +1,87 @@
+"""Tests for repro.obs.export."""
+
+import json
+
+from repro.obs.export import (
+    render_metrics_summary,
+    render_trace_summary,
+    spans_from_json,
+    trace_to_chrome,
+    trace_to_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def _sample_spans():
+    tracer = Tracer()
+    root = tracer.start_span("pipeline.run", 0.0, dataset="beer")
+    call = tracer.start_span("llm.call", 0.5, parent=root, lane=2)
+    call.add_event("retry", 1.0, attempt=1)
+    call.end(2.0)
+    root.end(2.5)
+    return tracer.spans
+
+
+class TestJsonRoundTrip:
+    def test_spans_survive_json(self):
+        spans = _sample_spans()
+        payload = trace_to_json(spans)
+        text = json.dumps(payload)
+        rebuilt = spans_from_json(json.loads(text))
+        assert [s.to_dict() for s in rebuilt] == [s.to_dict() for s in spans]
+
+    def test_unfinished_span_round_trips(self):
+        tracer = Tracer()
+        tracer.start_span("open", 1.0)
+        rebuilt = spans_from_json(trace_to_json(tracer.spans))
+        assert rebuilt[0].end_s is None
+        assert not rebuilt[0].finished
+
+
+class TestChromeTrace:
+    def test_structure_and_units(self):
+        document = trace_to_chrome(_sample_spans())
+        assert json.loads(json.dumps(document)) == document  # valid JSON
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(complete) == 2
+        assert len(instants) == 1
+        call = next(e for e in complete if e["name"] == "llm.call")
+        assert call["tid"] == 2                      # lane -> track
+        assert call["ts"] == 0.5 * 1_000_000         # seconds -> microseconds
+        assert call["dur"] == 1.5 * 1_000_000
+        assert call["args"]["parent_id"] == 1
+
+    def test_spans_without_lane_land_on_track_zero(self):
+        document = trace_to_chrome(_sample_spans())
+        run = next(
+            e for e in document["traceEvents"] if e["name"] == "pipeline.run"
+        )
+        assert run["tid"] == 0
+
+
+class TestTextSummaries:
+    def test_trace_summary_aggregates_by_name(self):
+        text = render_trace_summary(_sample_spans())
+        assert "pipeline.run" in text
+        assert "llm.call" in text
+        assert "2 span(s)" in text
+
+    def test_trace_summary_empty(self):
+        assert "no spans" in render_trace_summary([])
+
+    def test_metrics_summary(self):
+        registry = MetricsRegistry()
+        registry.counter("executor.calls").inc(3)
+        registry.gauge("executor.makespan_s").set(12.5)
+        registry.histogram("llm.call_latency_s").observe(2.0)
+        text = render_metrics_summary(registry.snapshot())
+        assert "executor.calls" in text
+        assert "counter" in text and "gauge" in text and "histogram" in text
+
+    def test_metrics_summary_empty(self):
+        assert "none recorded" in render_metrics_summary(
+            MetricsRegistry().snapshot()
+        )

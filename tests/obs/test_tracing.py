@@ -1,0 +1,94 @@
+"""Tests for repro.obs.tracing."""
+
+import pytest
+
+from repro.obs.tracing import Span, Tracer, TracingError
+
+
+class TestSpan:
+    def test_lifecycle(self):
+        tracer = Tracer()
+        span = tracer.start_span("work", 1.0, task="ED")
+        assert not span.finished
+        assert span.duration_s == 0.0
+        span.end(3.5)
+        assert span.finished
+        assert span.duration_s == pytest.approx(2.5)
+        assert span.attributes == {"task": "ED"}
+
+    def test_cannot_end_twice(self):
+        span = Tracer().start_span("work", 0.0)
+        span.end(1.0)
+        with pytest.raises(TracingError):
+            span.end(2.0)
+
+    def test_cannot_end_before_start(self):
+        span = Tracer().start_span("work", 5.0)
+        with pytest.raises(TracingError):
+            span.end(4.0)
+
+    def test_events_keep_order(self):
+        span = Tracer().start_span("call", 0.0)
+        span.add_event("retry", 1.0, attempt=1)
+        span.add_event("retry", 2.0, attempt=2)
+        span.add_event("breaker.trip", 2.5)
+        assert [event.name for event in span.events] == [
+            "retry", "retry", "breaker.trip",
+        ]
+        assert span.events[1].attributes == {"attempt": 2}
+
+    def test_set_attribute_chains(self):
+        span = Tracer().start_span("call", 0.0)
+        span.set_attribute("lane", 3).set_attribute("outcome", "ok")
+        assert span.attributes == {"lane": 3, "outcome": "ok"}
+
+    def test_to_dict_round_trips_fields(self):
+        span = Tracer().start_span("call", 0.5, lane=1)
+        span.add_event("retry", 0.7, reason="boom")
+        span.end(1.5)
+        payload = span.to_dict()
+        assert payload["name"] == "call"
+        assert payload["start_s"] == 0.5
+        assert payload["end_s"] == 1.5
+        assert payload["events"][0]["attributes"] == {"reason": "boom"}
+
+
+class TestTracer:
+    def test_sequential_ids_and_start_order(self):
+        tracer = Tracer()
+        a = tracer.start_span("a", 0.0)
+        b = tracer.start_span("b", 1.0, parent=a)
+        c = tracer.start_span("c", 0.5)
+        assert [span.span_id for span in tracer.spans] == [1, 2, 3]
+        assert b.parent_id == a.span_id
+        assert c.parent_id is None
+
+    def test_find_and_children(self):
+        tracer = Tracer()
+        root = tracer.start_span("run", 0.0)
+        one = tracer.start_span("batch", 0.0, parent=root)
+        two = tracer.start_span("batch", 1.0, parent=root)
+        tracer.start_span("call", 0.0, parent=one)
+        assert tracer.find("batch") == [one, two]
+        assert tracer.children_of(root) == [one, two]
+
+    def test_finished_spans_excludes_open_ones(self):
+        tracer = Tracer()
+        done = tracer.start_span("a", 0.0)
+        done.end(1.0)
+        tracer.start_span("b", 0.0)
+        assert tracer.finished_spans() == [done]
+        assert tracer.n_spans == 2
+
+    def test_identical_usage_gives_identical_traces(self):
+        """Determinism: the trace is a pure function of the call sequence."""
+        def build():
+            tracer = Tracer()
+            root = tracer.start_span("run", 0.0, dataset="beer")
+            child = tracer.start_span("call", 0.25, parent=root, lane=0)
+            child.add_event("retry", 0.5, attempt=1)
+            child.end(1.0)
+            root.end(1.0)
+            return [span.to_dict() for span in tracer.spans]
+
+        assert build() == build()

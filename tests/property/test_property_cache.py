@@ -1,0 +1,137 @@
+"""Property tests for the response-cache key (repro.llm.cache.request_key).
+
+The cache is exact-match: two requests share a key iff they are the same
+call.  Collisions would silently serve one prompt's answer to another, so
+the key must separate every distinguishing field — model, temperature,
+max_tokens, and the full transcript (roles *and* contents, order
+included) — while identical requests must always land on the same key.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.base import ChatMessage, CompletionRequest, CompletionResponse, Usage
+from repro.llm.cache import CachingClient, request_key
+
+#: temperatures on a millikelvin grid — request_key rounds to 6 decimals,
+#: so values this far apart are guaranteed distinct after rounding
+_temperatures = st.integers(min_value=0, max_value=2000).map(lambda i: i / 1000)
+_max_tokens = st.one_of(st.none(), st.integers(min_value=1, max_value=4096))
+_roles = st.sampled_from(["system", "user", "assistant"])
+_contents = st.text(min_size=0, max_size=40)
+_messages = st.lists(
+    st.builds(ChatMessage, role=_roles, content=_contents),
+    min_size=1,
+    max_size=4,
+).map(tuple)
+_models = st.sampled_from(["gpt-3.5", "gpt-4", "gpt-3", "vicuna-13b"])
+
+_requests = st.builds(
+    CompletionRequest,
+    messages=_messages,
+    model=_models,
+    temperature=_temperatures,
+    max_tokens=_max_tokens,
+)
+
+
+class _Echo:
+    """Inner client that answers every request and counts calls."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        self.calls += 1
+        return CompletionResponse(
+            text=f"reply #{self.calls}",
+            model=request.model,
+            usage=Usage(prompt_tokens=1, completion_tokens=1),
+            latency_s=1.0,
+        )
+
+
+@given(request=_requests)
+@settings(max_examples=60, deadline=None)
+def test_identical_requests_share_a_key(request):
+    clone = CompletionRequest(
+        messages=request.messages,
+        model=request.model,
+        temperature=request.temperature,
+        max_tokens=request.max_tokens,
+    )
+    assert request_key(request) == request_key(clone)
+
+
+@given(request=_requests, other=_requests)
+@settings(max_examples=120, deadline=None)
+def test_distinct_requests_never_collide(request, other):
+    """Keys are equal iff every distinguishing field is equal."""
+    same = (
+        request.model == other.model
+        and round(request.temperature, 6) == round(other.temperature, 6)
+        and request.max_tokens == other.max_tokens
+        and request.transcript == other.transcript
+    )
+    assert (request_key(request) == request_key(other)) == same
+
+
+@given(request=_requests)
+@settings(max_examples=40, deadline=None)
+def test_identical_requests_always_hit(request):
+    client = CachingClient(_Echo())
+    first = client.complete(request)
+    second = client.complete(request)
+    assert client.hits == 1 and client.misses == 1
+    assert second.text == first.text
+    assert second.latency_s == 0.0
+
+
+@given(request=_requests, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_perturbed_requests_always_miss(request, data):
+    """Flipping exactly one field (to a different value) must miss."""
+    field = data.draw(
+        st.sampled_from(["model", "temperature", "max_tokens", "transcript"])
+    )
+    if field == "model":
+        model = data.draw(_models.filter(lambda m: m != request.model))
+        other = CompletionRequest(
+            messages=request.messages, model=model,
+            temperature=request.temperature, max_tokens=request.max_tokens,
+        )
+    elif field == "temperature":
+        temperature = data.draw(
+            _temperatures.filter(
+                lambda t: round(t, 6) != round(request.temperature, 6)
+            )
+        )
+        other = CompletionRequest(
+            messages=request.messages, model=request.model,
+            temperature=temperature, max_tokens=request.max_tokens,
+        )
+    elif field == "max_tokens":
+        max_tokens = data.draw(
+            _max_tokens.filter(lambda m: m != request.max_tokens)
+        )
+        other = CompletionRequest(
+            messages=request.messages, model=request.model,
+            temperature=request.temperature, max_tokens=max_tokens,
+        )
+    else:
+        messages = data.draw(
+            _messages.filter(
+                lambda ms: [(m.role, m.content) for m in ms]
+                != request.transcript
+            )
+        )
+        other = CompletionRequest(
+            messages=messages, model=request.model,
+            temperature=request.temperature, max_tokens=request.max_tokens,
+        )
+    assert request_key(other) != request_key(request)
+
+    client = CachingClient(_Echo())
+    client.complete(request)
+    client.complete(other)
+    assert client.misses == 2 and client.hits == 0
