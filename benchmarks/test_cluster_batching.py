@@ -7,6 +7,7 @@ cross-question interference.
 
 from benchmarks.conftest import run_once
 from repro.core.batching import batch_homogeneity, make_batches
+from repro.core.prep import PrepArtifacts
 from repro.datasets import load_dataset
 from repro.eval import experiments
 
@@ -33,11 +34,18 @@ def test_cluster_batches_are_homogeneous(benchmark, seed):
     instances = list(dataset.instances)
 
     def homogeneity_gap():
-        random_batches = make_batches(instances, 15, mode="random", seed=seed)
-        cluster_batches = make_batches(instances, 15, mode="cluster", seed=seed)
+        # One artifact cache across all four calls: instances are
+        # serialized and embedded once, not four times.
+        prep = PrepArtifacts()
+        random_batches = make_batches(
+            instances, 15, mode="random", seed=seed, artifacts=prep
+        )
+        cluster_batches = make_batches(
+            instances, 15, mode="cluster", seed=seed, artifacts=prep
+        )
         return (
-            batch_homogeneity(instances, cluster_batches)
-            - batch_homogeneity(instances, random_batches)
+            batch_homogeneity(instances, cluster_batches, artifacts=prep)
+            - batch_homogeneity(instances, random_batches, artifacts=prep)
         )
 
     gap = run_once(benchmark, homogeneity_gap)

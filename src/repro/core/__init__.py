@@ -22,8 +22,9 @@ from repro.core.pipeline import (
     Preprocessor,
     default_temperature_for,
 )
+from repro.core.prep import PrepArtifacts, PrepStats
 from repro.core.prompts import PromptBuilder
-from repro.core.batching import make_batches
+from repro.core.batching import batch_homogeneity, make_batches
 from repro.core.workflows import (
     detect_errors,
     impute_missing,
@@ -47,6 +48,9 @@ __all__ = [
     "FeatureSelection",
     "select_features",
     "make_batches",
+    "batch_homogeneity",
+    "PrepArtifacts",
+    "PrepStats",
     "CostEstimate",
     "estimate_cost",
     "compare_batch_sizes",

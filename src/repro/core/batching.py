@@ -8,6 +8,11 @@ amortizing the instruction tokens.  Two modes:
   embeddings (the paper uses Sentence-BERT; we use the hashing embedder),
   then random batching *within* each cluster, which yields homogeneous
   batches the model can answer more consistently.
+
+Both entry points accept a shared :class:`~repro.core.prep.PrepArtifacts`
+so the serialize → embed → cluster chain runs at most once per instance
+set: ``make_batches`` followed by ``batch_homogeneity`` over the same
+artifacts recomputes nothing.
 """
 
 from __future__ import annotations
@@ -16,9 +21,8 @@ import random
 from typing import Sequence
 
 from repro.data.instances import Instance
-from repro.core.contextualize import serialize_instance
+from repro.core.prep import PrepArtifacts
 from repro.errors import ConfigError
-from repro.ml.kmeans import KMeans
 from repro.text.embeddings import HashingEmbedder
 
 
@@ -29,6 +33,7 @@ def make_batches(
     seed: int = 0,
     n_clusters: int | None = None,
     embedder: HashingEmbedder | None = None,
+    artifacts: PrepArtifacts | None = None,
 ) -> list[list[int]]:
     """Partition instance *indices* into batches.
 
@@ -43,6 +48,11 @@ def make_batches(
     n_clusters:
         Cluster count for cluster mode; defaults to a heuristic of roughly
         eight batches per cluster, at least 2.
+    artifacts:
+        Shared prep cache; pass the same object to every call that works
+        on the same instances (including :func:`batch_homogeneity`) and
+        texts/embeddings/labels are computed once.  When omitted, a
+        private one is created from ``embedder``.
     """
     if batch_size <= 0:
         raise ConfigError(f"batch_size must be positive, got {batch_size}")
@@ -58,14 +68,11 @@ def make_batches(
         rng.shuffle(indices)
         return _chunk(indices, batch_size)
 
-    embedder = embedder or HashingEmbedder()
-    texts = [serialize_instance(inst) for inst in instances]
-    matrix = embedder.embed_all(texts)
+    artifacts = artifacts or PrepArtifacts(embedder=embedder)
     if n_clusters is None:
         n_clusters = max(2, min(16, n // (batch_size * 8) + 2))
-    kmeans = KMeans(k=min(n_clusters, n), seed=seed).fit(matrix)
     batches: list[list[int]] = []
-    for cluster in kmeans.clusters():
+    for cluster in artifacts.cluster_members(instances, n_clusters, seed):
         members = list(cluster)
         rng.shuffle(members)
         batches.extend(_chunk(members, batch_size))
@@ -80,17 +87,19 @@ def batch_homogeneity(
     instances: Sequence[Instance],
     batches: list[list[int]],
     embedder: HashingEmbedder | None = None,
+    artifacts: PrepArtifacts | None = None,
 ) -> float:
     """Mean within-batch pairwise embedding similarity (diagnostic).
 
     Cluster batching should score strictly higher than random batching on
     the same instances — the property its accuracy benefit rests on.
+    Pass the ``artifacts`` used by :func:`make_batches` to score against
+    the already-computed embedding matrix instead of re-embedding.
     """
     from repro.text.embeddings import average_pairwise_similarity
 
-    embedder = embedder or HashingEmbedder()
-    texts = [serialize_instance(inst) for inst in instances]
-    matrix = embedder.embed_all(texts)
+    artifacts = artifacts or PrepArtifacts(embedder=embedder)
+    matrix = artifacts.matrix(instances)
     scores = [
         average_pairwise_similarity(matrix[batch])
         for batch in batches

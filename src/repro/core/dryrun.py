@@ -17,6 +17,7 @@ from repro.core.batching import make_batches
 from repro.core.config import PipelineConfig
 from repro.core.feature_selection import select_features
 from repro.core.pipeline import Preprocessor
+from repro.core.prep import PrepArtifacts
 from repro.core.prompts import PromptBuilder
 from repro.core.tasks import target_attribute_of
 from repro.data.instances import Instance, PreprocessingDataset
@@ -93,10 +94,13 @@ def estimate_cost(
     completion_tokens = 0
     n_requests = 0
 
+    prep = PrepArtifacts()
     for group_indices in Preprocessor._group_by_target(instances):
         group = [instances[i] for i in group_indices]
         target = target_attribute_of(group[0])
-        builder = PromptBuilder(dataset.task, config, target_attribute=target)
+        builder = PromptBuilder(
+            dataset.task, config, target_attribute=target, artifacts=prep
+        )
         group_fewshot = Preprocessor._fewshot_for_target(
             fewshot, dataset.task, target
         )
@@ -105,6 +109,7 @@ def estimate_cost(
             batch_size=config.batch_size_for_model(),
             mode=config.batching,
             seed=config.seed,
+            artifacts=prep,
         )
         for batch_positions in batches:
             batch = [group[p] for p in batch_positions]

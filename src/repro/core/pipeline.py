@@ -24,6 +24,7 @@ from repro.core.config import PipelineConfig
 from repro.core.executor import BatchExecutor, ExecutionReport, ExecutorConfig
 from repro.core.feature_selection import select_features
 from repro.core.parsing import parse_batch_answers, parse_batch_answers_lenient
+from repro.core.prep import PrepArtifacts, PrepStats
 from repro.core.prompts import PromptBuilder
 from repro.core.tasks import target_attribute_of
 from repro.data.instances import Instance, PreprocessingDataset, Task
@@ -83,6 +84,9 @@ class PipelineResult:
     #: tracer + metrics of the run, present when the config enabled
     #: observability (never affects predictions or accounting)
     observation: RunObservation | None = None
+    #: data-prep cache traffic and kernel timings for the run (always
+    #: populated; the wall-clock fields never feed back into results)
+    prep: PrepStats | None = None
 
     @property
     def estimated_hours(self) -> float:
@@ -204,12 +208,16 @@ class Preprocessor:
         cache_hits_before = getattr(self._client, "hits", None)
         cache_misses_before = getattr(self._client, "misses", None)
         executor = BatchExecutor(self._client, self._executor_config, obs=obs)
+        # One prep cache per run: serialize/embed/cluster each instance
+        # set once, shared by batching and prompt assembly.
+        prep = PrepArtifacts(metrics=obs.metrics if obs is not None else None)
 
         for group_indices in self._group_by_target(instances):
             group = [instances[i] for i in group_indices]
             target = target_attribute_of(group[0])
             builder = PromptBuilder(
-                dataset.task, config, target_attribute=target
+                dataset.task, config, target_attribute=target,
+                artifacts=prep,
             )
             group_fewshot = self._fewshot_for_target(
                 fewshot, dataset.task, target
@@ -219,6 +227,7 @@ class Preprocessor:
                 batch_size=config.batch_size_for_model(),
                 mode=config.batching,
                 seed=config.seed,
+                artifacts=prep,
             )
             for batch_positions in batches:
                 batch = [group[p] for p in batch_positions]
@@ -251,6 +260,7 @@ class Preprocessor:
             raw_replies=stats.raw_replies,
             execution=report,
             observation=obs,
+            prep=prep.stats,
         )
 
     def _run_batch(

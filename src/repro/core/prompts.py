@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.core.config import PipelineConfig
 from repro.core.fewshot import render_examples
+from repro.core.prep import PrepArtifacts
 from repro.core.tasks import (
     ED_CONFIRM_TARGET,
     ROLE_INSTRUCTION,
@@ -46,14 +47,19 @@ class PromptBuilder:
     """Assembles prompts for one (task, target attribute) combination.
 
     One builder serves a whole dataset run: the zero-shot components are
-    fixed; only the batch block varies per call.
+    fixed; only the batch block varies per call.  With ``artifacts`` the
+    question block reuses the run's memoized instance serializations —
+    context-window splits re-ask the same instances, which would otherwise
+    re-serialize them per attempt.
     """
 
     def __init__(self, task: Task, config: PipelineConfig,
-                 target_attribute: str | None = None):
+                 target_attribute: str | None = None,
+                 artifacts: PrepArtifacts | None = None):
         self._task = task
         self._config = config
         self._target_attribute = target_attribute
+        self._artifacts = artifacts
         self._system_text = self._build_system_text()
 
     def _build_system_text(self) -> str:
@@ -106,8 +112,12 @@ class PromptBuilder:
             )
             messages.append(ChatMessage(role="user", content=user_text))
             messages.append(ChatMessage(role="assistant", content=assistant_text))
+        text_of = self._artifacts.text_of if self._artifacts else None
         questions = "\n".join(
-            question_text(instance, number)
+            question_text(
+                instance, number,
+                serialized=text_of(instance) if text_of else None,
+            )
             for number, instance in enumerate(batch, start=1)
         )
         messages.append(ChatMessage(role="user", content=questions))

@@ -159,10 +159,18 @@ def answer_format_instruction(
     )
 
 
-def question_text(instance: Instance, number: int) -> str:
+def question_text(
+    instance: Instance, number: int, serialized: str | None = None
+) -> str:
     """One numbered question, e.g. ``Question 3: Record is [...]. What is
-    the city?``"""
-    text = serialize_instance(instance)
+    the city?``
+
+    ``serialized`` is an optional precomputed ``serialize_instance``
+    rendering of ``instance`` (from a shared
+    :class:`~repro.core.prep.PrepArtifacts`), so prompt assembly reuses
+    the text the batching layer already produced instead of re-serializing.
+    """
+    text = serialized if serialized is not None else serialize_instance(instance)
     if isinstance(instance, (EDInstance, DIInstance)):
         body = f"Record is {text}."
     elif isinstance(instance, (EMInstance, SMInstance)):

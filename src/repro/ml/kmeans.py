@@ -2,6 +2,14 @@
 
 Used by cluster batching (paper Section 3.5): data instances are clustered
 over their embeddings, then batches are drawn within each cluster.
+
+The assignment step is a single matmul: with row norms ``|x|^2`` computed
+once per fit and centroid norms ``|c|^2`` once per iteration, squared
+distances are ``|x|^2 - 2 x.c + |c|^2`` — no ``(n, k, d)`` broadcast
+allocation, which is what makes 10k-point fits cheap.  Lloyd iterations
+stop as soon as labels converge (the fixed point of the update step), which
+is provably identical to running out the full iteration budget: once labels
+repeat, centroids recompute to the same means and labels never move again.
 """
 
 from __future__ import annotations
@@ -18,9 +26,15 @@ class KMeans:
     point farthest from its current centroid, so ``fit`` always produces
     exactly ``k`` non-degenerate clusters when there are at least ``k``
     distinct points.
+
+    ``early_stop=False`` disables the convergence exit and runs all
+    ``n_iter`` iterations — the pre-kernel reference behavior, kept so the
+    property suite can prove the exit changes nothing.
     """
 
-    def __init__(self, k: int, n_iter: int = 50, seed: int = 0):
+    def __init__(
+        self, k: int, n_iter: int = 50, seed: int = 0, early_stop: bool = True
+    ):
         if k <= 0:
             raise ValueError("k must be positive")
         if n_iter <= 0:
@@ -28,9 +42,23 @@ class KMeans:
         self.k = k
         self.n_iter = n_iter
         self.seed = seed
+        self.early_stop = early_stop
         self.centroids_: np.ndarray | None = None
         self.labels_: np.ndarray | None = None
         self.inertia_: float = float("inf")
+        #: Lloyd iterations actually run by the last ``fit``
+        self.n_iter_: int = 0
+
+    @staticmethod
+    def _pairwise_sq_distances(
+        X: np.ndarray, x_norms: np.ndarray, centroids: np.ndarray
+    ) -> np.ndarray:
+        """Squared Euclidean distances via one matmul; clipped at zero so
+        cancellation noise never produces a negative distance."""
+        c_norms = (centroids * centroids).sum(axis=1)
+        distances = x_norms[:, None] - 2.0 * (X @ centroids.T) + c_norms[None, :]
+        np.maximum(distances, 0.0, out=distances)
+        return distances
 
     def _init_centroids(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """k-means++ seeding: spread initial centroids apart."""
@@ -65,16 +93,24 @@ class KMeans:
             self.centroids_ = X.copy()
             self.labels_ = np.arange(n)
             self.inertia_ = 0.0
+            self.n_iter_ = 0
             return self
 
         rng = np.random.default_rng(self.seed)
         centroids = self._init_centroids(X, rng)
+        x_norms = (X * X).sum(axis=1)
         labels = np.zeros(n, dtype=np.int64)
-        for __ in range(self.n_iter):
-            # Assignment step.
-            distances = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        self.n_iter_ = 0
+        for iteration in range(self.n_iter):
+            # Assignment step: one matmul against the current centroids.
+            distances = self._pairwise_sq_distances(X, x_norms, centroids)
             new_labels = distances.argmin(axis=1)
-            if np.array_equal(new_labels, labels) and __ > 0:
+            self.n_iter_ = iteration + 1
+            if (
+                self.early_stop
+                and iteration > 0
+                and np.array_equal(new_labels, labels)
+            ):
                 break
             labels = new_labels
             # Update step, re-seeding empty clusters.
@@ -85,7 +121,7 @@ class KMeans:
                     centroids[c] = X[farthest]
                 else:
                     centroids[c] = members.mean(axis=0)
-        distances = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        distances = self._pairwise_sq_distances(X, x_norms, centroids)
         self.labels_ = distances.argmin(axis=1)
         self.inertia_ = float(distances.min(axis=1).sum())
         self.centroids_ = centroids
@@ -96,7 +132,8 @@ class KMeans:
         if self.centroids_ is None:
             raise ReproError("predict called before fit")
         X = np.asarray(X, dtype=np.float64)
-        distances = ((X[:, None, :] - self.centroids_[None, :, :]) ** 2).sum(axis=2)
+        x_norms = (X * X).sum(axis=1)
+        distances = self._pairwise_sq_distances(X, x_norms, self.centroids_)
         return distances.argmin(axis=1)
 
     def clusters(self) -> list[list[int]]:

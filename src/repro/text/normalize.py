@@ -9,9 +9,25 @@ _WHITESPACE_RE = re.compile(r"\s+")
 _PUNCT_RE = re.compile(r"[^\w\s]")
 _NON_ALNUM_RE = re.compile(r"[^a-z0-9\s]")
 
+#: ASCII fast path for ``normalize_text``: after lowercasing, keep
+#: ``[a-z0-9]`` and whitespace (``str.split`` collapses it), map everything
+#: else to a space — exactly what the regex pipeline below produces.
+_ASCII_CLEAN_TABLE = str.maketrans({
+    code: chr(code)
+    if "a" <= chr(code) <= "z" or "0" <= chr(code) <= "9" or chr(code).isspace()
+    else " "
+    for code in range(128)
+})
+
 
 def strip_accents(text: str) -> str:
     """Remove diacritics: ``café`` -> ``cafe``."""
+    if text.isascii():
+        # ASCII has no combining characters and is an NFKD fixed point, so
+        # the decomposition pass would be an identity — skip it.  This is
+        # the common case for record serializations and keeps the batched
+        # embedding kernel out of the per-character Python loop below.
+        return text
     decomposed = unicodedata.normalize("NFKD", text)
     return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
 
@@ -23,6 +39,10 @@ def normalize_text(text: str, keep_punct: bool = False) -> str:
     computation so that superficial differences (case, spacing, accents) do
     not masquerade as semantic differences.
     """
+    if not keep_punct and text.isascii():
+        # One C-speed translate-and-split pass; bit-identical to the regex
+        # pipeline for ASCII input (accent stripping is an identity there).
+        return " ".join(text.lower().translate(_ASCII_CLEAN_TABLE).split())
     text = strip_accents(text).lower()
     if not keep_punct:
         text = _NON_ALNUM_RE.sub(" ", text)

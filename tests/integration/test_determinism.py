@@ -10,7 +10,9 @@ are added.  These properties hold on all four tasks (ED/DI/SM/EM).
 import pytest
 
 from repro import PipelineConfig, Preprocessor, SimulatedLLM
+from repro.core.batching import make_batches
 from repro.llm.cache import CachingClient
+from repro.text.embeddings import HashingEmbedder
 
 CONCURRENCIES = (1, 2, 8)
 
@@ -113,6 +115,58 @@ class TestObservabilityNeverChangesResults:
         assert dumps[0] == dumps[1]
         snapshots = [run.observation.snapshot() for run in runs]
         assert snapshots[0] == snapshots[1]
+
+
+def _run_cluster(dataset, concurrency, seed=0):
+    client = SimulatedLLM("gpt-3.5", seed=seed)
+    config = PipelineConfig(
+        model="gpt-3.5",
+        concurrency=concurrency,
+        seed=seed,
+        batching="cluster",
+    )
+    return Preprocessor(client, config).run(dataset)
+
+
+@pytest.mark.parametrize("fixture_name", TASK_DATASETS)
+class TestVectorizedPrepMatchesScalarPath:
+    """The vectorized serialize → embed → cluster kernels must be
+    bit-indistinguishable from the scalar reference: same batches, same
+    predictions, same accounting, at every lane count."""
+
+    @pytest.mark.parametrize("concurrency", CONCURRENCIES)
+    def test_bit_identical_predictions(
+        self, fixture_name, concurrency, request, monkeypatch
+    ):
+        dataset = request.getfixturevalue(fixture_name)
+        vectorized = _run_cluster(dataset, concurrency)
+        monkeypatch.setattr(
+            HashingEmbedder, "embed_all", HashingEmbedder.embed_all_scalar
+        )
+        scalar = _run_cluster(dataset, concurrency)
+        assert scalar.predictions == vectorized.predictions
+        assert scalar.usage == vectorized.usage
+        assert scalar.n_requests == vectorized.n_requests
+        assert scalar.n_fallbacks == vectorized.n_fallbacks
+        assert scalar.estimated_seconds == vectorized.estimated_seconds
+
+    def test_bit_identical_batches(self, fixture_name, request, monkeypatch):
+        dataset = request.getfixturevalue(fixture_name)
+        instances = list(dataset.instances)
+        vectorized = make_batches(instances, 7, mode="cluster", seed=0)
+        monkeypatch.setattr(
+            HashingEmbedder, "embed_all", HashingEmbedder.embed_all_scalar
+        )
+        scalar = make_batches(instances, 7, mode="cluster", seed=0)
+        assert scalar == vectorized
+
+    def test_prep_stats_populated(self, fixture_name, request):
+        dataset = request.getfixturevalue(fixture_name)
+        result = _run_cluster(dataset, concurrency=2)
+        assert result.prep is not None
+        assert result.prep.serialize_misses > 0
+        # Prompt assembly rode the serialization memo.
+        assert result.prep.serialize_hits > 0
 
 
 class TestCacheHitsAreOrderIndependent:

@@ -59,3 +59,44 @@ class TestKMeans:
             KMeans(k=2).fit(np.zeros((0, 2)))
         with pytest.raises(ReproError):
             KMeans(k=2).predict(np.zeros((1, 2)))
+
+
+class TestConvergenceExit:
+    def test_early_exit_matches_full_budget(self, three_blobs):
+        early = KMeans(k=3, seed=7).fit(three_blobs)
+        full = KMeans(k=3, seed=7, early_stop=False).fit(three_blobs)
+        assert np.array_equal(early.labels_, full.labels_)
+        assert early.inertia_ == full.inertia_
+        assert np.array_equal(early.centroids_, full.centroids_)
+
+    def test_early_exit_runs_fewer_iterations(self, three_blobs):
+        early = KMeans(k=3, seed=7).fit(three_blobs)
+        full = KMeans(k=3, seed=7, early_stop=False).fit(three_blobs)
+        assert early.n_iter_ < full.n_iter_ == 50
+
+    def test_n_iter_tracks_degenerate_fit(self):
+        model = KMeans(k=5).fit(np.array([[0.0], [1.0]]))
+        assert model.n_iter_ == 0
+
+
+class TestMatmulAssignment:
+    def test_distances_match_broadcast_form(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(40, 8))
+        centroids = rng.normal(size=(5, 8))
+        x_norms = (X * X).sum(axis=1)
+        fast = KMeans._pairwise_sq_distances(X, x_norms, centroids)
+        slow = ((X[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(fast, slow)
+        assert (fast >= 0.0).all()
+
+    def test_duplicate_points_distance_zero(self):
+        X = np.ones((4, 3))
+        x_norms = (X * X).sum(axis=1)
+        distances = KMeans._pairwise_sq_distances(X, x_norms, X[:1].copy())
+        # Cancellation noise must be clipped, never negative.
+        assert (distances >= 0.0).all()
+
+    def test_predict_matches_fit_labels(self, three_blobs):
+        model = KMeans(k=3, seed=1).fit(three_blobs)
+        assert np.array_equal(model.predict(three_blobs), model.labels_)

@@ -6,6 +6,8 @@ import pytest
 from repro.text.embeddings import (
     HashingEmbedder,
     average_pairwise_similarity,
+    clear_hash_cache,
+    hash_cache_size,
     nearest_neighbors,
 )
 
@@ -46,6 +48,44 @@ class TestHashingEmbedder:
             HashingEmbedder(ngram=-1)
 
 
+class TestVectorizedKernel:
+    CORPUS = [
+        '[name: "stone ipa", style: "india pale ale", abv: "6.9"]',
+        '[name: "pale ale", style: ???, abv: "5.2"]',
+        "",
+        "   ",
+        "café münchen ß 中文",
+        "a",
+        '[name: "stone ipa", style: "india pale ale", abv: "6.9"]',
+    ]
+
+    @pytest.mark.parametrize("ngram", [0, 1, 2, 3, 4, 5, 9])
+    def test_bit_identical_to_scalar(self, ngram):
+        embedder = HashingEmbedder(dim=96, ngram=ngram)
+        scalar = embedder.embed_all_scalar(self.CORPUS)
+        vectorized = embedder.embed_all(self.CORPUS)
+        assert (scalar == vectorized).all()
+
+    def test_process_hash_cache_fills_and_clears(self):
+        clear_hash_cache()
+        assert hash_cache_size() == 0
+        HashingEmbedder(dim=32).embed_all(["alpha beta", "beta gamma"])
+        filled = hash_cache_size()
+        assert filled > 0
+        HashingEmbedder(dim=32).embed_all(["alpha beta"])
+        # Re-embedding known vocabulary adds nothing new.
+        assert hash_cache_size() == filled
+        clear_hash_cache()
+        assert hash_cache_size() == 0
+
+    def test_cache_is_dimension_independent(self):
+        corpus = ["delta epsilon zeta"]
+        small = HashingEmbedder(dim=16).embed_all(corpus)
+        large = HashingEmbedder(dim=512).embed_all(corpus)
+        assert (small == HashingEmbedder(dim=16).embed_all_scalar(corpus)).all()
+        assert (large == HashingEmbedder(dim=512).embed_all_scalar(corpus)).all()
+
+
 class TestNeighbors:
     def test_nearest_first(self):
         e = HashingEmbedder()
@@ -57,6 +97,14 @@ class TestNeighbors:
     def test_empty_matrix(self):
         e = HashingEmbedder(dim=8)
         assert nearest_neighbors(e.embed("x"), np.zeros((0, 8))) == []
+
+    def test_ties_break_by_index(self):
+        # All rows identical: scores tie exactly, and the stable order is
+        # ascending index — argpartition internals must not leak through.
+        row = np.ones(4) / 2.0
+        matrix = np.tile(row, (6, 1))
+        for k in (1, 3, 6):
+            assert nearest_neighbors(row, matrix, k=k) == list(range(k))
 
 
 class TestPairwiseSimilarity:
