@@ -18,6 +18,7 @@ from repro.core.executor import (
 )
 from repro.core.feature_selection import FeatureSelection, select_features
 from repro.core.pipeline import (
+    Exchange,
     PipelineResult,
     Preprocessor,
     default_temperature_for,
@@ -37,6 +38,7 @@ __all__ = [
     "PipelineConfig",
     "Preprocessor",
     "PipelineResult",
+    "Exchange",
     "PromptBuilder",
     "BatchExecutor",
     "ExecutorConfig",

@@ -21,6 +21,16 @@ _ANSWER_RE = re.compile(r"^\s*answer\s*(\d+)\s*[:.]?\s*(.*)$", re.IGNORECASE)
 _YES_RE = re.compile(r"\b(yes|match|matched|same|true|erroneous|error)\b", re.IGNORECASE)
 _NO_RE = re.compile(r"\b(no|not|different|false|clean|mismatch)\b", re.IGNORECASE)
 
+#: quote pairs stripped from answer values when they wrap the whole value;
+#: real models emit curly/angled unicode quotes as readily as ASCII ones
+_QUOTE_PAIRS = {'"': '"', "'": "'", "“": "”", "‘": "’",
+                "«": "»", "‹": "›"}
+#: sentence-terminal punctuation dropped from the end of an answer value
+_TERMINAL_PUNCTUATION = ".。．"
+#: the full strip set used before the yes/no fast path
+_BINARY_STRIP = ".\"'" + "".join(_QUOTE_PAIRS) + "".join(_QUOTE_PAIRS.values()) \
+    + _TERMINAL_PUNCTUATION
+
 
 @dataclass(frozen=True)
 class ParsedAnswer:
@@ -88,7 +98,7 @@ def normalize_binary(answer: str) -> bool:
     still parse.  Raises :class:`AnswerFormatError` when neither polarity
     is recognizable.
     """
-    stripped = answer.strip().strip('."\'').lower()
+    stripped = answer.strip().strip(_BINARY_STRIP).lower()
     if stripped.startswith("yes"):
         return True
     if stripped.startswith("no"):
@@ -112,11 +122,18 @@ def normalize_value(answer: str) -> str:
         if lowered.startswith(prefix):
             value = value[len(prefix):].strip()
             lowered = value.lower()
-    value = value.strip()
-    if value.endswith("."):
-        value = value[:-1]
-    if len(value) >= 2 and value[0] == value[-1] and value[0] in "\"'":
-        value = value[1:-1]
+    # Unwrap quotes and terminal punctuation to a fixpoint, so '"tokyo."',
+    # '“tokyo”', and '"."' all reduce cleanly ('"."' to empty, which is a
+    # format error rather than a punctuation-only "value").
+    while True:
+        before = value
+        value = value.strip()
+        if value and value[-1] in _TERMINAL_PUNCTUATION:
+            value = value[:-1]
+        if len(value) >= 2 and _QUOTE_PAIRS.get(value[0]) == value[-1]:
+            value = value[1:-1]
+        if value == before:
+            break
     if not value:
         raise AnswerFormatError("empty imputation answer", raw_text=answer)
     return value

@@ -61,6 +61,21 @@ def default_temperature_for(model: str) -> float:
     return DEFAULT_TEMPERATURE.get(profile.name, profile.default_temperature)
 
 
+@dataclass(frozen=True)
+class Exchange:
+    """One completed completion call, as recorded for conformance replay.
+
+    Carries the exact prompt messages (role/content pairs), the raw model
+    reply, and how many answers the parser was asked to extract — enough
+    for :mod:`repro.testing.replay` to re-run the parsing stack against
+    the recorded reply without touching the pipeline.
+    """
+
+    messages: tuple[tuple[str, str], ...]
+    reply: str
+    n_expected: int
+
+
 @dataclass
 class PipelineResult:
     """Everything one run produced.
@@ -80,6 +95,9 @@ class PipelineResult:
     n_fallbacks: int
     estimated_seconds: float
     raw_replies: list[str] = field(default_factory=list)
+    #: prompt/reply/expected-count triples, recorded when ``keep_raw`` is
+    #: on; the raw material of golden snapshots and differential replay
+    exchanges: list[Exchange] = field(default_factory=list)
     execution: ExecutionReport | None = None
     #: tracer + metrics of the run, present when the config enabled
     #: observability (never affects predictions or accounting)
@@ -124,6 +142,7 @@ class _RunStats:
     n_retries: int = 0
     n_fallbacks: int = 0
     raw_replies: list[str] = field(default_factory=list)
+    exchanges: list[Exchange] = field(default_factory=list)
 
 
 class Preprocessor:
@@ -258,6 +277,7 @@ class Preprocessor:
             n_fallbacks=stats.n_fallbacks,
             estimated_seconds=report.makespan_s,
             raw_replies=stats.raw_replies,
+            exchanges=stats.exchanges,
             execution=report,
             observation=obs,
             prep=prep.stats,
@@ -396,6 +416,13 @@ class Preprocessor:
             last_text = response.text
             if stats.keep_raw:
                 stats.raw_replies.append(response.text)
+                stats.exchanges.append(Exchange(
+                    messages=tuple(
+                        (m.role, m.content) for m in request.messages
+                    ),
+                    reply=response.text,
+                    n_expected=len(batch),
+                ))
             parse_span: Span | None = None
             if obs is not None:
                 parse_span = obs.tracer.start_span(

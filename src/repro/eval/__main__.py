@@ -11,12 +11,17 @@ Usage::
     python -m repro.eval run --dataset beer [--model gpt-3.5]
                              [--manifest out.json] [--chrome out.trace.json]
     python -m repro.eval trace manifest.json [--chrome out.trace.json]
+    python -m repro.eval golden [--update] [--cell NAME] [--store DIR]
+    python -m repro.eval fuzz [--cases 200] [--seed 0]
 
 Every cell prints as ``measured (paper)`` so the reproduction gap is
 visible inline.  ``--scale 1.0`` runs the published dataset sizes.
 ``run`` performs one observed evaluation and writes its manifest;
 ``trace`` renders a previously written manifest (and can convert its
-span trace to the Chrome ``chrome://tracing`` format).
+span trace to the Chrome ``chrome://tracing`` format).  ``golden``
+verifies (or, with ``--update``, re-records) the golden conformance
+snapshots; ``fuzz`` runs the deterministic reply fuzzer.  Both exit
+non-zero on drift/violations.
 """
 
 from __future__ import annotations
@@ -175,6 +180,50 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         print(f"chrome trace written to {args.chrome}")
 
 
+def _cmd_golden(args: argparse.Namespace) -> int:
+    """Verify or re-record the golden conformance snapshots."""
+    from repro.testing import (
+        GOLDEN_CELLS,
+        GoldenStore,
+        capture_snapshot,
+        cell_by_name,
+        render_diffs,
+        write_diff_artifact,
+    )
+
+    store = GoldenStore(args.store)
+    cells = (
+        [cell_by_name(name) for name in args.cell]
+        if args.cell else list(GOLDEN_CELLS)
+    )
+    drifted = 0
+    for cell in cells:
+        payload = capture_snapshot(cell)
+        if args.update:
+            path = store.save(cell.name, payload)
+            print(f"golden {cell.name}: recorded -> {path}")
+            continue
+        diffs = store.verify(cell.name, payload)
+        report = render_diffs(cell.name, diffs)
+        print(report)
+        if diffs:
+            drifted += 1
+            write_diff_artifact(report, args.diff_artifact)
+    if drifted:
+        print(f"{drifted}/{len(cells)} snapshot(s) drifted")
+        return 1
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run the deterministic reply fuzzer and report invariant violations."""
+    from repro.testing import run_fuzz
+
+    report = run_fuzz(n_cases=args.cases, seed=args.seed)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     _cmd_table1(args)
     _cmd_table2(args)
@@ -224,9 +273,30 @@ def main(argv: list[str] | None = None) -> int:
     trace_cmd.add_argument("--chrome", default=None,
                            help="write a chrome://tracing JSON here")
     trace_cmd.set_defaults(handler=_cmd_trace)
+    golden_cmd = sub.add_parser(
+        "golden", help="verify (or --update) the golden conformance snapshots"
+    )
+    golden_cmd.add_argument("--update", action="store_true",
+                            help="re-record instead of verifying")
+    golden_cmd.add_argument("--cell", action="append", default=None,
+                            metavar="NAME",
+                            help="limit to one cell (repeatable)")
+    golden_cmd.add_argument("--store", default=None,
+                            help="snapshot directory "
+                                 "(default: tests/golden/snapshots)")
+    golden_cmd.add_argument("--diff-artifact", default=None,
+                            help="where to write the drift report "
+                                 "(default: $REPRO_GOLDEN_DIFF_PATH or "
+                                 "GOLDEN_DIFF.txt)")
+    golden_cmd.set_defaults(handler=_cmd_golden)
+    fuzz_cmd = sub.add_parser(
+        "fuzz", help="run the deterministic reply fuzzer"
+    )
+    fuzz_cmd.add_argument("--cases", type=int, default=200)
+    fuzz_cmd.add_argument("--seed", type=int, default=0)
+    fuzz_cmd.set_defaults(handler=_cmd_fuzz)
     args = parser.parse_args(argv)
-    args.handler(args)
-    return 0
+    return args.handler(args) or 0
 
 
 if __name__ == "__main__":

@@ -50,6 +50,11 @@ class EvaluationRun:
     #: the run's provenance record, present when the config enabled
     #: observability
     manifest: RunManifest | None = field(default=None, compare=False)
+    #: the underlying pipeline result (predictions, raw replies, recorded
+    #: exchanges), present when ``evaluate_pipeline(..., keep_raw=True)``
+    result: "PipelineResult | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def speedup(self) -> float:
@@ -75,6 +80,7 @@ def evaluate_pipeline(
     config: PipelineConfig,
     dataset: PreprocessingDataset,
     manifest_path: str | Path | None = None,
+    keep_raw: bool = False,
 ) -> EvaluationRun:
     """Run ``config`` against ``dataset`` through ``client`` and score it.
 
@@ -82,6 +88,8 @@ def evaluate_pipeline(
     :class:`~repro.obs.manifest.RunManifest` (config, model profile,
     dataset, metrics snapshot, execution report, full trace); pass
     ``manifest_path`` to also write it to disk as one JSON artifact.
+    ``keep_raw`` retains the raw replies and recorded prompt/reply
+    exchanges on ``run.result`` (used by the golden conformance layer).
     """
     if manifest_path is not None and not config.observability:
         raise EvaluationError(
@@ -91,7 +99,7 @@ def evaluate_pipeline(
     profile = get_profile(config.model)
     preprocessor = Preprocessor(client, config)
     try:
-        result: PipelineResult = preprocessor.run(dataset)
+        result: PipelineResult = preprocessor.run(dataset, keep_raw=keep_raw)
     except ContextWindowExceededError:
         # The prompt cannot even be posed to this model: N/A.
         return _not_applicable(dataset, config, profile.name)
@@ -127,6 +135,8 @@ def evaluate_pipeline(
         if manifest_path is not None:
             manifest.write(manifest_path)
         run = replace(run, manifest=manifest)
+    if keep_raw:
+        run = replace(run, result=result)
     return run
 
 

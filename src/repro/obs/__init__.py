@@ -32,7 +32,13 @@ from repro.obs.export import (
     trace_to_chrome,
     trace_to_json,
 )
-from repro.obs.manifest import MANIFEST_VERSION, ManifestError, RunManifest, build_manifest
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    ManifestError,
+    RunManifest,
+    build_manifest,
+    canonical_json,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -60,6 +66,7 @@ __all__ = [
     "render_metrics_summary",
     "RunManifest",
     "build_manifest",
+    "canonical_json",
     "ManifestError",
     "MANIFEST_VERSION",
 ]

@@ -52,6 +52,21 @@ def jsonable(value: object) -> object:
     return str(value)
 
 
+def canonical_json(value: object) -> str:
+    """Render ``value`` as canonical JSON: one byte sequence per payload.
+
+    Keys are sorted, non-native objects are flattened through
+    :func:`jsonable`, non-ASCII is escaped, and the text ends with a
+    newline — so equal payloads always serialize to identical bytes and a
+    stored artifact can be compared to a fresh one with ``==``.  This is
+    the byte contract of the golden conformance layer
+    (:mod:`repro.testing.golden`).
+    """
+    return json.dumps(
+        jsonable(value), indent=2, sort_keys=True, ensure_ascii=True
+    ) + "\n"
+
+
 @dataclass
 class RunManifest:
     """The provenance record of one evaluation run (all plain data)."""

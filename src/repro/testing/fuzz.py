@@ -1,0 +1,351 @@
+"""Deterministic reply fuzzer: seeded corruption of the answer contract.
+
+The pipeline's weakest joint is the free-text reply parsed back into
+predictions, so this module manufactures *malformed* replies on purpose
+and checks the parser's two hard invariants:
+
+* the strict parser (:func:`~repro.core.parsing.parse_batch_answers`)
+  either returns exactly ``expected`` predictions or raises
+  :class:`~repro.errors.AnswerFormatError` — never any other exception;
+* the lenient parser
+  (:func:`~repro.core.parsing.parse_batch_answers_lenient`) never raises
+  and always returns exactly ``expected`` entries of the right type
+  (``bool``/``None`` for the binary tasks, non-empty ``str``/``None``
+  for imputation).
+
+Every case derives from ``random.Random(f"repro-fuzz:{seed}:{index}")``,
+so a corpus is a pure function of ``(seed, n_cases)``: CI can re-run the
+same ≥200 cases forever, and any violation reproduces from its case index
+alone.  Well-formed cases (one in ``WELLFORMED_EVERY``) additionally
+assert the strict parser recovers the intended answers byte-exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core import parsing
+from repro.data.instances import Task
+from repro.errors import AnswerFormatError
+
+#: every Nth case skips corruption and must parse exactly
+WELLFORMED_EVERY = 10
+
+_DI_VALUES = (
+    "tokyo", "new york", "blue ridge", "manager", "41017", "st. francis",
+    "classical", "private", "male", "los angeles", "teacher", "7th ave",
+)
+_REASONS = (
+    "the records share every key field",
+    "the values disagree on the city attribute",
+    "this value is outside the attribute's domain",
+    "both titles refer to the same product",
+    "the attribute names describe the same concept",
+)
+_UNICODE_NOISE = "​ “”‘’«»。．！？…"
+_ECHO_PREFIXES = ("The answer is ", "Answer: ", "Value: ", "the answer is ")
+
+
+def _make_reply(
+    rng: random.Random, task: Task, expected: int, reasoning: bool
+) -> tuple[str, tuple[bool | str, ...]]:
+    """A contract-conformant reply plus the answers it encodes."""
+    lines: list[str] = []
+    answers: list[bool | str] = []
+    for number in range(1, expected + 1):
+        if task is Task.DATA_IMPUTATION:
+            value = rng.choice(_DI_VALUES)
+            answers.append(value)
+            answer_text = value
+        else:
+            verdict = rng.random() < 0.5
+            answers.append(verdict)
+            answer_text = "Yes" if verdict else "No"
+        if reasoning:
+            lines.append(f"Answer {number}: {rng.choice(_REASONS)}")
+            lines.append(answer_text)
+        else:
+            lines.append(f"Answer {number}: {answer_text}")
+    return "\n".join(lines), tuple(answers)
+
+
+# --- corruption operators ------------------------------------------------
+# Each operator maps (text, rng) -> text and must itself be deterministic
+# given the rng.  They model the drift classes real models exhibit.
+
+def _op_case_shuffle(text: str, rng: random.Random) -> str:
+    return "".join(
+        ch.upper() if rng.random() < 0.5 else ch.lower() for ch in text
+    )
+
+
+def _op_drop_marker(text: str, rng: random.Random) -> str:
+    lines = text.splitlines()
+    marked = [i for i, line in enumerate(lines)
+              if parsing._ANSWER_RE.match(line)]
+    if not marked:
+        return text
+    target = rng.choice(marked)
+    match = parsing._ANSWER_RE.match(lines[target])
+    lines[target] = match.group(2)
+    return "\n".join(lines)
+
+
+def _op_renumber_markers(text: str, rng: random.Random) -> str:
+    replacement = rng.choice((0, 1, 99))
+    lines = []
+    for line in text.splitlines():
+        match = parsing._ANSWER_RE.match(line)
+        if match:
+            lines.append(f"Answer {replacement}: {match.group(2)}")
+        else:
+            lines.append(line)
+    return "\n".join(lines)
+
+
+def _op_merge_blocks(text: str, rng: random.Random) -> str:
+    lines = text.splitlines()
+    marked = [i for i, line in enumerate(lines)
+              if i > 0 and parsing._ANSWER_RE.match(line)]
+    if not marked:
+        return text
+    target = rng.choice(marked)
+    merged = lines[target - 1] + " " + lines[target]
+    return "\n".join(lines[:target - 1] + [merged] + lines[target + 1:])
+
+
+def _op_unicode_noise(text: str, rng: random.Random) -> str:
+    out = list(text)
+    for _ in range(rng.randint(1, 4)):
+        out.insert(rng.randint(0, len(out)), rng.choice(_UNICODE_NOISE))
+    return "".join(out)
+
+
+def _op_echo_label(text: str, rng: random.Random) -> str:
+    prefix = rng.choice(_ECHO_PREFIXES)
+    lines = []
+    for line in text.splitlines():
+        match = parsing._ANSWER_RE.match(line)
+        if match and match.group(2):
+            lines.append(f"Answer {match.group(1)}: {prefix}{match.group(2)}")
+        elif line.strip() and not match:
+            lines.append(prefix + line)
+        else:
+            lines.append(line)
+    return "\n".join(lines)
+
+
+def _op_duplicate_block(text: str, rng: random.Random) -> str:
+    lines = text.splitlines()
+    if not lines:
+        return text
+    target = rng.randrange(len(lines))
+    return "\n".join(lines[:target + 1] + [lines[target]] + lines[target + 1:])
+
+
+def _op_truncate_tail(text: str, rng: random.Random) -> str:
+    if not text:
+        return text
+    return text[: rng.randint(0, len(text))]
+
+
+def _op_blank_noise(text: str, rng: random.Random) -> str:
+    lines = text.splitlines()
+    for _ in range(rng.randint(1, 3)):
+        filler = rng.choice(("", "   ", "\t"))
+        lines.insert(rng.randint(0, len(lines)), filler)
+    return "\n".join(lines)
+
+
+OPERATORS: dict[str, Callable[[str, random.Random], str]] = {
+    "case_shuffle": _op_case_shuffle,
+    "drop_marker": _op_drop_marker,
+    "renumber_markers": _op_renumber_markers,
+    "merge_blocks": _op_merge_blocks,
+    "unicode_noise": _op_unicode_noise,
+    "echo_label": _op_echo_label,
+    "duplicate_block": _op_duplicate_block,
+    "truncate_tail": _op_truncate_tail,
+    "blank_noise": _op_blank_noise,
+}
+
+_TASKS = (
+    Task.ENTITY_MATCHING,
+    Task.ERROR_DETECTION,
+    Task.SCHEMA_MATCHING,
+    Task.DATA_IMPUTATION,
+)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One deterministic fuzz input: a (corrupted) reply and its intent."""
+
+    index: int
+    seed: int
+    task: Task
+    expected: int
+    ops: tuple[str, ...]
+    text: str
+    answers: tuple[bool | str, ...]
+
+    @property
+    def wellformed(self) -> bool:
+        return not self.ops
+
+
+def generate_case(index: int, seed: int = 0) -> FuzzCase:
+    """Case ``index`` of corpus ``seed`` — a pure function of both."""
+    rng = random.Random(f"repro-fuzz:{seed}:{index}")
+    task = rng.choice(_TASKS)
+    expected = rng.randint(1, 8)
+    reasoning = rng.random() < 0.5
+    text, answers = _make_reply(rng, task, expected, reasoning)
+    ops: tuple[str, ...] = ()
+    if index % WELLFORMED_EVERY:
+        names = sorted(OPERATORS)
+        ops = tuple(rng.choice(names) for _ in range(rng.randint(1, 3)))
+        for name in ops:
+            text = OPERATORS[name](text, rng)
+    return FuzzCase(
+        index=index, seed=seed, task=task, expected=expected,
+        ops=ops, text=text, answers=answers,
+    )
+
+
+@dataclass(frozen=True)
+class FuzzViolation:
+    """One broken invariant, with everything needed to reproduce it."""
+
+    case: FuzzCase
+    invariant: str
+    detail: str
+
+    def render(self) -> str:
+        preview = (
+            self.case.text if len(self.case.text) <= 240
+            else self.case.text[:240] + "…"
+        )
+        return (
+            f"case {self.case.index} (seed {self.case.seed}, "
+            f"task {self.case.task.name}, expected {self.case.expected}, "
+            f"ops {list(self.case.ops)}): {self.invariant}\n"
+            f"  {self.detail}\n"
+            f"  reply: {preview!r}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one deterministic fuzz run."""
+
+    seed: int
+    n_cases: int
+    n_wellformed: int = 0
+    n_strict_ok: int = 0
+    n_strict_rejected: int = 0
+    op_counts: dict[str, int] = field(default_factory=dict)
+    violations: list[FuzzViolation] = field(default_factory=list)
+    digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        ops = ", ".join(
+            f"{name}×{count}" for name, count in sorted(self.op_counts.items())
+        )
+        head = (
+            f"fuzz seed={self.seed}: {self.n_cases} cases "
+            f"({self.n_wellformed} well-formed; strict parsed "
+            f"{self.n_strict_ok}, rejected {self.n_strict_rejected}), "
+            f"{len(self.violations)} violation(s)\n"
+            f"  operators: {ops}\n"
+            f"  corpus digest: {self.digest}"
+        )
+        if self.ok:
+            return head
+        return "\n".join([head] + [v.render() for v in self.violations])
+
+
+def _check_case(case: FuzzCase, report: FuzzReport) -> None:
+    expected_types: tuple[type, ...] = (
+        (str,) if case.task is Task.DATA_IMPUTATION else (bool,)
+    )
+    # Invariant 1: strict parses fully or raises AnswerFormatError.
+    try:
+        strict = parsing.parse_batch_answers(case.text, case.task, case.expected)
+    except AnswerFormatError:
+        strict = None
+        report.n_strict_rejected += 1
+        if case.wellformed:
+            report.violations.append(FuzzViolation(
+                case, "strict-accepts-wellformed",
+                "a contract-conformant reply was rejected",
+            ))
+    except Exception as err:  # noqa: BLE001 — the invariant under test
+        strict = None
+        report.violations.append(FuzzViolation(
+            case, "strict-only-raises-AnswerFormatError",
+            f"raised {type(err).__name__}: {err}",
+        ))
+    else:
+        report.n_strict_ok += 1
+        if len(strict) != case.expected:
+            report.violations.append(FuzzViolation(
+                case, "strict-length",
+                f"returned {len(strict)} predictions for {case.expected}",
+            ))
+        if case.wellformed and strict != list(case.answers):
+            report.violations.append(FuzzViolation(
+                case, "strict-roundtrip",
+                f"expected {list(case.answers)!r}, got {strict!r}",
+            ))
+    # Invariant 2: lenient never raises and keeps the shape.
+    try:
+        lenient = parsing.parse_batch_answers_lenient(
+            case.text, case.task, case.expected
+        )
+    except Exception as err:  # noqa: BLE001 — the invariant under test
+        report.violations.append(FuzzViolation(
+            case, "lenient-never-raises",
+            f"raised {type(err).__name__}: {err}",
+        ))
+        return
+    if len(lenient) != case.expected:
+        report.violations.append(FuzzViolation(
+            case, "lenient-length",
+            f"returned {len(lenient)} entries for {case.expected}",
+        ))
+    for position, entry in enumerate(lenient):
+        if entry is None:
+            continue
+        if not isinstance(entry, expected_types) or (
+            isinstance(entry, str) and not entry
+        ):
+            report.violations.append(FuzzViolation(
+                case, "lenient-entry-type",
+                f"entry {position} is {entry!r}",
+            ))
+            break
+
+
+def run_fuzz(n_cases: int = 200, seed: int = 0) -> FuzzReport:
+    """Generate and check ``n_cases`` deterministic cases for ``seed``."""
+    report = FuzzReport(seed=seed, n_cases=n_cases)
+    corpus_hash = hashlib.sha256()
+    for index in range(n_cases):
+        case = generate_case(index, seed)
+        corpus_hash.update(case.text.encode("utf-8"))
+        corpus_hash.update(b"\x00")
+        if case.wellformed:
+            report.n_wellformed += 1
+        for name in case.ops:
+            report.op_counts[name] = report.op_counts.get(name, 0) + 1
+        _check_case(case, report)
+    report.digest = corpus_hash.hexdigest()
+    return report

@@ -1,0 +1,276 @@
+"""Golden snapshot store: byte-exact recordings of pipeline behavior.
+
+A *golden cell* is one (task, config) point — dataset, size, model, seed,
+batching, concurrency — small enough to run in well under a second but
+rich enough to exercise prompt assembly, batching, the simulated model,
+answer parsing, salvage, scoring, and accounting.  Capturing a cell runs
+the full pipeline (observability on, raw replies kept) and freezes:
+
+* the run manifest (config, model profile, dataset identity, evaluation
+  metrics, deterministic metrics snapshot, execution report) minus the
+  span trace, which belongs to the observability tests;
+* every completion call as an *exchange*: the exact prompt messages, the
+  raw simulated reply, the expected answer count, and the strict/lenient
+  parse outcomes of that reply (the differential-replay corpus);
+* the final predictions.
+
+Snapshots are canonical JSON (:func:`repro.obs.manifest.canonical_json`):
+equal behavior serializes to identical bytes, so *any* drift — one token
+of a prompt, one field of the cost model, one parsed answer — shows up as
+a structured diff with a JSON path.  ``python -m repro.eval golden``
+verifies; ``--update`` re-records after an intentional behavior change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.config import PipelineConfig
+from repro.errors import ReproError
+from repro.obs.manifest import canonical_json
+from repro.testing.replay import parse_outcomes
+
+GOLDEN_VERSION = 1
+
+#: where ``GOLDEN_DIFF.txt`` (the CI failure artifact) is written
+GOLDEN_DIFF_ENV = "REPRO_GOLDEN_DIFF_PATH"
+
+
+class GoldenError(ReproError):
+    """A golden snapshot could not be captured, stored, or compared."""
+
+
+@dataclass(frozen=True)
+class GoldenCell:
+    """One recorded (task, config) point of the pipeline's behavior."""
+
+    name: str
+    dataset: str
+    size: int
+    model: str = "gpt-3.5"
+    seed: int = 0
+    batching: str = "random"
+    concurrency: int = 1
+
+    def config(self) -> PipelineConfig:
+        return PipelineConfig(
+            model=self.model,
+            seed=self.seed,
+            batching=self.batching,
+            concurrency=self.concurrency,
+            observability=True,
+        )
+
+
+#: the recorded cells: all four tasks, both batching modes, a weak model
+#: (rich in format violations, so the replay corpus covers the lenient
+#: and salvage paths), and a concurrent run
+GOLDEN_CELLS: tuple[GoldenCell, ...] = (
+    GoldenCell("ed_adult_gpt35", dataset="adult", size=40),
+    GoldenCell("ed_hospital_vicuna", dataset="hospital", size=24,
+               model="vicuna-13b"),
+    GoldenCell("di_restaurant_gpt4", dataset="restaurant", size=30,
+               model="gpt-4"),
+    GoldenCell("sm_synthea_gpt35", dataset="synthea", size=40),
+    GoldenCell("em_beer_gpt4_cluster", dataset="beer", size=40,
+               model="gpt-4", batching="cluster"),
+    GoldenCell("em_amazon_google_conc2", dataset="amazon_google", size=40,
+               concurrency=2),
+)
+
+
+def cell_by_name(name: str) -> GoldenCell:
+    for cell in GOLDEN_CELLS:
+        if cell.name == name:
+            return cell
+    known = ", ".join(cell.name for cell in GOLDEN_CELLS)
+    raise GoldenError(f"unknown golden cell {name!r}; known cells: {known}")
+
+
+def capture_snapshot(cell: GoldenCell) -> dict:
+    """Run ``cell`` end to end and freeze its behavior as a JSON payload."""
+    # Imported here so the conformance layer stays importable without
+    # dragging the dataset/LLM stack in at module-import time.
+    from repro.datasets import load_dataset
+    from repro.eval.harness import evaluate_pipeline
+    from repro.llm.simulated import SimulatedLLM
+
+    dataset = load_dataset(cell.dataset, size=cell.size, seed=cell.seed)
+    run = evaluate_pipeline(
+        SimulatedLLM(cell.model, seed=cell.seed),
+        cell.config(),
+        dataset,
+        keep_raw=True,
+    )
+    if run.manifest is None or run.result is None:
+        raise GoldenError(
+            f"cell {cell.name!r} produced no manifest/result — "
+            f"observability or keep_raw was lost on the way down"
+        )
+    manifest = run.manifest.to_dict()
+    manifest.pop("trace", None)  # span drift belongs to the obs tests
+    exchanges = []
+    for recorded in run.result.exchanges:
+        outcome = parse_outcomes(recorded.reply, dataset.task, recorded.n_expected)
+        exchanges.append({
+            "prompt": [
+                {"role": role, "content": content}
+                for role, content in recorded.messages
+            ],
+            "reply": recorded.reply,
+            "n_expected": recorded.n_expected,
+            "strict": outcome["strict"],
+            "lenient": outcome["lenient"],
+        })
+    payload = {
+        "golden_version": GOLDEN_VERSION,
+        "cell": dataclasses.asdict(cell),
+        "manifest": manifest,
+        "exchanges": exchanges,
+        "predictions": run.result.predictions,
+    }
+    # One normalization pass so in-memory payloads compare == against
+    # payloads read back from disk (tuples->lists, enums->names, ...).
+    return json.loads(canonical_json(payload))
+
+
+@dataclass(frozen=True)
+class GoldenDiff:
+    """One divergence between a stored snapshot and fresh behavior."""
+
+    path: str
+    kind: str        # "changed" | "missing" | "added" | "type"
+    expected: object
+    actual: object
+
+    def render(self) -> str:
+        def clip(value: object) -> str:
+            text = repr(value)
+            return text if len(text) <= 160 else text[:160] + "…"
+        return (
+            f"{self.path} [{self.kind}]\n"
+            f"  golden:  {clip(self.expected)}\n"
+            f"  current: {clip(self.actual)}"
+        )
+
+
+def diff_payloads(expected: object, actual: object, path: str = "$") -> list[GoldenDiff]:
+    """Structured diff of two JSON payloads, one entry per divergent path."""
+    if type(expected) is not type(actual) and not (
+        isinstance(expected, (int, float)) and isinstance(actual, (int, float))
+        and not isinstance(expected, bool) and not isinstance(actual, bool)
+    ):
+        return [GoldenDiff(path, "type", expected, actual)]
+    if isinstance(expected, dict):
+        diffs: list[GoldenDiff] = []
+        for key in sorted(expected.keys() | actual.keys()):
+            sub = f"{path}.{key}"
+            if key not in actual:
+                diffs.append(GoldenDiff(sub, "missing", expected[key], None))
+            elif key not in expected:
+                diffs.append(GoldenDiff(sub, "added", None, actual[key]))
+            else:
+                diffs.extend(diff_payloads(expected[key], actual[key], sub))
+        return diffs
+    if isinstance(expected, list):
+        diffs = []
+        for index in range(max(len(expected), len(actual))):
+            sub = f"{path}[{index}]"
+            if index >= len(actual):
+                diffs.append(GoldenDiff(sub, "missing", expected[index], None))
+            elif index >= len(expected):
+                diffs.append(GoldenDiff(sub, "added", None, actual[index]))
+            else:
+                diffs.extend(diff_payloads(expected[index], actual[index], sub))
+        return diffs
+    if expected != actual:
+        return [GoldenDiff(path, "changed", expected, actual)]
+    return []
+
+
+def render_diffs(name: str, diffs: list[GoldenDiff], limit: int = 25) -> str:
+    """A readable drift report for one snapshot."""
+    if not diffs:
+        return f"golden {name}: OK"
+    head = f"golden {name}: DRIFT at {len(diffs)} path(s)"
+    body = [diff.render() for diff in diffs[:limit]]
+    if len(diffs) > limit:
+        body.append(f"… and {len(diffs) - limit} more path(s)")
+    tail = (
+        "If this change is intentional, re-record with "
+        "`python -m repro.eval golden --update`."
+    )
+    return "\n".join([head] + body + [tail])
+
+
+def default_store_root() -> Path:
+    """The checked-in snapshot directory (resolved from this file)."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden" / "snapshots"
+
+
+class GoldenStore:
+    """Canonical-JSON snapshot files, one per golden cell."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_store_root()
+
+    def path_for(self, name: str) -> Path:
+        return self.root / f"{name}.json"
+
+    def names(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def save(self, name: str, payload: dict) -> Path:
+        target = self.path_for(name)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(canonical_json(payload), encoding="utf-8")
+        return target
+
+    def load(self, name: str) -> dict:
+        source = self.path_for(name)
+        try:
+            text = source.read_text(encoding="utf-8")
+        except FileNotFoundError as err:
+            raise GoldenError(
+                f"no golden snapshot {name!r} at {source} — record it with "
+                f"`python -m repro.eval golden --update`"
+            ) from err
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise GoldenError(f"snapshot {source} is not valid JSON: {err}") from err
+        if payload.get("golden_version") != GOLDEN_VERSION:
+            raise GoldenError(
+                f"snapshot {source} has version "
+                f"{payload.get('golden_version')!r}; this build reads "
+                f"{GOLDEN_VERSION} — re-record with --update"
+            )
+        if text != canonical_json(payload):
+            raise GoldenError(
+                f"snapshot {source} is not canonical JSON — it was edited "
+                f"by hand; re-record with --update"
+            )
+        return payload
+
+    def verify(self, name: str, actual: dict) -> list[GoldenDiff]:
+        """Diff a freshly captured payload against the stored snapshot."""
+        expected = self.load(name)
+        return diff_payloads(expected, json.loads(canonical_json(actual)))
+
+
+def write_diff_artifact(text: str, path: str | Path | None = None) -> Path:
+    """Persist a drift report where CI can pick it up as an artifact."""
+    target = Path(
+        path
+        if path is not None
+        else os.environ.get(GOLDEN_DIFF_ENV, "GOLDEN_DIFF.txt")
+    )
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(text.rstrip("\n") + "\n\n")
+    return target

@@ -1,5 +1,7 @@
 """Tests for the repro-eval command-line interface."""
 
+import json
+
 import pytest
 
 from repro.eval.__main__ import main
@@ -31,3 +33,85 @@ class TestCli:
     def test_missing_command_fails(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliRoundTrip:
+    """`run` writes a manifest, `trace` reads it back, and the golden
+    layer's byte contract proves the artifact survives the loop intact."""
+
+    def test_run_trace_manifest_roundtrip(self, tmp_path, capsys):
+        from repro.obs import RunManifest, canonical_json
+        from repro.testing import diff_payloads
+
+        manifest_path = tmp_path / "run.json"
+        assert main([
+            "run", "--dataset", "beer", "--size", "30",
+            "--manifest", str(manifest_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "beer / gpt-3.5" in out
+        assert f"manifest written to {manifest_path}" in out
+
+        assert main(["trace", str(manifest_path)]) == 0
+        traced = capsys.readouterr().out
+        assert "Manifest v1" in traced and "beer" in traced
+
+        # Golden byte contract: load -> dump reproduces the file exactly,
+        # and a full load -> to_dict -> from_dict loop is diff-free.
+        written = manifest_path.read_text(encoding="utf-8")
+        loaded = RunManifest.load(manifest_path)
+        assert loaded.dumps() + "\n" == written
+        reloaded = RunManifest.from_dict(json.loads(written))
+        assert diff_payloads(loaded.to_dict(), reloaded.to_dict()) == []
+        # and the canonical form is itself stable under a reload
+        assert canonical_json(json.loads(canonical_json(loaded.to_dict()))) \
+            == canonical_json(loaded.to_dict())
+
+    def test_trace_rejects_missing_manifest(self, tmp_path):
+        from repro.obs import ManifestError
+
+        with pytest.raises(ManifestError):
+            main(["trace", str(tmp_path / "absent.json")])
+
+
+class TestGoldenCli:
+    def test_golden_verify_single_cell_is_clean(self, capsys):
+        assert main(["golden", "--cell", "di_restaurant_gpt4"]) == 0
+        out = capsys.readouterr().out
+        assert "golden di_restaurant_gpt4: OK" in out
+
+    def test_golden_update_then_verify_in_scratch_store(self, tmp_path, capsys):
+        store = str(tmp_path / "snapshots")
+        assert main(["golden", "--update", "--cell", "sm_synthea_gpt35",
+                     "--store", store]) == 0
+        assert main(["golden", "--cell", "sm_synthea_gpt35",
+                     "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and "OK" in out
+
+    def test_golden_drift_exits_nonzero_and_writes_artifact(
+        self, tmp_path, capsys
+    ):
+        from repro.testing import GoldenStore, capture_snapshot, cell_by_name
+
+        cell = cell_by_name("sm_synthea_gpt35")
+        store = GoldenStore(tmp_path / "snapshots")
+        payload = capture_snapshot(cell)
+        payload["predictions"][0] = "__tampered__"
+        store.save(cell.name, payload)
+        artifact = tmp_path / "GOLDEN_DIFF.txt"
+        assert main(["golden", "--cell", cell.name,
+                     "--store", str(store.root),
+                     "--diff-artifact", str(artifact)]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out and "$.predictions[0]" in out
+        assert artifact.exists()
+        assert "__tampered__" in artifact.read_text(encoding="utf-8")
+
+
+class TestFuzzCli:
+    def test_fuzz_command_reports_and_passes(self, capsys):
+        assert main(["fuzz", "--cases", "40", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "40 cases" in out and "corpus digest" in out
+        assert "0 violation(s)" in out

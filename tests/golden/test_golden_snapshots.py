@@ -1,0 +1,114 @@
+"""Golden conformance: every cell's behavior must match its recording.
+
+These tests re-run each golden cell end to end and compare the fresh
+payload byte-for-byte (as canonical JSON) against the snapshot checked in
+under ``snapshots/``.  A failure means pipeline behavior drifted — the
+structured diff names the exact JSON paths.  If the change is deliberate,
+re-record with ``python -m repro.eval golden --update`` and review the
+snapshot diff in the PR like any other code change.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing import (
+    GOLDEN_CELLS,
+    GoldenDiff,
+    GoldenStore,
+    capture_snapshot,
+    diff_payloads,
+    render_diffs,
+    write_diff_artifact,
+)
+
+STORE = GoldenStore(Path(__file__).parent / "snapshots")
+
+
+@pytest.mark.parametrize("cell", GOLDEN_CELLS, ids=lambda cell: cell.name)
+def test_cell_matches_golden(cell):
+    payload = capture_snapshot(cell)
+    diffs = STORE.verify(cell.name, payload)
+    if diffs:
+        report = render_diffs(cell.name, diffs)
+        write_diff_artifact(report)
+        pytest.fail(report, pytrace=False)
+
+
+def test_every_snapshot_has_a_cell():
+    """No orphan snapshot files, no unrecorded cells."""
+    assert set(STORE.names()) == {cell.name for cell in GOLDEN_CELLS}
+
+
+def test_snapshots_are_canonical_json():
+    """load() rejects hand-edited (non-canonical) snapshot files."""
+    for name in STORE.names():
+        payload = STORE.load(name)
+        assert payload["golden_version"] == 1
+        assert payload["exchanges"], f"{name} recorded no exchanges"
+
+
+def test_snapshot_covers_all_parse_paths():
+    """The corpus must exercise ok, format-error, and salvage-null paths —
+    otherwise the replay layer silently loses its teeth."""
+    strict_ok = strict_error = lenient_null = 0
+    for name in STORE.names():
+        for exchange in STORE.load(name)["exchanges"]:
+            if "ok" in exchange["strict"]:
+                strict_ok += 1
+            else:
+                strict_error += 1
+            lenient_null += sum(
+                1 for entry in exchange["lenient"] if entry is None
+            )
+    assert strict_ok > 0
+    assert strict_error > 0
+    assert lenient_null > 0
+
+
+class TestDiffEngine:
+    def test_equal_payloads_have_no_diff(self):
+        payload = {"a": [1, {"b": True}], "c": "x"}
+        assert diff_payloads(payload, payload) == []
+
+    def test_changed_value_names_its_path(self):
+        diffs = diff_payloads({"a": {"b": [1, 2]}}, {"a": {"b": [1, 3]}})
+        assert diffs == [GoldenDiff("$.a.b[1]", "changed", 2, 3)]
+
+    def test_missing_and_added_keys(self):
+        diffs = diff_payloads({"a": 1, "b": 2}, {"b": 2, "c": 3})
+        kinds = {(d.path, d.kind) for d in diffs}
+        assert kinds == {("$.a", "missing"), ("$.c", "added")}
+
+    def test_type_change_is_one_diff(self):
+        diffs = diff_payloads({"a": [1, 2, 3]}, {"a": "123"})
+        assert [(d.path, d.kind) for d in diffs] == [("$.a", "type")]
+
+    def test_int_float_compare_numerically(self):
+        assert diff_payloads({"a": 1}, {"a": 1.0}) == []
+
+    def test_bool_int_do_not_unify(self):
+        diffs = diff_payloads({"a": True}, {"a": 1})
+        assert [d.kind for d in diffs] == ["type"]
+
+    def test_length_mismatch_in_lists(self):
+        diffs = diff_payloads([1, 2], [1, 2, 3])
+        assert [(d.path, d.kind) for d in diffs] == [("$[2]", "added")]
+
+    def test_render_mentions_update_workflow(self):
+        diffs = diff_payloads({"a": 1}, {"a": 2})
+        text = render_diffs("cell", diffs)
+        assert "DRIFT" in text and "--update" in text and "$.a" in text
+
+
+def test_verify_against_tampered_snapshot_reports_drift(tmp_path):
+    """End to end through a throwaway store: tampering is detected."""
+    name = GOLDEN_CELLS[0].name
+    payload = STORE.load(name)
+    scratch = GoldenStore(tmp_path)
+    scratch.save(name, payload)
+    assert scratch.verify(name, payload) == []
+    tampered = dict(payload, predictions=list(payload["predictions"]))
+    tampered["predictions"][0] = "__tampered__"
+    diffs = scratch.verify(name, tampered)
+    assert diffs and diffs[0].path == "$.predictions[0]"

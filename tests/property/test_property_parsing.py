@@ -2,14 +2,22 @@
 
 import string
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.contextualize import parse_serialized_record, serialize_record
-from repro.core.parsing import parse_batch_answers_lenient, split_answer_blocks
+from repro.core.parsing import (
+    normalize_binary,
+    normalize_value,
+    parse_batch_answers,
+    parse_batch_answers_lenient,
+    split_answer_blocks,
+)
 from repro.data.instances import Task
 from repro.data.records import Record
 from repro.data.schema import Schema
+from repro.errors import AnswerFormatError
 
 # Attribute names: word-ish; values avoid quotes/backslashes (cells in the
 # benchmarks never contain them; the serialization format reserves them).
@@ -62,3 +70,114 @@ class TestLenientParsing:
             text, Task.ENTITY_MATCHING, len(answers)
         )
         assert lenient == [a == "yes" for a in answers]
+
+
+# Arbitrary unicode (no lone surrogates — not encodable) including the
+# planes where real model output gets weird: curly quotes, zero-width
+# characters, fullwidth punctuation, non-ASCII digits.
+arbitrary_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=120
+)
+marker_soup = st.text(
+    alphabet="Answer answer0123456789٠١٢٣٤٥𝟙①:. \n\tyesno\"'“”。", max_size=120
+)
+
+
+class TestParserTotality:
+    """The three parser primitives are total: for *any* input they return
+    a result or raise AnswerFormatError — never anything else."""
+
+    @given(st.one_of(arbitrary_text, marker_soup))
+    @settings(max_examples=150)
+    def test_normalize_binary_is_total(self, text):
+        try:
+            verdict = normalize_binary(text)
+        except AnswerFormatError:
+            return
+        assert isinstance(verdict, bool)
+
+    @given(st.one_of(arbitrary_text, marker_soup))
+    @settings(max_examples=150)
+    def test_normalize_value_is_total(self, text):
+        try:
+            value = normalize_value(text)
+        except AnswerFormatError:
+            return
+        assert isinstance(value, str) and value
+
+    @given(st.one_of(arbitrary_text, marker_soup),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=150)
+    def test_split_answer_blocks_is_total(self, text, expected):
+        try:
+            blocks = split_answer_blocks(text, expected)
+        except AnswerFormatError:
+            return
+        assert len(blocks) == expected
+        assert all(block.answer for block in blocks)
+
+    @given(st.one_of(arbitrary_text, marker_soup),
+           st.sampled_from(list(Task)),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=150)
+    def test_parse_batch_answers_is_total(self, text, task, expected):
+        try:
+            predictions = parse_batch_answers(text, task, expected)
+        except AnswerFormatError:
+            return
+        assert len(predictions) == expected
+
+
+class TestParserEdgeCases:
+    """Named regressions: the inputs the conformance issue calls out."""
+
+    def test_answer_zero_blocks_are_accepted_positionally(self):
+        blocks = split_answer_blocks("Answer 0: yes\nAnswer 0: no", 2)
+        assert [b.answer for b in blocks] == ["yes", "no"]
+
+    def test_duplicate_numbers_are_accepted_positionally(self):
+        blocks = split_answer_blocks("Answer 1: yes\nAnswer 1: no", 2)
+        assert [b.answer for b in blocks] == ["yes", "no"]
+
+    def test_duplicate_numbers_last_wins_in_lenient(self):
+        out = parse_batch_answers_lenient(
+            "Answer 1: yes\nAnswer 1: no", Task.ENTITY_MATCHING, 2
+        )
+        assert out == [False, None]
+
+    def test_unicode_digit_markers_parse(self):
+        # \d matches any unicode decimal digit and int() accepts them
+        blocks = split_answer_blocks("Answer ١: yes", 1)
+        assert blocks[0].answer == "yes"
+
+    def test_huge_block_numbers_do_not_crash(self):
+        out = parse_batch_answers_lenient(
+            "Answer 99999999999999999999: yes", Task.ENTITY_MATCHING, 2
+        )
+        assert out == [None, None]
+
+    @pytest.mark.parametrize("text", ['""', "''", "“”", '.', '。', '"."'])
+    def test_empty_after_strip_values_raise_format_error(self, text):
+        with pytest.raises(AnswerFormatError):
+            normalize_value(text)
+
+    @pytest.mark.parametrize("text, expected", [
+        ('“Yes.”', True),
+        ('‘no’', False),
+        ("«Yes»", True),
+        ("Yes。", True),
+    ])
+    def test_unicode_punctuation_binary(self, text, expected):
+        assert normalize_binary(text) is expected
+
+    @pytest.mark.parametrize("text, expected", [
+        ('“tokyo”', "tokyo"),
+        ("«new york»", "new york"),
+        ("tokyo。", "tokyo"),
+        ('" tokyo "', "tokyo"),
+    ])
+    def test_unicode_punctuation_values(self, text, expected):
+        assert normalize_value(text) == expected
+
+    def test_mismatched_quotes_are_kept(self):
+        assert normalize_value('"tokyo”') == '"tokyo”'

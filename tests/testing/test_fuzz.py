@@ -1,0 +1,126 @@
+"""The deterministic reply fuzzer: invariants, determinism, and teeth."""
+
+import pytest
+
+from repro.core import parsing
+from repro.data.instances import Task
+from repro.testing import OPERATORS, FuzzCase, generate_case, run_fuzz
+from repro.testing.fuzz import WELLFORMED_EVERY, _make_reply
+import random
+
+
+class TestFuzzInvariants:
+    def test_200_cases_hold_the_invariants(self):
+        report = run_fuzz(n_cases=200, seed=0)
+        assert report.ok, report.render()
+        assert report.n_cases == 200
+
+    def test_second_seed_also_holds(self):
+        report = run_fuzz(n_cases=100, seed=7)
+        assert report.ok, report.render()
+
+    def test_every_operator_is_exercised(self):
+        report = run_fuzz(n_cases=200, seed=0)
+        assert set(report.op_counts) == set(OPERATORS)
+        assert all(count > 0 for count in report.op_counts.values())
+
+    def test_wellformed_fraction_is_reserved(self):
+        report = run_fuzz(n_cases=200, seed=0)
+        assert report.n_wellformed == 200 // WELLFORMED_EVERY
+        # malformed cases must actually trip the strict parser sometimes,
+        # or the corpus is too gentle to test anything
+        assert report.n_strict_rejected > 20
+
+
+class TestFuzzDeterminism:
+    def test_cases_are_pure_functions_of_seed_and_index(self):
+        for index in range(40):
+            first = generate_case(index, seed=3)
+            second = generate_case(index, seed=3)
+            assert first == second
+
+    def test_corpus_digest_is_stable(self):
+        assert run_fuzz(80, seed=0).digest == run_fuzz(80, seed=0).digest
+
+    def test_different_seeds_differ(self):
+        assert run_fuzz(80, seed=0).digest != run_fuzz(80, seed=1).digest
+
+    def test_wellformed_cases_carry_their_answers(self):
+        case = generate_case(0, seed=0)  # index 0 is always well-formed
+        assert case.wellformed
+        parsed = parsing.parse_batch_answers(case.text, case.task, case.expected)
+        assert parsed == list(case.answers)
+
+
+class TestFuzzTeeth:
+    """The harness must detect a broken parser, not just bless a good one."""
+
+    def test_crashing_lenient_parser_is_reported(self, monkeypatch):
+        def explode(text, task, expected):
+            raise ValueError("boom")
+
+        monkeypatch.setattr(parsing, "parse_batch_answers_lenient", explode)
+        report = run_fuzz(n_cases=20, seed=0)
+        assert not report.ok
+        assert any(
+            v.invariant == "lenient-never-raises" for v in report.violations
+        )
+
+    def test_wrong_shape_is_reported(self, monkeypatch):
+        monkeypatch.setattr(
+            parsing, "parse_batch_answers_lenient",
+            lambda text, task, expected: [None] * (expected + 1),
+        )
+        report = run_fuzz(n_cases=20, seed=0)
+        assert any(v.invariant == "lenient-length" for v in report.violations)
+
+    def test_strict_crash_is_reported(self, monkeypatch):
+        def explode(text, task, expected):
+            raise RuntimeError("not a format error")
+
+        monkeypatch.setattr(parsing, "parse_batch_answers", explode)
+        report = run_fuzz(n_cases=20, seed=0)
+        assert any(
+            v.invariant == "strict-only-raises-AnswerFormatError"
+            for v in report.violations
+        )
+
+    def test_violation_render_is_reproducible_from_its_text(self, monkeypatch):
+        monkeypatch.setattr(
+            parsing, "parse_batch_answers",
+            lambda *a: (_ for _ in ()).throw(RuntimeError("x")),
+        )
+        report = run_fuzz(n_cases=5, seed=4)
+        text = report.render()
+        assert "seed 4" in text and "ops" in text and "reply:" in text
+
+
+class TestOperators:
+    def test_operators_are_deterministic(self):
+        text, __ = _make_reply(random.Random(1), Task.ENTITY_MATCHING, 4, True)
+        for name, op in OPERATORS.items():
+            assert op(text, random.Random(9)) == op(text, random.Random(9)), name
+
+    def test_drop_marker_removes_exactly_one_marker(self):
+        text, __ = _make_reply(random.Random(1), Task.ENTITY_MATCHING, 4, False)
+        mutated = OPERATORS["drop_marker"](text, random.Random(2))
+        count = sum(
+            1 for line in mutated.splitlines()
+            if parsing._ANSWER_RE.match(line)
+        )
+        assert count == 3
+
+    def test_renumber_markers_keeps_line_count(self):
+        text, __ = _make_reply(random.Random(1), Task.ENTITY_MATCHING, 4, True)
+        mutated = OPERATORS["renumber_markers"](text, random.Random(2))
+        assert len(mutated.splitlines()) == len(text.splitlines())
+
+    def test_truncate_never_grows(self):
+        text, __ = _make_reply(random.Random(1), Task.DATA_IMPUTATION, 3, False)
+        assert len(OPERATORS["truncate_tail"](text, random.Random(5))) <= len(text)
+
+    def test_case_preserved_fields(self):
+        case = generate_case(17, seed=0)
+        assert isinstance(case, FuzzCase)
+        assert case.expected == len(case.answers)
+        assert all(name in OPERATORS for name in case.ops)
