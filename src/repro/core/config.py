@@ -74,6 +74,16 @@ class PipelineConfig:
         tokens, all surfaced through ``PipelineResult.observation``.
         Off by default; the disabled path does no observability work at
         all, and enabling it never changes predictions.
+    degradation:
+        What happens when a batch's reply never parses (or a call's retry
+        budget runs out).  ``"off"`` (default) keeps the historical
+        semantics: salvage leniently and fill the safe fallback answer.
+        ``"ladder"`` walks the failure-degradation ladder instead —
+        strict parse, format re-asks, lenient salvage, bisection of the
+        unanswered remainder, a per-instance prompt, and finally
+        *quarantine* with a typed reason — so the run always completes
+        with partial results and an honest coverage figure rather than
+        silently guessing.
     """
 
     model: str = "gpt-3.5"
@@ -88,8 +98,14 @@ class PipelineConfig:
     max_format_retries: int = 1
     concurrency: int = 1
     observability: bool = False
+    degradation: str = "off"
 
     def __post_init__(self) -> None:
+        if self.degradation not in ("off", "ladder"):
+            raise ConfigError(
+                f"unknown degradation mode {self.degradation!r}; "
+                f"expected 'off' or 'ladder'"
+            )
         if self.fewshot is not None and self.fewshot < 0:
             raise ConfigError(f"fewshot must be >= 0, got {self.fewshot}")
         if self.batch_size is not None and self.batch_size <= 0:

@@ -398,6 +398,91 @@ class BatchExecutor:
         self._stats.n_fallback_splits += n_subbatches
         self._count("executor.fallback_splits", n_subbatches)
 
+    def checkpoint_state(self) -> dict:
+        """Every piece of mutable executor state, as plain JSON-ready data.
+
+        Captured into the run journal after each completed batch; restoring
+        it into a freshly constructed executor (same config) makes the
+        resumed run's scheduling — lane picks, backoff jitter, breaker
+        windows, rate-limit windows — continue bit-identically to the
+        interrupted one.  Derived time accounting (makespan, utilization)
+        is *not* stored: :meth:`report` recomputes it from the clock.
+        """
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "clock": self._clock.checkpoint_state(),
+            "lanes": [
+                {
+                    "consecutive_failures": state.consecutive_failures,
+                    "open_until": state.open_until,
+                }
+                for state in self._lanes
+            ],
+            "limiter": (
+                self._limiter.checkpoint_state()
+                if self._limiter is not None
+                else None
+            ),
+            "rng": {"version": version, "internal": list(internal),
+                    "gauss": gauss},
+            "report": {
+                "n_calls": self._stats.n_calls,
+                "n_retries": self._stats.n_retries,
+                "n_timeouts": self._stats.n_timeouts,
+                "n_rate_limit_waits": self._stats.n_rate_limit_waits,
+                "n_breaker_trips": self._stats.n_breaker_trips,
+                "n_giveups": self._stats.n_giveups,
+                "n_fallback_splits": self._stats.n_fallback_splits,
+                "n_cache_hits": self._stats.n_cache_hits,
+                "n_cache_misses": self._stats.n_cache_misses,
+                "lanes": [
+                    {
+                        "n_calls": lane.n_calls,
+                        "n_retries": lane.n_retries,
+                        "n_timeouts": lane.n_timeouts,
+                        "n_rate_limit_waits": lane.n_rate_limit_waits,
+                        "n_breaker_trips": lane.n_breaker_trips,
+                    }
+                    for lane in self._stats.lanes
+                ],
+            },
+        }
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`checkpoint_state`."""
+        self._clock.restore_checkpoint_state(state["clock"])
+        lanes = state["lanes"]
+        if len(lanes) != len(self._lanes):
+            raise ValueError(
+                f"checkpoint has {len(lanes)} lane(s), executor has "
+                f"{len(self._lanes)}"
+            )
+        for lane_state, stored in zip(self._lanes, lanes):
+            lane_state.consecutive_failures = int(stored["consecutive_failures"])
+            lane_state.open_until = float(stored["open_until"])
+        if state.get("limiter") is not None and self._limiter is not None:
+            self._limiter.restore_checkpoint_state(state["limiter"])
+        rng = state["rng"]
+        self._rng.setstate(
+            (rng["version"], tuple(rng["internal"]), rng["gauss"])
+        )
+        report = state["report"]
+        self._stats.n_calls = int(report["n_calls"])
+        self._stats.n_retries = int(report["n_retries"])
+        self._stats.n_timeouts = int(report["n_timeouts"])
+        self._stats.n_rate_limit_waits = int(report["n_rate_limit_waits"])
+        self._stats.n_breaker_trips = int(report["n_breaker_trips"])
+        self._stats.n_giveups = int(report["n_giveups"])
+        self._stats.n_fallback_splits = int(report["n_fallback_splits"])
+        self._stats.n_cache_hits = int(report["n_cache_hits"])
+        self._stats.n_cache_misses = int(report["n_cache_misses"])
+        for lane_report, stored in zip(self._stats.lanes, report["lanes"]):
+            lane_report.n_calls = int(stored["n_calls"])
+            lane_report.n_retries = int(stored["n_retries"])
+            lane_report.n_timeouts = int(stored["n_timeouts"])
+            lane_report.n_rate_limit_waits = int(stored["n_rate_limit_waits"])
+            lane_report.n_breaker_trips = int(stored["n_breaker_trips"])
+
     def _pick_lane(self, ready_at: float) -> int:
         floors = [
             max(state.open_until, ready_at) for state in self._lanes

@@ -17,10 +17,13 @@ so instances are grouped by target attribute and batched within groups.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.batching import make_batches
 from repro.core.config import PipelineConfig
+from repro.core.contextualize import serialize_instance
 from repro.core.executor import BatchExecutor, ExecutionReport, ExecutorConfig
 from repro.core.feature_selection import select_features
 from repro.core.parsing import parse_batch_answers, parse_batch_answers_lenient
@@ -38,7 +41,11 @@ from repro.llm.accounting import request_prompt_tokens
 from repro.llm.base import CompletionRequest, LLMClient, Usage
 from repro.llm.profiles import get_profile
 from repro.obs import RunObservation
+from repro.obs.manifest import canonical_json, jsonable
 from repro.obs.tracing import Span
+
+if TYPE_CHECKING:  # pragma: no cover - avoid importing runtime eagerly
+    from repro.runtime.checkpoint import RunCheckpoint
 
 #: the paper's temperature settings (Section 4.1)
 DEFAULT_TEMPERATURE = {
@@ -76,6 +83,67 @@ class Exchange:
     n_expected: int
 
 
+@dataclass(frozen=True)
+class QuarantinedInstance:
+    """One instance the run could not answer, with a typed reason.
+
+    ``index`` is the instance's position in the run's prediction list;
+    ``reason`` is one of ``"malformed_reply"`` (the model's answer never
+    parsed, even per-instance), ``"retry_exhausted"`` (the executor's
+    retry budget ran out on a single-instance prompt), or
+    ``"context_window"`` (the instance does not fit the model's window
+    even zero-shot).  Its prediction slot holds ``None``.
+    """
+
+    index: int
+    reason: str
+    detail: str = ""
+
+
+class Quarantined:
+    """In-flight marker for an instance the degradation ladder gave up on.
+
+    Flows out of ``_run_batch`` in a prediction slot; ``run`` converts it
+    to a ``None`` prediction plus a :class:`QuarantinedInstance` entry.
+    """
+
+    __slots__ = ("reason", "detail")
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Quarantined({self.reason!r})"
+
+
+def _unit_key(seq: int, target: str | None, indices: list[int]) -> str:
+    """Structural digest naming one planned batch unit in the journal.
+
+    Binds the batch's position in the plan and the instances it covers;
+    content identity is bound separately by the journal header's dataset
+    digest, so key equality plus fingerprint equality means "same batch
+    of the same data".
+    """
+    payload = {"seq": seq, "target": target, "indices": list(indices)}
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+@dataclass
+class _BatchUnit:
+    """One planned batch: everything needed to run it, plus its key."""
+
+    seq: int
+    key: str
+    builder: PromptBuilder
+    fewshot: list[Instance]
+    batch: list[Instance]
+    indices: list[int]
+    target: str | None
+
+
 @dataclass
 class PipelineResult:
     """Everything one run produced.
@@ -88,12 +156,16 @@ class PipelineResult:
     scheduling report.
     """
 
-    predictions: list[bool | str]
+    predictions: list[bool | str | None]
     usage: Usage
     n_requests: int
     n_format_retries: int
     n_fallbacks: int
     estimated_seconds: float
+    #: instances the degradation ladder quarantined (sorted by index);
+    #: their prediction slots hold ``None``.  Always empty when
+    #: ``config.degradation == "off"``.
+    quarantine: list[QuarantinedInstance] = field(default_factory=list)
     raw_replies: list[str] = field(default_factory=list)
     #: prompt/reply/expected-count triples, recorded when ``keep_raw`` is
     #: on; the raw material of golden snapshots and differential replay
@@ -114,6 +186,19 @@ class PipelineResult:
     def total_tokens(self) -> int:
         return self.usage.total_tokens
 
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantine)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of instances the run actually answered (1.0 = all)."""
+        if not self.predictions:
+            return 1.0
+        return (len(self.predictions) - len(self.quarantine)) / len(
+            self.predictions
+        )
+
 
 def _end_span(span: Span | None, time_s: float, **attrs: object) -> None:
     """Close an (optional) span at ``time_s``, attaching final attributes.
@@ -128,6 +213,12 @@ def _end_span(span: Span | None, time_s: float, **attrs: object) -> None:
         span.set_attribute(key, value)
     if not span.finished:
         span.end(max(time_s, span.start_s))
+
+
+#: placeholder for a prediction slot whose batch has not run yet —
+#: ``None`` is a real value now (a quarantined instance), so it cannot
+#: double as the "unfilled" marker.
+_PENDING = object()
 
 
 @dataclass
@@ -182,8 +273,20 @@ class Preprocessor:
         self,
         dataset: PreprocessingDataset,
         keep_raw: bool = False,
+        checkpoint: "RunCheckpoint | None" = None,
     ) -> PipelineResult:
-        """Run the pipeline over every instance of ``dataset``."""
+        """Run the pipeline over every instance of ``dataset``.
+
+        With ``checkpoint`` set, the run journals every completed batch to
+        ``checkpoint.path`` (fsync'd, crash-safe) and — when the journal
+        already holds records from an interrupted run of the *same*
+        configuration and data — resumes: journaled batches are replayed
+        from disk, the executor/client/accounting state is restored, and
+        only the remaining batches execute.  The resumed result (including
+        metrics, spans, and the execution report) is bit-identical to an
+        uninterrupted run.  A journal from a different run is refused with
+        a structured context diff.
+        """
         config = self._config
         instances: list[Instance] = list(dataset.instances)
         if not instances:
@@ -209,7 +312,8 @@ class Preprocessor:
             else default_temperature_for(config.model)
         )
 
-        predictions: list[bool | str | None] = [None] * len(instances)
+        predictions: list[bool | str | None] = [_PENDING] * len(instances)
+        quarantine: list[QuarantinedInstance] = []
         stats = _RunStats(keep_raw=keep_raw)
         obs = RunObservation() if config.observability else None
         run_span: Span | None = None
@@ -231,6 +335,114 @@ class Preprocessor:
         # set once, shared by batching and prompt assembly.
         prep = PrepArtifacts(metrics=obs.metrics if obs is not None else None)
 
+        # Plan every batch up front.  Batching is a pure function of the
+        # dataset and config (no completion call influences it), so the
+        # plan of a resumed run matches the interrupted run batch for
+        # batch — which is what makes journal records addressable.
+        units = self._plan_units(dataset, instances, fewshot, prep)
+
+        session = None
+        start_index = 0
+        if checkpoint is not None:
+            from repro.runtime.checkpoint import CheckpointSession
+
+            session = CheckpointSession.open(
+                checkpoint,
+                self._run_context(dataset, instances, fewshot, keep_raw),
+            )
+            start_index = self._replay_journal(
+                session, units, predictions, quarantine,
+                stats, executor, obs, run_span, prep,
+            )
+
+        try:
+            for unit in units[start_index:]:
+                watermark = (
+                    session.mark(stats, obs) if session is not None else None
+                )
+                batch_predictions = self._run_batch(
+                    unit.builder, unit.batch, unit.fewshot, temperature,
+                    dataset.task, stats, executor, ready_at=0.0,
+                    obs=obs, parent=run_span,
+                )
+                unit_quarantine: list[dict] = []
+                unit_predictions: list[bool | str | None] = []
+                for index, prediction in zip(unit.indices, batch_predictions):
+                    if isinstance(prediction, Quarantined):
+                        predictions[index] = None
+                        unit_predictions.append(None)
+                        entry = QuarantinedInstance(
+                            index=index,
+                            reason=prediction.reason,
+                            detail=prediction.detail,
+                        )
+                        quarantine.append(entry)
+                        unit_quarantine.append({
+                            "index": index,
+                            "reason": prediction.reason,
+                            "detail": prediction.detail,
+                        })
+                        if obs is not None:
+                            obs.metrics.counter("pipeline.quarantined").inc()
+                    else:
+                        predictions[index] = prediction
+                        unit_predictions.append(prediction)
+                if session is not None:
+                    session.append_batch(
+                        seq=unit.seq, key=unit.key,
+                        predictions=unit_predictions,
+                        quarantine=unit_quarantine,
+                        watermark=watermark, stats=stats,
+                        executor=executor, client=self._client, obs=obs,
+                    )
+        finally:
+            if session is not None:
+                session.close()
+
+        assert not any(p is _PENDING for p in predictions)
+        quarantine.sort(key=lambda entry: entry.index)
+        report = executor.report()
+        if isinstance(cache_hits_before, int) and isinstance(cache_misses_before, int):
+            report.n_cache_hits = self._client.hits - cache_hits_before
+            report.n_cache_misses = self._client.misses - cache_misses_before
+        if obs is not None:
+            if report.n_cache_hits or report.n_cache_misses:
+                obs.metrics.gauge("cache.hit_rate").set(report.cache_hit_rate)
+            run_span.end(report.makespan_s)
+            if callable(cache_binder):
+                cache_binder(None)  # this run's registry must stop counting
+        return PipelineResult(
+            predictions=predictions,  # type: ignore[arg-type]
+            usage=stats.usage,
+            n_requests=stats.n_requests,
+            n_format_retries=stats.n_retries,
+            n_fallbacks=stats.n_fallbacks,
+            estimated_seconds=report.makespan_s,
+            quarantine=quarantine,
+            raw_replies=stats.raw_replies,
+            exchanges=stats.exchanges,
+            execution=report,
+            observation=obs,
+            prep=prep.stats,
+        )
+
+    def _plan_units(
+        self,
+        dataset: PreprocessingDataset,
+        instances: list[Instance],
+        fewshot: list[Instance],
+        prep: PrepArtifacts,
+    ) -> list[_BatchUnit]:
+        """Materialize the full batch plan before any completion call.
+
+        Exactly the grouping/batching the historical per-group loop
+        performed, in the same order; hoisting it ahead of execution is
+        behavior-neutral because batching never looks at replies, and the
+        prep caches are keyed by content (hit/miss totals are insensitive
+        to when each group is first touched).
+        """
+        config = self._config
+        units: list[_BatchUnit] = []
         for group_indices in self._group_by_target(instances):
             group = [instances[i] for i in group_indices]
             target = target_attribute_of(group[0])
@@ -249,39 +461,150 @@ class Preprocessor:
                 artifacts=prep,
             )
             for batch_positions in batches:
-                batch = [group[p] for p in batch_positions]
-                batch_predictions = self._run_batch(
-                    builder, batch, group_fewshot, temperature,
-                    dataset.task, stats, executor, ready_at=0.0,
-                    obs=obs, parent=run_span,
-                )
-                for position, prediction in zip(batch_positions, batch_predictions):
-                    predictions[group_indices[position]] = prediction
+                indices = [group_indices[p] for p in batch_positions]
+                seq = len(units)
+                units.append(_BatchUnit(
+                    seq=seq,
+                    key=_unit_key(seq, target, indices),
+                    builder=builder,
+                    fewshot=group_fewshot,
+                    batch=[group[p] for p in batch_positions],
+                    indices=indices,
+                    target=target,
+                ))
+        return units
 
-        assert all(p is not None for p in predictions)
-        report = executor.report()
-        if isinstance(cache_hits_before, int) and isinstance(cache_misses_before, int):
-            report.n_cache_hits = self._client.hits - cache_hits_before
-            report.n_cache_misses = self._client.misses - cache_misses_before
-        if obs is not None:
-            if report.n_cache_hits or report.n_cache_misses:
-                obs.metrics.gauge("cache.hit_rate").set(report.cache_hit_rate)
-            run_span.end(report.makespan_s)
-            if callable(cache_binder):
-                cache_binder(None)  # this run's registry must stop counting
-        return PipelineResult(
-            predictions=predictions,  # type: ignore[arg-type]
-            usage=stats.usage,
-            n_requests=stats.n_requests,
-            n_format_retries=stats.n_retries,
-            n_fallbacks=stats.n_fallbacks,
-            estimated_seconds=report.makespan_s,
-            raw_replies=stats.raw_replies,
-            exchanges=stats.exchanges,
-            execution=report,
-            observation=obs,
-            prep=prep.stats,
+    def _run_context(
+        self,
+        dataset: PreprocessingDataset,
+        instances: list[Instance],
+        fewshot: list[Instance],
+        keep_raw: bool,
+    ) -> dict:
+        """The full identity of this run, as sealed into a journal header.
+
+        Covers the pipeline and executor configuration, the client class,
+        and a content digest over every serialized instance and few-shot
+        example — so a journal can only ever resume the byte-identical
+        run that wrote it.  Serialization goes through
+        :func:`serialize_instance` directly (not the prep cache) so
+        fingerprinting leaves the run's cache counters untouched.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for instance in instances:
+            digest.update(serialize_instance(instance).encode("utf-8"))
+            digest.update(b"\x00")
+        digest.update(b"\x01")
+        for example in fewshot:
+            digest.update(serialize_instance(example).encode("utf-8"))
+            digest.update(b"\x00")
+        return {
+            "pipeline_config": jsonable(self._config),
+            "executor_config": jsonable(self._executor_config),
+            "client": type(self._client).__name__,
+            "keep_raw": keep_raw,
+            "dataset": {
+                "name": dataset.name,
+                "task": dataset.task.name,
+                "n_instances": len(instances),
+                "n_fewshot": len(fewshot),
+                "digest": digest.hexdigest(),
+            },
+        }
+
+    def _replay_journal(
+        self,
+        session: object,
+        units: list[_BatchUnit],
+        predictions: list,
+        quarantine: list[QuarantinedInstance],
+        stats: "_RunStats",
+        executor: BatchExecutor,
+        obs: RunObservation | None,
+        run_span: Span | None,
+        prep: PrepArtifacts,
+    ) -> int:
+        """Apply journaled batches and restore run state; returns how many
+        planned units were skipped.
+
+        Per-record deltas (predictions, quarantine entries, raw exchanges,
+        spans) replay in order; the cumulative state blob of the *last*
+        record restores the executor (virtual clock, lanes, RNG, rate
+        window), the client, the stats counters, the tracer id stream, and
+        the metrics registry.  Prompt assembly re-runs for the skipped
+        batches with metrics detached, so the prep caches are as warm as
+        the interrupted run left them without counting anything twice.
+        """
+        from repro.runtime.checkpoint import restore_client_state
+        from repro.runtime.journal import JournalError
+
+        records = session.records
+        if not records:
+            return 0
+        if len(records) > len(units):
+            raise JournalError(
+                f"journal holds {len(records)} batch record(s) but this "
+                f"run plans only {len(units)} batch(es)",
+                path=session.path,
+            )
+        replayed_spans: list[Span] = []
+        for record, unit in zip(records, units):
+            if record.key != unit.key:
+                raise JournalError(
+                    f"journal batch seq={record.seq} key {record.key!r} "
+                    f"does not match the planned batch key {unit.key!r}",
+                    path=session.path,
+                )
+            for index, prediction in zip(unit.indices, record.predictions):
+                predictions[index] = prediction
+            for entry in record.quarantine:
+                quarantine.append(QuarantinedInstance(
+                    index=entry["index"],
+                    reason=entry["reason"],
+                    detail=entry.get("detail", ""),
+                ))
+            if stats.keep_raw:
+                for exchange in record.raw:
+                    stats.raw_replies.append(exchange["reply"])
+                    stats.exchanges.append(Exchange(
+                        messages=tuple(
+                            (role, content)
+                            for role, content in exchange["messages"]
+                        ),
+                        reply=exchange["reply"],
+                        n_expected=exchange["n_expected"],
+                    ))
+            if obs is not None:
+                replayed_spans.extend(
+                    Span.from_dict(payload) for payload in record.spans
+                )
+        state = records[-1].state
+        executor.restore_checkpoint_state(state["executor"])
+        restore_client_state(self._client, state.get("client"))
+        counters = state["stats"]
+        stats.usage = Usage(
+            prompt_tokens=counters["prompt_tokens"],
+            completion_tokens=counters["completion_tokens"],
         )
+        stats.n_requests = counters["n_requests"]
+        stats.n_retries = counters["n_retries"]
+        stats.n_fallbacks = counters["n_fallbacks"]
+        # Warm the prep caches exactly as the interrupted run did, without
+        # double-counting: the journaled metrics totals already include
+        # these builds, so they re-run detached and the registry is then
+        # restored wholesale.
+        prep.bind_metrics(None)
+        for unit in units[: len(records)]:
+            unit.builder.build(unit.batch, fewshot_examples=unit.fewshot)
+        if obs is not None:
+            obs_state = state.get("obs")
+            if obs_state is not None:
+                obs.tracer.restore(
+                    [run_span] + replayed_spans, obs_state["next_id"]
+                )
+                obs.metrics.restore(obs_state["metrics"])
+        prep.bind_metrics(obs.metrics if obs is not None else None)
+        return len(records)
 
     def _run_batch(
         self,
@@ -382,6 +705,13 @@ class Preprocessor:
                         builder, batch, [], temperature, task,
                         stats, executor, ready_at, obs, parent,
                     )
+                if config.degradation == "ladder":
+                    # Bottom of the ladder: nothing fits, nothing guessed.
+                    _end_span(batch_span, ready_at, outcome="quarantined")
+                    return [Quarantined(
+                        "context_window",
+                        detail="prompt does not fit even zero-shot",
+                    )] * len(batch)
                 stats.n_fallbacks += len(batch)
                 _end_span(batch_span, ready_at, outcome="fallback")
                 if obs is not None:
@@ -405,6 +735,12 @@ class Preprocessor:
                         builder, batch[half:], fewshot, temperature, task,
                         stats, executor, resume_at, obs, parent,
                     )
+                if config.degradation == "ladder":
+                    _end_span(batch_span, resume_at, outcome="quarantined")
+                    return [Quarantined(
+                        "retry_exhausted",
+                        detail="completion call exhausted its retry budget",
+                    )] * len(batch)
                 stats.n_fallbacks += len(batch)
                 _end_span(batch_span, resume_at, outcome="fallback")
                 if obs is not None:
@@ -441,9 +777,14 @@ class Preprocessor:
                 _end_span(parse_span, ready_at, outcome="ok")
                 _end_span(batch_span, ready_at, outcome="ok")
                 return answers
-        # Retries exhausted: salvage the parseable answers and fall back to
-        # the safe answer only where none parsed.
+        # Retries exhausted: salvage the parseable answers leniently.
         salvaged = parse_batch_answers_lenient(last_text, task, len(batch))
+        if config.degradation == "ladder":
+            return self._degrade_unparsed(
+                salvaged, builder, batch, fewshot, temperature, task,
+                stats, executor, ready_at, obs, parent, batch_span,
+            )
+        # Historical semantics: fill the safe answer where none parsed.
         results: list[bool | str] = []
         n_salvage_fallbacks = 0
         for answer in salvaged:
@@ -457,6 +798,67 @@ class Preprocessor:
                   n_fallbacks=n_salvage_fallbacks)
         if obs is not None and n_salvage_fallbacks:
             obs.metrics.counter("pipeline.fallbacks").inc(n_salvage_fallbacks)
+        return results
+
+    def _degrade_unparsed(
+        self,
+        salvaged: list,
+        builder: PromptBuilder,
+        batch: list[Instance],
+        fewshot: list[Instance],
+        temperature: float,
+        task: Task,
+        stats: "_RunStats",
+        executor: BatchExecutor,
+        ready_at: float,
+        obs: RunObservation | None,
+        parent: Span | None,
+        batch_span: Span | None,
+    ) -> list:
+        """The lower rungs of the degradation ladder.
+
+        Strict parsing and the format re-asks already failed and lenient
+        salvage answered what it could; what remains is bisected into
+        smaller prompts (each re-entering the full strict/re-ask/salvage
+        sequence), down to a per-instance prompt.  A single instance whose
+        reply still never parses is quarantined with a typed reason — the
+        run completes either way.
+        """
+        unanswered = [
+            position for position, answer in enumerate(salvaged)
+            if answer is None
+        ]
+        if not unanswered:
+            _end_span(batch_span, ready_at, outcome="salvaged", n_fallbacks=0)
+            return list(salvaged)
+        if len(batch) == 1:
+            _end_span(batch_span, ready_at, outcome="quarantined")
+            return [Quarantined(
+                "malformed_reply",
+                detail="reply never parsed, even per-instance",
+            )]
+        _end_span(batch_span, ready_at, outcome="bisect",
+                  n_unanswered=len(unanswered))
+        if obs is not None:
+            obs.metrics.counter("pipeline.batch_bisections").inc()
+        remainder = [batch[position] for position in unanswered]
+        if len(remainder) == 1:
+            followup = self._run_batch(
+                builder, remainder, fewshot, temperature, task,
+                stats, executor, ready_at, obs, parent,
+            )
+        else:
+            half = len(remainder) // 2
+            followup = self._run_batch(
+                builder, remainder[:half], fewshot, temperature, task,
+                stats, executor, ready_at, obs, parent,
+            ) + self._run_batch(
+                builder, remainder[half:], fewshot, temperature, task,
+                stats, executor, ready_at, obs, parent,
+            )
+        results = list(salvaged)
+        for position, answer in zip(unanswered, followup):
+            results[position] = answer
         return results
 
     @staticmethod

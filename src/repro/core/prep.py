@@ -99,6 +99,16 @@ class PrepArtifacts:
         if self._metrics is not None and amount:
             self._metrics.counter(name).inc(amount)
 
+    def bind_metrics(self, metrics: "MetricsRegistry | None") -> None:
+        """Attach (or detach) the registry cache traffic is counted into.
+
+        Crash-resume re-warms the caches by replaying prompt assembly for
+        journaled batches with metrics detached (their counts are restored
+        from the journal instead), then binds the live registry before the
+        first un-journaled batch runs.
+        """
+        self._metrics = metrics
+
     # -- serialization ----------------------------------------------------
 
     def text_of(self, instance: Instance) -> str:

@@ -125,6 +125,25 @@ class UnknownModelError(LLMError):
         )
 
 
+class InjectedCrashError(ReproError):
+    """A chaos-injected process kill (never raised outside failure drills).
+
+    Deliberately *not* an :class:`LLMError` subclass the executor retries:
+    a crash tears the whole process down, so the exception must propagate
+    through every layer untouched, leaving only the journal behind.
+    ``site`` names the injection point (``mid_batch``, ``pre_journal``,
+    ``mid_journal``).
+    """
+
+    def __init__(self, site: str, detail: str = ""):
+        self.site = site
+        self.detail = detail
+        message = f"injected crash at {site}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
 class ConfigError(ReproError):
     """A pipeline configuration is inconsistent."""
 

@@ -10,17 +10,23 @@ Usage::
     python -m repro.eval all [--scale 0.1]
     python -m repro.eval run --dataset beer [--model gpt-3.5]
                              [--manifest out.json] [--chrome out.trace.json]
+                             [--journal run.journal | --resume run.journal]
+                             [--degradation off|ladder]
     python -m repro.eval trace manifest.json [--chrome out.trace.json]
     python -m repro.eval golden [--update] [--cell NAME] [--store DIR]
     python -m repro.eval fuzz [--cases 200] [--seed 0]
+    python -m repro.eval chaos [--cell NAME] [--site SITE] [--workdir DIR]
 
 Every cell prints as ``measured (paper)`` so the reproduction gap is
 visible inline.  ``--scale 1.0`` runs the published dataset sizes.
 ``run`` performs one observed evaluation and writes its manifest;
-``trace`` renders a previously written manifest (and can convert its
-span trace to the Chrome ``chrome://tracing`` format).  ``golden``
-verifies (or, with ``--update``, re-records) the golden conformance
-snapshots; ``fuzz`` runs the deterministic reply fuzzer.  Both exit
+``--journal`` makes the run crash-safe (one fsync'd record per batch)
+and ``--resume`` continues an interrupted run from its journal,
+bit-identically.  ``trace`` renders a previously written manifest (and
+can convert its span trace to the Chrome ``chrome://tracing`` format).
+``golden`` verifies (or, with ``--update``, re-records) the golden
+conformance snapshots; ``fuzz`` runs the deterministic reply fuzzer;
+``chaos`` runs the crash→resume determinism matrix.  All three exit
 non-zero on drift/violations.
 """
 
@@ -109,11 +115,16 @@ def _cmd_cluster_batching(args: argparse.Namespace) -> None:
     print()
 
 
-def _cmd_run(args: argparse.Namespace) -> None:
+def _cmd_run(args: argparse.Namespace) -> int:
     """One observed evaluation run; optionally writes its manifest."""
+    from pathlib import Path
+
     from repro import PipelineConfig, SimulatedLLM, load_dataset
     from repro.eval.harness import evaluate_pipeline
-    from repro.eval.reporting import render_execution_report
+    from repro.eval.reporting import (
+        format_score_with_coverage,
+        render_execution_report,
+    )
     from repro.obs import (
         render_metrics_summary,
         render_trace_summary,
@@ -121,21 +132,47 @@ def _cmd_run(args: argparse.Namespace) -> None:
         trace_to_chrome,
     )
 
+    checkpoint = None
+    journal_path = args.resume or args.journal
+    if args.resume and not Path(args.resume).exists():
+        print(f"error: no journal to resume at {args.resume}", file=sys.stderr)
+        return 2
+    from repro.runtime import JournalError
+
+    if journal_path:
+        from repro.runtime import RunCheckpoint
+
+        checkpoint = RunCheckpoint(journal_path)
     dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
     config = PipelineConfig(
         model=args.model,
         seed=args.seed,
         concurrency=args.concurrency,
         observability=True,
+        degradation=args.degradation,
     )
-    run = evaluate_pipeline(
-        SimulatedLLM(args.model, seed=args.seed), config, dataset,
-        manifest_path=args.manifest,
-    )
+    try:
+        run = evaluate_pipeline(
+            SimulatedLLM(args.model, seed=args.seed), config, dataset,
+            manifest_path=args.manifest,
+            checkpoint=checkpoint,
+        )
+    except JournalError as error:  # mismatched or damaged journal
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    score_text = format_score_with_coverage(run.score, run.coverage)
     print(
-        f"{args.dataset} / {args.model}: {run.metric_name} {run.score_pct}, "
+        f"{args.dataset} / {args.model}: {run.metric_name} {score_text}, "
         f"{run.total_tokens} tokens, ${run.cost_usd:.2f}, {run.hours:.3f}h"
     )
+    if run.n_quarantined:
+        print(
+            f"quarantined: {run.n_quarantined}/{run.n_instances} "
+            f"instance(s) left unanswered (coverage "
+            f"{run.coverage * 100:.1f}%)"
+        )
+    if journal_path:
+        print(f"journal at {journal_path}")
     if run.execution is not None:
         print(render_execution_report(run.execution))
     print(render_trace_summary(spans_from_json(run.manifest.trace)))
@@ -147,6 +184,51 @@ def _cmd_run(args: argparse.Namespace) -> None:
         with open(args.chrome, "w", encoding="utf-8") as handle:
             json.dump(trace_to_chrome(spans), handle)
         print(f"chrome trace written to {args.chrome}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the crash→resume determinism matrix (the CI chaos job)."""
+    from repro.runtime import (
+        CRASH_SITES,
+        default_chaos_cells,
+        run_crash_matrix,
+    )
+
+    cells = default_chaos_cells()
+    if args.cell:
+        wanted = set(args.cell)
+        known = {cell.name for cell in cells}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"error: unknown chaos cell(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
+        cells = tuple(cell for cell in cells if cell.name in wanted)
+    sites = tuple(args.site) if args.site else CRASH_SITES
+    unknown_sites = set(sites) - set(CRASH_SITES)
+    if unknown_sites:
+        print(
+            f"error: unknown crash site(s) {sorted(unknown_sites)}; "
+            f"known: {list(CRASH_SITES)}",
+            file=sys.stderr,
+        )
+        return 2
+    trials = run_crash_matrix(
+        cells=cells, sites=sites, workdir=args.workdir,
+        artifact=args.artifact,
+    )
+    for trial in trials:
+        print(trial.render())
+    failed = [trial for trial in trials if not trial.ok]
+    print(
+        f"chaos: {len(trials) - len(failed)}/{len(trials)} trial(s) "
+        f"resumed bit-identically"
+    )
+    return 1 if failed else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -265,6 +347,18 @@ def main(argv: list[str] | None = None) -> int:
                          help="write the run manifest JSON here")
     run_cmd.add_argument("--chrome", default=None,
                          help="write a chrome://tracing JSON here")
+    run_cmd.add_argument("--journal", default=None, metavar="PATH",
+                         help="journal the run to PATH (crash-safe; one "
+                              "fsync'd record per completed batch)")
+    run_cmd.add_argument("--resume", default=None, metavar="PATH",
+                         help="resume an interrupted run from its journal "
+                              "(must exist; refuses a journal from a "
+                              "different configuration)")
+    run_cmd.add_argument("--degradation", default="off",
+                         choices=("off", "ladder"),
+                         help="failure handling: 'off' fills safe fallback "
+                              "answers (historical), 'ladder' bisects and "
+                              "quarantines instead of guessing")
     run_cmd.set_defaults(handler=_cmd_run)
     trace_cmd = sub.add_parser(
         "trace", help="render a run manifest written by `run`"
@@ -295,6 +389,25 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_cmd.add_argument("--cases", type=int, default=200)
     fuzz_cmd.add_argument("--seed", type=int, default=0)
     fuzz_cmd.set_defaults(handler=_cmd_fuzz)
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="crash the pipeline at every injection site and verify "
+             "resume is bit-identical",
+    )
+    chaos_cmd.add_argument("--cell", action="append", default=None,
+                           metavar="NAME",
+                           help="limit to one matrix cell (repeatable)")
+    chaos_cmd.add_argument("--site", action="append", default=None,
+                           metavar="SITE",
+                           help="limit to one crash site (repeatable): "
+                                "mid_batch, pre_journal, mid_journal")
+    chaos_cmd.add_argument("--workdir", default=".chaos",
+                           help="where journals are written (default .chaos)")
+    chaos_cmd.add_argument("--artifact", default=None,
+                           help="where to write the drift report "
+                                "(default: $REPRO_CHAOS_DIFF_PATH or "
+                                "CHAOS_DIFF.txt)")
+    chaos_cmd.set_defaults(handler=_cmd_chaos)
     args = parser.parse_args(argv)
     return args.handler(args) or 0
 

@@ -16,7 +16,7 @@ from repro.core.executor import ExecutionReport
 from repro.core.pipeline import PipelineResult, Preprocessor
 from repro.data.instances import PreprocessingDataset, ground_truth_labels
 from repro.errors import ContextWindowExceededError, EvaluationError
-from repro.eval.metrics import score_predictions
+from repro.eval.metrics import score_answered
 from repro.llm.base import LLMClient
 from repro.llm.profiles import get_profile
 from repro.obs import RunManifest, build_manifest
@@ -45,6 +45,10 @@ class EvaluationRun:
     hours: float
     n_requests: int
     fallback_rate: float
+    #: fraction of instances the run answered; < 1.0 only when the
+    #: degradation ladder quarantined instances instead of guessing
+    coverage: float = 1.0
+    n_quarantined: int = 0
     hours_sequential: float = 0.0
     execution: ExecutionReport | None = None
     #: the run's provenance record, present when the config enabled
@@ -81,6 +85,7 @@ def evaluate_pipeline(
     dataset: PreprocessingDataset,
     manifest_path: str | Path | None = None,
     keep_raw: bool = False,
+    checkpoint=None,
 ) -> EvaluationRun:
     """Run ``config`` against ``dataset`` through ``client`` and score it.
 
@@ -90,6 +95,13 @@ def evaluate_pipeline(
     ``manifest_path`` to also write it to disk as one JSON artifact.
     ``keep_raw`` retains the raw replies and recorded prompt/reply
     exchanges on ``run.result`` (used by the golden conformance layer).
+    ``checkpoint`` (a :class:`~repro.runtime.checkpoint.RunCheckpoint`)
+    journals the run batch by batch and resumes an interrupted run from
+    its journal, bit-identically.
+
+    Quarantined instances (``config.degradation == "ladder"``) are
+    excluded from the metric rather than guessed at; ``run.coverage``
+    reports the answered fraction next to the score.
     """
     if manifest_path is not None and not config.observability:
         raise EvaluationError(
@@ -99,17 +111,22 @@ def evaluate_pipeline(
     profile = get_profile(config.model)
     preprocessor = Preprocessor(client, config)
     try:
-        result: PipelineResult = preprocessor.run(dataset, keep_raw=keep_raw)
+        result: PipelineResult = preprocessor.run(
+            dataset, keep_raw=keep_raw, checkpoint=checkpoint
+        )
     except ContextWindowExceededError:
         # The prompt cannot even be posed to this model: N/A.
         return _not_applicable(dataset, config, profile.name)
     labels = ground_truth_labels(dataset.instances)
     fallback_rate = result.n_fallbacks / max(len(dataset.instances), 1)
+    answered_score, n_answered = score_answered(
+        dataset.task, result.predictions, labels
+    )
     score: float | None
-    if fallback_rate > NOT_APPLICABLE_FALLBACK_RATE:
+    if fallback_rate > NOT_APPLICABLE_FALLBACK_RATE or n_answered == 0:
         score = None
     else:
-        score = score_predictions(dataset.task, result.predictions, labels)
+        score = answered_score
     run = EvaluationRun(
         dataset=dataset.name,
         model=profile.name,
@@ -123,6 +140,8 @@ def evaluate_pipeline(
         hours=result.estimated_hours,
         n_requests=result.n_requests,
         fallback_rate=fallback_rate,
+        coverage=result.coverage,
+        n_quarantined=result.n_quarantined,
         hours_sequential=(
             result.execution.sequential_s / 3600.0
             if result.execution is not None
@@ -161,6 +180,8 @@ def _manifest_for(
         "speedup": run.speedup,
         "n_requests": run.n_requests,
         "fallback_rate": run.fallback_rate,
+        "coverage": run.coverage,
+        "n_quarantined": run.n_quarantined,
     }
     return build_manifest(
         config=config,

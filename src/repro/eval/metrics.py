@@ -108,3 +108,33 @@ def score_predictions(
     if task is Task.DATA_IMPUTATION:
         return accuracy([str(p) for p in predictions], [str(t) for t in labels])
     return f1_score([bool(p) for p in predictions], [bool(t) for t in labels])
+
+
+def score_answered(
+    task: Task,
+    predictions: Sequence[bool | str | None],
+    labels: Sequence[bool | str],
+) -> tuple[float | None, int]:
+    """Score only the instances the run actually answered.
+
+    Quarantined instances carry ``None`` predictions (the degradation
+    ladder gave up on them rather than guessing); they are excluded from
+    the metric instead of silently counted as wrong answers.  Returns
+    ``(score, n_answered)``; the score is ``None`` when nothing was
+    answered at all.  With full coverage this is exactly
+    :func:`score_predictions`.
+    """
+    if len(predictions) != len(labels):
+        raise EvaluationError(
+            f"{len(predictions)} predictions for {len(labels)} labels"
+        )
+    answered = [
+        (predicted, truth)
+        for predicted, truth in zip(predictions, labels)
+        if predicted is not None
+    ]
+    if not answered:
+        return None, 0
+    kept_predictions = [pair[0] for pair in answered]
+    kept_labels = [pair[1] for pair in answered]
+    return score_predictions(task, kept_predictions, kept_labels), len(answered)

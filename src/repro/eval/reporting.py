@@ -47,6 +47,20 @@ def format_score(score: float | None) -> str:
     return f"{score * 100:.1f}"
 
 
+def format_score_with_coverage(score: float | None, coverage: float) -> str:
+    """A score cell that is honest about partial coverage.
+
+    Full-coverage runs print exactly as :func:`format_score`; a run in
+    which the degradation ladder quarantined instances prints the
+    answered fraction alongside, e.g. ``87.5 @ 95.0% coverage`` — the
+    score is over the answered instances only, never over guesses.
+    """
+    text = format_score(score)
+    if coverage >= 1.0:
+        return text
+    return f"{text} @ {coverage * 100:.1f}% coverage"
+
+
 def side_by_side(measured: str, paper: float | str | None) -> str:
     """A ``measured (paper X)`` cell for reproduction comparisons."""
     if paper is None:

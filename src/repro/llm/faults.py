@@ -2,9 +2,23 @@
 
 Production preprocessing survives flaky upstreams; this module makes flaky
 upstreams *reproducible*.  :class:`FaultInjectingClient` wraps any
-:class:`~repro.llm.base.LLMClient` and applies a scripted fault plan keyed
-by call index (1-based), so tests and failure drills replay bit-identical
-fault sequences regardless of scheduling.
+:class:`~repro.llm.base.LLMClient` and applies a scripted fault plan, so
+tests and failure drills replay bit-identical fault sequences regardless
+of scheduling.
+
+Plans come in two flavours:
+
+- **positional** — keyed by 1-based call index (the original scheme,
+  right for drills that target "the third call whatever it is");
+- **fingerprint-keyed** — keyed by :func:`request_fingerprint`, a content
+  digest of the request.  The degradation ladder bisects and re-orders
+  batches, so a positional schedule drifts the moment a batch splits; a
+  fingerprint schedule pins the fault to *the request itself* and fires
+  deterministically at any concurrency and any retry order.  Each
+  fingerprint maps to a per-occurrence sequence: occurrence *k* of the
+  request draws entry *k* (``None`` = serve normally, exhausted = serve
+  normally), so "fail the first two attempts of this exact prompt" is one
+  line.
 
 Fault kinds:
 
@@ -13,21 +27,50 @@ Fault kinds:
 - ``latency`` — serve the real response but with its modeled latency
   overridden (a spike that trips the executor's timeout);
 - ``rate_limit`` — raise :class:`~repro.errors.RateLimitError` (an
-  upstream 429) with a scripted retry-after.
+  upstream 429) with a scripted retry-after;
+- ``crash`` — raise :class:`~repro.errors.InjectedCrashError`, the chaos
+  harness's simulated process kill; it is *not* retryable and tears
+  through the executor untouched (see :mod:`repro.runtime.chaos`).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
-from repro.errors import LLMError, RateLimitError, TransientLLMError
+from repro.errors import (
+    InjectedCrashError,
+    LLMError,
+    RateLimitError,
+    TransientLLMError,
+)
 from repro.llm.base import CompletionRequest, CompletionResponse, LLMClient
 
-_KINDS = ("transient", "latency", "rate_limit")
+_KINDS = ("transient", "latency", "rate_limit", "crash")
 
-#: a plan maps a 1-based call index to the fault to inject (or None)
+#: a positional plan maps a 1-based call index to the fault to inject
 FaultPlan = Callable[[int], "Fault | None"]
+
+
+def request_fingerprint(request: CompletionRequest) -> str:
+    """A stable content digest of one completion request.
+
+    Covers everything that makes the request *this* request — model,
+    temperature, token cap, and the full transcript — so retries of an
+    unchanged prompt share a fingerprint while a re-built (bisected,
+    zero-shot-degraded) prompt gets a new one.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(request.model.encode("utf-8"))
+    hasher.update(f"{request.temperature:.6f}".encode("utf-8"))
+    hasher.update(str(request.max_tokens).encode("utf-8"))
+    for role, content in request.transcript:
+        hasher.update(role.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(content.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -46,37 +89,110 @@ class Fault:
             )
 
 
+#: a fingerprint schedule: per-occurrence faults for one exact request
+FaultSchedule = Sequence["Fault | None"]
+
+
 class FaultInjectingClient:
     """Applies a scripted fault plan in front of another client.
 
-    ``plan`` is either a mapping of 1-based call indices to
-    :class:`Fault` or a callable returning the fault for an index.
+    ``plan`` is one of:
+
+    - a callable returning the fault for a 1-based call index,
+    - a mapping of 1-based call indices to :class:`Fault` (positional),
+    - a mapping of request fingerprints (:func:`request_fingerprint`) to a
+      :class:`Fault` or a per-occurrence sequence of ``Fault | None``.
+
+    Positional and fingerprint keys cannot be mixed in one mapping — the
+    two schemes answer different questions and silent precedence would
+    make drills unreproducible.
     """
 
     def __init__(
         self,
         inner: LLMClient,
-        plan: Mapping[int, Fault] | FaultPlan,
+        plan: Mapping[int, Fault] | Mapping[str, Fault | FaultSchedule] | FaultPlan,
     ):
         self._inner = inner
-        self._plan: FaultPlan = (
-            plan if callable(plan) else lambda index: plan.get(index)
-        )
+        self._by_fingerprint: dict[str, tuple[Fault | None, ...]] = {}
+        self._occurrences: dict[str, int] = {}
+        if callable(plan):
+            self._plan: FaultPlan | None = plan
+        elif isinstance(plan, Mapping):
+            key_types = {type(key) for key in plan}
+            if key_types <= {int}:
+                indexed = dict(plan)
+                self._plan = lambda index: indexed.get(index)
+            elif key_types <= {str}:
+                self._plan = None
+                for fingerprint, scheduled in plan.items():
+                    if isinstance(scheduled, Fault):
+                        scheduled = (scheduled,)
+                    self._by_fingerprint[fingerprint] = tuple(scheduled)
+            else:
+                raise LLMError(
+                    "a fault plan mapping must be keyed entirely by call "
+                    "index (int) or entirely by request fingerprint (str)"
+                )
+        else:
+            raise LLMError(f"cannot interpret fault plan {plan!r}")
         self.n_calls = 0
         self.n_injected = 0
 
+    def _scheduled_fault(self, request: CompletionRequest) -> "Fault | None":
+        if self._plan is not None:
+            return self._plan(self.n_calls)
+        fingerprint = request_fingerprint(request)
+        schedule = self._by_fingerprint.get(fingerprint)
+        if schedule is None:
+            return None
+        occurrence = self._occurrences.get(fingerprint, 0)
+        self._occurrences[fingerprint] = occurrence + 1
+        if occurrence >= len(schedule):
+            return None
+        return schedule[occurrence]
+
     def complete(self, request: CompletionRequest) -> CompletionResponse:
         self.n_calls += 1
-        fault = self._plan(self.n_calls)
+        fault = self._scheduled_fault(request)
         if fault is None:
             return self._inner.complete(request)
         self.n_injected += 1
+        if fault.kind == "crash":
+            raise InjectedCrashError("mid_batch", fault.message)
         if fault.kind == "transient":
             raise TransientLLMError(fault.message, latency_s=fault.latency_s)
         if fault.kind == "rate_limit":
             raise RateLimitError(fault.retry_after)
         response = self._inner.complete(request)
         return replace(response, latency_s=fault.latency_s)
+
+    def checkpoint_state(self) -> dict:
+        """Mutable injection state (plus the wrapped client's), journaled
+        so a resumed drill continues its fault script mid-sentence."""
+        inner_state = None
+        capture = getattr(self._inner, "checkpoint_state", None)
+        if callable(capture):
+            inner_state = capture()
+        return {
+            "n_calls": self.n_calls,
+            "n_injected": self.n_injected,
+            "occurrences": dict(self._occurrences),
+            "inner": inner_state,
+        }
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`checkpoint_state`."""
+        self.n_calls = int(state["n_calls"])
+        self.n_injected = int(state["n_injected"])
+        self._occurrences = {
+            str(key): int(value)
+            for key, value in state.get("occurrences", {}).items()
+        }
+        if state.get("inner") is not None:
+            restore = getattr(self._inner, "restore_checkpoint_state", None)
+            if callable(restore):
+                restore(state["inner"])
 
 
 def fail_first(n: int, fault: Fault) -> FaultPlan:

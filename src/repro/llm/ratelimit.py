@@ -113,6 +113,26 @@ class LaneClock:
         span = self.makespan
         return self._busy[lane] / span if span > 0 else 0.0
 
+    def checkpoint_state(self) -> dict:
+        """The clock's full mutable state as plain JSON-ready data."""
+        return {"avail": list(self._avail), "busy": list(self._busy)}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`checkpoint_state`.
+
+        The lane count must match — a resumed run re-creates its clock
+        from the same configuration, so a mismatch means the checkpoint
+        belongs to a different run.
+        """
+        avail = [float(v) for v in state["avail"]]
+        busy = [float(v) for v in state["busy"]]
+        if len(avail) != self.n_lanes or len(busy) != self.n_lanes:
+            raise ValueError(
+                f"checkpoint has {len(avail)} lane(s), clock has {self.n_lanes}"
+            )
+        self._avail = avail
+        self._busy = busy
+
 
 @dataclass
 class RateLimit:
@@ -184,6 +204,14 @@ class RateLimiter:
             raise RateLimitError(retry_after)
         self._events.append((now, tokens))
         self._events.sort(key=lambda event: event[0])
+
+    def checkpoint_state(self) -> dict:
+        """The limiter's sliding window as plain JSON-ready data."""
+        return {"events": [[t, n] for t, n in self._events]}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Restore a window captured by :meth:`checkpoint_state`."""
+        self._events = [(float(t), int(n)) for t, n in state["events"]]
 
 
 class RetryingClient:

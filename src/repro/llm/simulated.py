@@ -72,6 +72,19 @@ class SimulatedLLM:
     def knowledge(self) -> KnowledgeBase:
         return self._knowledge
 
+    def checkpoint_state(self) -> dict:
+        """The client's mutable state, for crash-safe run journaling.
+
+        Replies depend on ``_call_counter`` (retries resample), so a
+        resumed run must restart counting exactly where the interrupted
+        one stopped to reproduce its remaining replies bit-identically.
+        """
+        return {"call_counter": self._call_counter}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`checkpoint_state`."""
+        self._call_counter = int(state["call_counter"])
+
     def complete(self, request: CompletionRequest) -> CompletionResponse:
         """Serve one chat completion (see module docstring for the stages)."""
         if request.model != self._profile.name:

@@ -137,6 +137,32 @@ class MetricsRegistry:
                     f"metric {name!r} is already a {other_kind}, not a {kind}"
                 )
 
+    def restore(self, snapshot: dict) -> None:
+        """Replace every metric with the contents of a :meth:`snapshot`.
+
+        The snapshot format is full-fidelity (histograms carry bounds,
+        per-bucket counts, sum, and count), so ``restore(snapshot())``
+        round-trips exactly; crash-resume uses this to rebuild the metrics
+        registry a run had accumulated before it was interrupted.  The
+        registry is mutated in place, keeping bound references (the rate
+        limiter, cache, prep artifacts) valid.
+        """
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters[name] = Counter(name, value=float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self._gauges[name] = Gauge(name, value=float(value))
+        for name, data in snapshot.get("histograms", {}).items():
+            self._histograms[name] = Histogram(
+                name,
+                bounds=tuple(data["bounds"]),
+                counts=[int(c) for c in data["counts"]],
+                total=float(data["sum"]),
+                n_observations=int(data["count"]),
+            )
+
     def snapshot(self) -> dict:
         """All metrics as a JSON-ready dict, keys sorted for determinism."""
         return {

@@ -97,6 +97,26 @@ class Span:
             "events": [event.to_dict() for event in self.events],
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output (journal replay)."""
+        return cls(
+            span_id=payload["span_id"],
+            name=payload["name"],
+            start_s=payload["start_s"],
+            parent_id=payload.get("parent_id"),
+            end_s=payload.get("end_s"),
+            attributes=dict(payload.get("attributes", {})),
+            events=[
+                SpanEvent(
+                    name=event["name"],
+                    time_s=event["time_s"],
+                    attributes=dict(event.get("attributes", {})),
+                )
+                for event in payload.get("events", [])
+            ],
+        )
+
 
 class Tracer:
     """Collects the spans of one run, in deterministic start order.
@@ -146,3 +166,17 @@ class Tracer:
 
     def children_of(self, parent: Span) -> list[Span]:
         return [span for span in self._spans if span.parent_id == parent.span_id]
+
+    def restore(self, spans: list[Span], next_id: int) -> None:
+        """Replace the span list and id counter with checkpointed state.
+
+        Used by crash-resume: spans journaled by the interrupted run are
+        re-attached so the resumed trace is indistinguishable from an
+        uninterrupted one.  ``next_id`` must leave no id collision ahead.
+        """
+        if any(span.span_id >= next_id for span in spans):
+            raise TracingError(
+                f"cannot restore: a span id >= next_id {next_id} would collide"
+            )
+        self._spans = list(spans)
+        self._next_id = next_id

@@ -1,0 +1,381 @@
+"""The write-ahead run journal: one fsync'd record per completed batch.
+
+Format — a plain-text file of newline-terminated JSON lines:
+
+- line 1 is the **sealed header**: journal version plus the run
+  *fingerprint* (a digest over the full run context — pipeline and
+  executor configuration, model profile, dataset identity and content
+  digest, client class) and the context itself, so a journal can never be
+  replayed into a run it does not describe;
+- every following line is one **batch record**: the batch key, the
+  predictions and quarantine entries it produced, its cost/clock deltas,
+  the raw exchanges (when kept), the spans it traced, and a cumulative
+  *state blob* (executor, client, stats, observability) that lets resume
+  restore the run mid-flight.
+
+Every line carries a ``check`` field — a digest of the rest of the line —
+and records carry a strictly increasing ``seq``.  Appends are atomic at
+the line level and fsync'd, so after a crash the file is a valid prefix
+plus at most one torn tail line.
+
+Corruption handling is *typed and recoverable*: a truncated tail, a
+flipped byte, a duplicated record, or an out-of-order record each raise
+:class:`JournalError` naming the line and reason, while the error object
+carries every valid record before the damage — resume uses that prefix
+and truncates the tail, so completed work survives even a corrupted
+journal.  A header whose fingerprint does not match the run being resumed
+raises :class:`ResumeMismatchError` with a structured path-level diff of
+the two contexts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs.manifest import canonical_json
+
+JOURNAL_VERSION = 1
+
+_CHECK_FIELD = "check"
+
+
+class JournalError(ReproError):
+    """A journal is damaged; everything before the damage is recoverable.
+
+    ``header`` and ``records`` hold the valid prefix (``header`` is
+    ``None`` when the header line itself is unreadable), ``line_no`` is
+    the 1-based line of the first damage, and ``recovered_bytes`` is the
+    byte length of the valid prefix — truncating the file to it yields a
+    clean journal again.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | Path | None = None,
+        line_no: int | None = None,
+        header: "JournalHeader | None" = None,
+        records: "list[BatchRecord] | None" = None,
+        recovered_bytes: int = 0,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.line_no = line_no
+        self.header = header
+        self.records = list(records or [])
+        self.recovered_bytes = recovered_bytes
+        location = ""
+        if path is not None:
+            location = f" in {path}"
+            if line_no is not None:
+                location += f" at line {line_no}"
+        recoverable = (
+            f" ({len(self.records)} valid record(s) recoverable)"
+            if records is not None
+            else ""
+        )
+        super().__init__(f"{message}{location}{recoverable}")
+
+
+class ResumeMismatchError(JournalError):
+    """A journal belongs to a different run than the one resuming from it.
+
+    ``diff`` lists the divergent context paths, one ``path: journal !=
+    current`` line each, so the operator sees exactly which knob changed.
+    """
+
+    def __init__(self, path: str | Path, diff: list[str]):
+        self.diff = list(diff)
+        shown = "\n  ".join(self.diff[:12])
+        more = "" if len(self.diff) <= 12 else f"\n  … {len(self.diff) - 12} more"
+        super().__init__(
+            f"cannot resume: journal fingerprint does not match this run; "
+            f"divergent context:\n  {shown}{more}",
+            path=path,
+        )
+
+
+def _line_check(payload: dict) -> str:
+    """Digest of one journal line's payload (sans the check field)."""
+    body = {key: value for key, value in payload.items() if key != _CHECK_FIELD}
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()[:16]
+
+
+def _dump_line(payload: dict) -> bytes:
+    """One sealed, newline-terminated journal line."""
+    sealed = dict(payload)
+    sealed[_CHECK_FIELD] = _line_check(payload)
+    return (
+        json.dumps(sealed, sort_keys=True, separators=(",", ":"),
+                   ensure_ascii=True) + "\n"
+    ).encode("utf-8")
+
+
+def run_fingerprint(context: dict) -> str:
+    """The run fingerprint a journal header is sealed to.
+
+    A digest over the canonical JSON of the full run context; any change —
+    one config field, one instance of the dataset, a different client
+    class — yields a different fingerprint and resume refuses.
+    """
+    return hashlib.sha256(canonical_json(context).encode("utf-8")).hexdigest()[:32]
+
+
+def context_diff(expected: object, actual: object, path: str = "$") -> list[str]:
+    """Path-level differences between two JSON-able context payloads."""
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        diffs: list[str] = []
+        for key in sorted(expected.keys() | actual.keys()):
+            sub = f"{path}.{key}"
+            if key not in actual:
+                diffs.append(f"{sub}: {expected[key]!r} != <absent>")
+            elif key not in expected:
+                diffs.append(f"{sub}: <absent> != {actual[key]!r}")
+            else:
+                diffs.extend(context_diff(expected[key], actual[key], sub))
+        return diffs
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            return [f"{path}: {len(expected)} item(s) != {len(actual)} item(s)"]
+        diffs = []
+        for index, (a, b) in enumerate(zip(expected, actual)):
+            diffs.extend(context_diff(a, b, f"{path}[{index}]"))
+        return diffs
+    if expected != actual:
+        return [f"{path}: {expected!r} != {actual!r}"]
+    return []
+
+
+@dataclass(frozen=True)
+class JournalHeader:
+    """The sealed first line binding a journal to one exact run."""
+
+    fingerprint: str
+    context: dict
+    journal_version: int = JOURNAL_VERSION
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "header",
+            "journal_version": self.journal_version,
+            "fingerprint": self.fingerprint,
+            "context": self.context,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JournalHeader":
+        return cls(
+            fingerprint=payload["fingerprint"],
+            context=payload.get("context", {}),
+            journal_version=payload["journal_version"],
+        )
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One completed batch, as journaled.
+
+    ``predictions`` aligns with the batch unit's instance indices;
+    ``quarantine`` holds this batch's quarantined instances (global index,
+    typed reason, detail); ``cost`` and ``clock`` are the human-auditable
+    deltas; ``spans`` are the trace spans this batch created; ``raw``
+    carries the kept exchanges (``keep_raw`` runs only); ``state`` is the
+    cumulative run state after this batch — the part resume restores.
+    """
+
+    seq: int
+    key: str
+    predictions: list
+    quarantine: list = field(default_factory=list)
+    outcome: dict = field(default_factory=dict)
+    cost: dict = field(default_factory=dict)
+    clock: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    raw: list = field(default_factory=list)
+    state: dict = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "batch",
+            "seq": self.seq,
+            "key": self.key,
+            "predictions": self.predictions,
+            "quarantine": self.quarantine,
+            "outcome": self.outcome,
+            "cost": self.cost,
+            "clock": self.clock,
+            "spans": self.spans,
+            "raw": self.raw,
+            "state": self.state,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BatchRecord":
+        return cls(
+            seq=payload["seq"],
+            key=payload["key"],
+            predictions=payload["predictions"],
+            quarantine=payload.get("quarantine", []),
+            outcome=payload.get("outcome", {}),
+            cost=payload.get("cost", {}),
+            clock=payload.get("clock", {}),
+            spans=payload.get("spans", []),
+            raw=payload.get("raw", []),
+            state=payload.get("state", {}),
+        )
+
+
+class RunJournal:
+    """Appends and reads one run's write-ahead journal file."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = None
+
+    # -- writing ----------------------------------------------------------
+
+    def create(self, header: JournalHeader) -> None:
+        """Start a fresh journal with a sealed header (truncates)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "wb")
+        self._write(_dump_line(header.to_payload()))
+
+    def reopen(self, valid_bytes: int) -> None:
+        """Reopen an existing journal for appending, truncating any torn
+        tail past ``valid_bytes`` first."""
+        self._handle = open(self.path, "r+b")
+        self._handle.truncate(valid_bytes)
+        self._handle.seek(valid_bytes)
+
+    def append(self, record: BatchRecord, crash: str | None = None) -> None:
+        """Durably append one batch record.
+
+        ``crash`` is the chaos hook: ``"pre_journal"`` simulates a kill
+        after the batch completed but before anything was written;
+        ``"mid_journal"`` writes a torn half-line (fsync'd, so the damage
+        is really on disk) before dying.
+        """
+        if self._handle is None:
+            raise JournalError("journal is not open for writing", path=self.path)
+        from repro.errors import InjectedCrashError
+
+        if crash == "pre_journal":
+            raise InjectedCrashError("pre_journal", f"batch seq={record.seq}")
+        line = _dump_line(record.to_payload())
+        if crash == "mid_journal":
+            self._write(line[: max(1, len(line) // 2)])
+            raise InjectedCrashError("mid_journal", f"batch seq={record.seq}")
+        self._write(line)
+
+    def _write(self, data: bytes) -> None:
+        self._handle.write(data)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reading ----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> tuple[JournalHeader, "list[BatchRecord]"]:
+        """Read a journal strictly; raise :class:`JournalError` on damage.
+
+        The raised error carries the valid prefix (header + records before
+        the damage) and the byte length of that prefix, so callers can
+        recover completed work from a journal the crash tore.
+        """
+        source = Path(path)
+        try:
+            blob = source.read_bytes()
+        except FileNotFoundError as exc:
+            raise JournalError("journal not found", path=source) from exc
+        if not blob:
+            raise JournalError("journal is empty", path=source)
+
+        header: JournalHeader | None = None
+        records: list[BatchRecord] = []
+        offset = 0
+        line_no = 0
+        seen_keys: set[str] = set()
+
+        def damaged(message: str) -> JournalError:
+            return JournalError(
+                message,
+                path=source,
+                line_no=line_no,
+                header=header,
+                records=records,
+                recovered_bytes=offset,
+            )
+
+        while offset < len(blob):
+            newline = blob.find(b"\n", offset)
+            line_no += 1
+            if newline < 0:
+                raise damaged("truncated tail line (no trailing newline)")
+            raw_line = blob[offset:newline]
+            try:
+                payload = json.loads(raw_line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise damaged("record is not valid JSON") from None
+            if not isinstance(payload, dict):
+                raise damaged("record is not a JSON object")
+            if payload.get(_CHECK_FIELD) != _line_check(payload):
+                raise damaged("record checksum mismatch (corrupted bytes)")
+            kind = payload.get("kind")
+            if header is None:
+                if kind != "header":
+                    raise damaged("first line is not a journal header")
+                if payload.get("journal_version") != JOURNAL_VERSION:
+                    raise damaged(
+                        f"unsupported journal version "
+                        f"{payload.get('journal_version')!r} "
+                        f"(this build reads {JOURNAL_VERSION})"
+                    )
+                header = JournalHeader.from_payload(payload)
+            else:
+                if kind != "batch":
+                    raise damaged(f"unexpected record kind {kind!r}")
+                record = BatchRecord.from_payload(payload)
+                if record.key in seen_keys:
+                    raise damaged(
+                        f"duplicated batch record (key {record.key!r})"
+                    )
+                if record.seq != len(records):
+                    raise damaged(
+                        f"out-of-order batch record "
+                        f"(seq {record.seq}, expected {len(records)})"
+                    )
+                seen_keys.add(record.key)
+                records.append(record)
+            offset = newline + 1
+
+        assert header is not None  # the empty case returned above
+        return header, records
+
+    @classmethod
+    def recover(
+        cls, path: str | Path
+    ) -> tuple[JournalHeader, "list[BatchRecord]", JournalError | None]:
+        """Read a journal, salvaging the valid prefix of a damaged one.
+
+        Returns ``(header, records, error)`` where ``error`` is the
+        :class:`JournalError` that strict loading raised (``None`` for a
+        clean journal).  A journal whose *header* is unreadable cannot be
+        recovered at all and re-raises.
+        """
+        try:
+            header, records = cls.load(path)
+            return header, records, None
+        except JournalError as error:
+            if error.header is None:
+                raise
+            return error.header, error.records, error

@@ -132,6 +132,14 @@ def capture_snapshot(cell: GoldenCell) -> dict:
         "manifest": manifest,
         "exchanges": exchanges,
         "predictions": run.result.predictions,
+        # Quarantined instances (index/reason/detail).  Empty for every
+        # recorded cell today (they run with degradation off); the field
+        # exists so a ladder regression that starts quarantining — or
+        # stops — shows up as golden drift, not silently.
+        "quarantine": [
+            {"index": q.index, "reason": q.reason, "detail": q.detail}
+            for q in run.result.quarantine
+        ],
     }
     # One normalization pass so in-memory payloads compare == against
     # payloads read back from disk (tuples->lists, enums->names, ...).

@@ -1,0 +1,221 @@
+"""The write-ahead journal: durability format, corruption taxonomy.
+
+Every way a crash (or a disk) can damage a journal — a torn tail line, a
+flipped byte, a duplicated record, a wrong-run header — must surface as a
+*typed* :class:`~repro.runtime.journal.JournalError` that still carries
+every valid record before the damage, because resume rebuilds from that
+prefix.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime.journal import (
+    JOURNAL_VERSION,
+    BatchRecord,
+    JournalError,
+    JournalHeader,
+    RunJournal,
+    context_diff,
+    run_fingerprint,
+)
+
+
+def _context(**overrides):
+    base = {
+        "pipeline_config": {"model": "gpt-3.5", "seed": 0},
+        "dataset": {"name": "adult", "digest": "abc123"},
+    }
+    base.update(overrides)
+    return base
+
+
+def _record(seq):
+    return BatchRecord(
+        seq=seq,
+        key=f"key-{seq}",
+        predictions=[True, False],
+        quarantine=[],
+        outcome={"n_fallbacks": 0},
+        cost={"prompt_tokens": 100 + seq},
+        clock={"makespan_s": float(seq)},
+        state={"stats": {"n_requests": seq + 1}},
+    )
+
+
+def _write_journal(path, n_records=3):
+    context = _context()
+    journal = RunJournal(path)
+    journal.create(JournalHeader(
+        fingerprint=run_fingerprint(context), context=context,
+    ))
+    for seq in range(n_records):
+        journal.append(_record(seq))
+    journal.close()
+    return context
+
+
+class TestRoundTrip:
+    def test_load_returns_what_was_appended(self, tmp_path):
+        path = tmp_path / "run.journal"
+        context = _write_journal(path)
+        header, records = RunJournal.load(path)
+        assert header.fingerprint == run_fingerprint(context)
+        assert header.context == context
+        assert header.journal_version == JOURNAL_VERSION
+        assert [r.seq for r in records] == [0, 1, 2]
+        assert records[1].predictions == [True, False]
+        assert records[2].state == {"stats": {"n_requests": 3}}
+
+    def test_every_line_ends_with_newline_and_checksum(self, tmp_path):
+        path = tmp_path / "run.journal"
+        _write_journal(path)
+        blob = path.read_bytes()
+        assert blob.endswith(b"\n")
+        for line in blob.splitlines():
+            payload = json.loads(line)
+            assert "check" in payload
+
+    def test_fingerprint_changes_with_any_context_field(self):
+        base = run_fingerprint(_context())
+        assert run_fingerprint(_context(extra=1)) != base
+        changed = _context()
+        changed["pipeline_config"]["seed"] = 1
+        assert run_fingerprint(changed) != base
+
+    def test_context_diff_names_divergent_paths(self):
+        diff = context_diff(
+            {"a": 1, "b": {"c": [1, 2]}},
+            {"a": 2, "b": {"c": [1, 3]}, "d": True},
+        )
+        assert "$.a: 1 != 2" in diff
+        assert "$.b.c[1]: 2 != 3" in diff
+        assert any(line.startswith("$.d:") for line in diff)
+
+
+class TestCorruption:
+    """Satellite: each damage mode yields a typed, recoverable error."""
+
+    def test_truncated_last_line(self, tmp_path):
+        path = tmp_path / "run.journal"
+        _write_journal(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-10])  # tear the tail mid-line
+        with pytest.raises(JournalError) as excinfo:
+            RunJournal.load(path)
+        error = excinfo.value
+        assert "truncated" in str(error) or "not valid JSON" in str(error)
+        assert [r.seq for r in error.records] == [0, 1]
+        assert "2 valid record(s) recoverable" in str(error)
+        # truncating to recovered_bytes yields a clean journal again
+        path.write_bytes(blob[: error.recovered_bytes])
+        __, records = RunJournal.load(path)
+        assert [r.seq for r in records] == [0, 1]
+
+    def test_flipped_byte_fails_checksum(self, tmp_path):
+        path = tmp_path / "run.journal"
+        _write_journal(path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        # flip one byte inside the middle record's payload
+        target = bytearray(lines[2])
+        pivot = target.find(b"predictions")
+        target[pivot] ^= 0x01
+        lines[2] = bytes(target)
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalError) as excinfo:
+            RunJournal.load(path)
+        error = excinfo.value
+        assert "checksum" in str(error) or "not valid JSON" in str(error)
+        assert [r.seq for r in error.records] == [0]
+        assert error.line_no == 3
+
+    def test_duplicated_record(self, tmp_path):
+        path = tmp_path / "run.journal"
+        _write_journal(path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines) + lines[-1])  # re-append last line
+        with pytest.raises(JournalError) as excinfo:
+            RunJournal.load(path)
+        assert "duplicated" in str(excinfo.value)
+        assert [r.seq for r in excinfo.value.records] == [0, 1, 2]
+
+    def test_out_of_order_record(self, tmp_path):
+        path = tmp_path / "run.journal"
+        context = _context()
+        journal = RunJournal(path)
+        journal.create(JournalHeader(
+            fingerprint=run_fingerprint(context), context=context,
+        ))
+        journal.append(_record(0))
+        journal.append(_record(2))  # seq 1 skipped
+        journal.close()
+        with pytest.raises(JournalError) as excinfo:
+            RunJournal.load(path)
+        assert "out-of-order" in str(excinfo.value)
+        assert [r.seq for r in excinfo.value.records] == [0]
+
+    def test_unsupported_version_header(self, tmp_path):
+        path = tmp_path / "run.journal"
+        context = _context()
+        journal = RunJournal(path)
+        journal.create(JournalHeader(
+            fingerprint=run_fingerprint(context),
+            context=context,
+            journal_version=JOURNAL_VERSION + 1,
+        ))
+        journal.close()
+        with pytest.raises(JournalError) as excinfo:
+            RunJournal.load(path)
+        assert "version" in str(excinfo.value)
+        assert excinfo.value.records == []
+
+    def test_missing_and_empty_files_are_typed(self, tmp_path):
+        with pytest.raises(JournalError):
+            RunJournal.load(tmp_path / "absent.journal")
+        empty = tmp_path / "empty.journal"
+        empty.write_bytes(b"")
+        with pytest.raises(JournalError):
+            RunJournal.load(empty)
+
+    def test_journal_error_is_a_repro_error(self):
+        assert issubclass(JournalError, ReproError)
+
+
+class TestRecover:
+    def test_recover_clean_journal_has_no_error(self, tmp_path):
+        path = tmp_path / "run.journal"
+        _write_journal(path)
+        header, records, error = RunJournal.recover(path)
+        assert error is None
+        assert len(records) == 3
+
+    def test_recover_damaged_journal_returns_prefix(self, tmp_path):
+        path = tmp_path / "run.journal"
+        _write_journal(path)
+        path.write_bytes(path.read_bytes()[:-7])
+        header, records, error = RunJournal.recover(path)
+        assert error is not None
+        assert [r.seq for r in records] == [0, 1]
+        assert header.journal_version == JOURNAL_VERSION
+
+    def test_unreadable_header_is_not_recoverable(self, tmp_path):
+        path = tmp_path / "run.journal"
+        _write_journal(path)
+        blob = path.read_bytes()
+        path.write_bytes(b"garbage" + blob[7:])
+        with pytest.raises(JournalError):
+            RunJournal.recover(path)
+
+    def test_reopen_truncates_torn_tail_and_appends(self, tmp_path):
+        path = tmp_path / "run.journal"
+        _write_journal(path)
+        path.write_bytes(path.read_bytes()[:-5])
+        header, records, error = RunJournal.recover(path)
+        journal = RunJournal(path)
+        journal.reopen(error.recovered_bytes)
+        journal.append(_record(2))
+        journal.close()
+        __, clean = RunJournal.load(path)
+        assert [r.seq for r in clean] == [0, 1, 2]
