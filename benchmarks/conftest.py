@@ -24,6 +24,13 @@ def seed() -> int:
     return int(os.environ.get("REPRO_BENCH_SEED", "0"))
 
 
+@pytest.fixture(scope="session")
+def serve_requests() -> int:
+    """Trace length for the serving benchmark; scaled independently of
+    dataset size (``REPRO_BENCH_SERVE_REQUESTS``, default 20000)."""
+    return int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "20000"))
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an expensive experiment exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,

@@ -1,0 +1,70 @@
+"""Serving benchmark — online batch coalescing vs one-prompt-per-request.
+
+Replays one Pareto-skewed 3-tenant trace (Adult ED, GPT-3.5) through the
+coalescing service and through the uncoalesced baseline (batch size 1,
+answer cache disabled) and writes ``BENCH_serving.json``.  The acceptance
+bar is the paper's Table 3 amortization measured online: coalesced
+serving must cut per-served-request token cost by at least 2x.  The
+baseline pays one completion call per request, so it replays only a
+prefix of the trace — its marginal cost is constant, which keeps the
+ratio exact (and conservative for the coalesced side).
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.eval.reporting import render_table
+from repro.serving import run_serve_bench
+
+OUT_PATH = Path("BENCH_serving.json")
+
+
+def test_coalescing_halves_token_cost(benchmark, serve_requests, seed):
+    payload = run_once(
+        benchmark,
+        run_serve_bench,
+        out_path=OUT_PATH,
+        n_requests=serve_requests,
+        seed=seed,
+        baseline_requests=min(2000, serve_requests),
+    )
+
+    def _row(mode: str, summary: dict) -> list[str]:
+        per_request = summary["total_tokens"] / max(summary["n_served"], 1)
+        return [
+            mode,
+            f"{summary['p50_latency_s']:.3f}",
+            f"{summary['p99_latency_s']:.3f}",
+            f"{summary['throughput_rps']:.1f}",
+            f"{summary['coalesce_rate']:.3f}",
+            f"{summary['cache_hit_rate']:.3f}",
+            f"{per_request:.0f}",
+        ]
+
+    print()
+    print(render_table(
+        f"Serving — {payload['config']['n_requests']} request(s), "
+        f"{payload['config']['n_tenants']} tenant(s), Adult ED, GPT-3.5",
+        ["mode", "p50 s", "p99 s", "req/s", "coalesce", "cache hit",
+         "tok/req"],
+        [
+            _row("coalesced", payload["coalesced"]),
+            _row("uncoalesced", payload["uncoalesced"]),
+        ],
+    ))
+    print(f"token reduction: {payload['token_reduction']:.1f}x")
+
+    # the written report carries the same numbers the harness returned
+    report = json.loads(OUT_PATH.read_text(encoding="utf-8"))
+    assert report["token_reduction"] == payload["token_reduction"]
+    for key in (
+        "p50_latency_s", "p99_latency_s", "throughput_rps",
+        "coalesce_rate", "cache_hit_rate",
+    ):
+        assert report[key] == payload["coalesced"][key]
+
+    coalesced = payload["coalesced"]
+    assert coalesced["n_served"] + coalesced["n_rejected"] == serve_requests
+    # Acceptance bar: >= 2x cheaper per served request than uncoalesced.
+    assert payload["token_reduction"] >= 2.0

@@ -222,8 +222,15 @@ _PENDING = object()
 
 
 @dataclass
-class _RunStats:
-    """Mutable accumulator threaded through one run's batches."""
+class RunStats:
+    """Mutable accumulator threaded through one run's batches.
+
+    ``last_finish_s`` is a high-water mark over the virtual finish times
+    of the batches answered so far.  The serving layer resets it before
+    each coalesced flush and reads it back as the flush's completion
+    time; offline runs ignore it (the execution report's makespan already
+    covers them).
+    """
 
     keep_raw: bool = False
     usage: Usage = field(
@@ -232,8 +239,13 @@ class _RunStats:
     n_requests: int = 0
     n_retries: int = 0
     n_fallbacks: int = 0
+    last_finish_s: float = 0.0
     raw_replies: list[str] = field(default_factory=list)
     exchanges: list[Exchange] = field(default_factory=list)
+
+
+#: historical name, kept for callers that grew up with the private one
+_RunStats = RunStats
 
 
 class Preprocessor:
@@ -268,6 +280,40 @@ class Preprocessor:
     @property
     def executor_config(self) -> ExecutorConfig:
         return self._executor_config
+
+    def answer_batch(
+        self,
+        builder: PromptBuilder,
+        batch: list[Instance],
+        fewshot: list[Instance],
+        task: Task,
+        stats: RunStats,
+        executor: BatchExecutor,
+        ready_at: float = 0.0,
+        temperature: float | None = None,
+        obs: RunObservation | None = None,
+        parent: Span | None = None,
+    ) -> list[bool | str | Quarantined]:
+        """Answer one ad-hoc batch through the full degradation ladder.
+
+        The open-batch entry point :meth:`run` cannot offer: a caller that
+        assembles its own batches — the serving layer coalesces requests
+        from many tenants into one — hands over a prompt builder, the
+        batch, and a long-lived executor/stats pair, and gets back one
+        answer per instance (a :class:`Quarantined` marker where the
+        ladder gave up).  ``ready_at`` is the virtual time the batch may
+        start; the finish time lands on ``stats.last_finish_s``.
+        """
+        if temperature is None:
+            temperature = (
+                self._config.temperature
+                if self._config.temperature is not None
+                else default_temperature_for(self._config.model)
+            )
+        return self._run_batch(
+            builder, batch, fewshot, temperature, task,
+            stats, executor, ready_at=ready_at, obs=obs, parent=parent,
+        )
 
     def run(
         self,
@@ -719,6 +765,7 @@ class Preprocessor:
                 return [fallback] * len(batch)
             except ExecutionGiveUpError as giveup:
                 resume_at = max(ready_at, giveup.at)
+                stats.last_finish_s = max(stats.last_finish_s, resume_at)
                 _end_span(complete_span, resume_at, outcome="giveup")
                 if len(batch) > 1:
                     # Degrade gracefully: a smaller prompt is likelier to
@@ -747,6 +794,7 @@ class Preprocessor:
                     obs.metrics.counter("pipeline.fallbacks").inc(len(batch))
                 return [fallback] * len(batch)
             _end_span(complete_span, ready_at, outcome="ok")
+            stats.last_finish_s = max(stats.last_finish_s, ready_at)
             stats.n_requests += 1
             stats.usage = stats.usage + response.usage
             last_text = response.text

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -52,6 +53,7 @@ class PrepStats:
 
     serialize_hits: int = 0
     serialize_misses: int = 0
+    serialize_evictions: int = 0
     embed_hits: int = 0
     embed_misses: int = 0
     embed_texts: int = 0
@@ -85,12 +87,19 @@ class PrepArtifacts:
         self,
         embedder: HashingEmbedder | None = None,
         metrics: "MetricsRegistry | None" = None,
+        max_texts: int | None = None,
     ):
+        if max_texts is not None and max_texts < 1:
+            raise ValueError(f"max_texts must be >= 1, got {max_texts}")
         self.embedder = embedder or HashingEmbedder()
         self._metrics = metrics
+        self._max_texts = max_texts
         self.stats = PrepStats()
-        # id -> (instance, text); holding the instance pins its id.
-        self._texts: dict[int, tuple[Instance, str]] = {}
+        # id -> (instance, text); holding the instance pins its id.  With
+        # ``max_texts`` set the dict becomes a bounded LRU (insertion /
+        # touch order), so a long-lived artifacts object — the serving
+        # layer keeps one across runs — cannot grow without bound.
+        self._texts: OrderedDict[int, tuple[Instance, str]] = OrderedDict()
         self._matrices: dict[tuple[str, int, int], np.ndarray] = {}
         self._labels: dict[tuple[str, int, int, int, int], np.ndarray] = {}
         self._fingerprints: dict[tuple[int, ...], str] = {}
@@ -118,6 +127,8 @@ class PrepArtifacts:
         if cached is not None:
             self.stats.serialize_hits += 1
             self._count("prep.serialize.hits")
+            if self._max_texts is not None:
+                self._texts.move_to_end(key)
             return cached[1]
         started = time.perf_counter()
         text = serialize_instance(instance)
@@ -125,6 +136,10 @@ class PrepArtifacts:
         self.stats.serialize_misses += 1
         self._count("prep.serialize.misses")
         self._texts[key] = (instance, text)
+        if self._max_texts is not None and len(self._texts) > self._max_texts:
+            self._texts.popitem(last=False)
+            self.stats.serialize_evictions += 1
+            self._count("prep.serialize.evictions")
         return text
 
     def texts(self, instances: Sequence[Instance]) -> list[str]:
@@ -139,16 +154,23 @@ class PrepArtifacts:
         Derived from the serialized texts, so two instance sequences that
         render to the same prompts share every downstream artifact.
         """
-        id_key = tuple(id(instance) for instance in instances)
-        cached = self._fingerprints.get(id_key)
-        if cached is not None:
-            return cached
+        # The id-keyed memo is only sound while every seen instance stays
+        # pinned (ids stay unique).  A bounded artifacts object evicts —
+        # a freed id can be reused by a different instance — so it
+        # recomputes the digest from the (still memoized) texts instead.
+        id_key: tuple[int, ...] | None = None
+        if self._max_texts is None:
+            id_key = tuple(id(instance) for instance in instances)
+            cached = self._fingerprints.get(id_key)
+            if cached is not None:
+                return cached
         digest = hashlib.blake2b(digest_size=16)
         for text in self.texts(instances):
             digest.update(text.encode("utf-8"))
             digest.update(b"\x00")
         value = digest.hexdigest()
-        self._fingerprints[id_key] = value
+        if id_key is not None:
+            self._fingerprints[id_key] = value
         return value
 
     # -- embedding --------------------------------------------------------

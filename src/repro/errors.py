@@ -150,3 +150,8 @@ class ConfigError(ReproError):
 
 class EvaluationError(ReproError):
     """An experiment harness failure (mismatched predictions, bad metric input)."""
+
+
+class ServingError(ReproError):
+    """The serving layer was configured or driven inconsistently
+    (non-monotonic trace, unknown tenant, malformed policy)."""

@@ -14,6 +14,8 @@ Usage::
                              [--degradation off|ladder]
     python -m repro.eval trace manifest.json [--chrome out.trace.json]
     python -m repro.eval golden [--update] [--cell NAME] [--store DIR]
+    python -m repro.eval serve-bench [--requests 200000] [--tenants 3]
+                                     [--out BENCH_serving.json]
     python -m repro.eval fuzz [--cases 200] [--seed 0]
     python -m repro.eval chaos [--cell NAME] [--site SITE] [--workdir DIR]
 
@@ -265,7 +267,7 @@ def _cmd_trace(args: argparse.Namespace) -> None:
 def _cmd_golden(args: argparse.Namespace) -> int:
     """Verify or re-record the golden conformance snapshots."""
     from repro.testing import (
-        GOLDEN_CELLS,
+        ALL_GOLDEN_CELLS,
         GoldenStore,
         capture_snapshot,
         cell_by_name,
@@ -276,7 +278,7 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     store = GoldenStore(args.store)
     cells = (
         [cell_by_name(name) for name in args.cell]
-        if args.cell else list(GOLDEN_CELLS)
+        if args.cell else list(ALL_GOLDEN_CELLS)
     )
     drifted = 0
     for cell in cells:
@@ -294,6 +296,44 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     if drifted:
         print(f"{drifted}/{len(cells)} snapshot(s) drifted")
         return 1
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Run the multi-tenant serving benchmark; write BENCH_serving.json."""
+    from repro.serving import run_serve_bench
+
+    payload = run_serve_bench(
+        out_path=args.out,
+        n_requests=args.requests,
+        dataset_name=args.dataset,
+        dataset_size=args.size,
+        n_tenants=args.tenants,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait,
+        coalesce=args.coalesce,
+        model=args.model,
+        baseline_requests=args.baseline_requests,
+    )
+    coalesced = payload["coalesced"]
+    print(
+        f"serve-bench: {coalesced['n_served']}/{payload['config']['n_requests']} "
+        f"served over {payload['config']['n_tenants']} tenant(s), "
+        f"{coalesced['n_batches']} coalesced batch(es)"
+    )
+    print(
+        f"p50 {payload['p50_latency_s']:.3f}s · p99 {payload['p99_latency_s']:.3f}s · "
+        f"{payload['throughput_rps']:.1f} req/s · "
+        f"coalesce rate {payload['coalesce_rate']:.3f} · "
+        f"cache hit rate {payload['cache_hit_rate']:.3f}"
+    )
+    print(
+        f"token cost per request: {payload['token_reduction']:.1f}x lower "
+        f"than uncoalesced"
+    )
+    print(f"report written to {args.out}")
     return 0
 
 
@@ -383,6 +423,31 @@ def main(argv: list[str] | None = None) -> int:
                                  "(default: $REPRO_GOLDEN_DIFF_PATH or "
                                  "GOLDEN_DIFF.txt)")
     golden_cmd.set_defaults(handler=_cmd_golden)
+    serve_cmd = sub.add_parser(
+        "serve-bench",
+        help="replay a synthetic multi-tenant trace through the serving "
+             "layer and write BENCH_serving.json",
+    )
+    serve_cmd.add_argument("--out", default="BENCH_serving.json",
+                           help="where to write the benchmark report")
+    serve_cmd.add_argument("--requests", type=int, default=200_000,
+                           help="total requests across all tenants")
+    serve_cmd.add_argument("--dataset", default="adult")
+    serve_cmd.add_argument("--size", type=int, default=200,
+                           help="instance population the trace samples from")
+    serve_cmd.add_argument("--tenants", type=int, default=3)
+    serve_cmd.add_argument("--seed", type=int, default=0)
+    serve_cmd.add_argument("--concurrency", type=int, default=4)
+    serve_cmd.add_argument("--max-batch", type=int, default=8)
+    serve_cmd.add_argument("--max-wait", type=float, default=2.0,
+                           help="coalescer max wait (virtual seconds)")
+    serve_cmd.add_argument("--coalesce", default="window",
+                           choices=("eager", "window"))
+    serve_cmd.add_argument("--model", default="gpt-3.5")
+    serve_cmd.add_argument("--baseline-requests", type=int, default=2000,
+                           help="trace prefix replayed uncoalesced for the "
+                                "token-reduction baseline")
+    serve_cmd.set_defaults(handler=_cmd_serve_bench)
     fuzz_cmd = sub.add_parser(
         "fuzz", help="run the deterministic reply fuzzer"
     )

@@ -9,6 +9,7 @@ and the total simulated time feeds the experiment's hours column.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -212,6 +213,57 @@ class RateLimiter:
     def restore_checkpoint_state(self, state: dict) -> None:
         """Restore a window captured by :meth:`checkpoint_state`."""
         self._events = [(float(t), int(n)) for t, n in state["events"]]
+
+
+class SlidingWindowBudget:
+    """A one-minute RPM/TPM window for *monotonic* admission decisions.
+
+    :class:`RateLimiter` serves the executor, whose lanes probe the window
+    at out-of-order virtual times; it rebuilds the event list on every
+    check.  Admission control at a serving front door sees arrivals in
+    nondecreasing time order, so this variant keeps a deque and a running
+    token sum — O(1) amortized per request, which is what lets a load
+    generator replay hundreds of thousands of arrivals per second.
+
+    Unlike the limiter, an over-budget request is *not* recorded: the
+    caller rejects it outright (admission control) instead of waiting out
+    the window (backoff), so a rejected burst does not poison the budget
+    for requests that follow.
+    """
+
+    def __init__(self, limit: RateLimit):
+        self._limit = limit
+        self._events: deque[tuple[float, int]] = deque()  # (time, tokens)
+        self._token_sum = 0
+        self._last_now = float("-inf")
+
+    @property
+    def limit(self) -> RateLimit:
+        return self._limit
+
+    def try_admit(self, tokens: int, now: float) -> str | None:
+        """Admit a ``tokens``-sized request at time ``now``, or name why not.
+
+        Returns ``None`` and records the request when it fits the budget;
+        returns ``"rpm"`` or ``"tpm"`` (and records nothing) when it does
+        not.  ``now`` must be nondecreasing across calls.
+        """
+        if now < self._last_now:
+            raise ValueError(
+                f"admission times must be nondecreasing: got {now:.3f} "
+                f"after {self._last_now:.3f}"
+            )
+        self._last_now = now
+        while self._events and self._events[0][0] <= now - 60.0:
+            __, stale = self._events.popleft()
+            self._token_sum -= stale
+        if len(self._events) + 1 > self._limit.requests_per_minute:
+            return "rpm"
+        if self._token_sum + tokens > self._limit.tokens_per_minute:
+            return "tpm"
+        self._events.append((now, tokens))
+        self._token_sum += tokens
+        return None
 
 
 class RetryingClient:

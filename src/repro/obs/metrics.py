@@ -83,6 +83,34 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.n_observations if self.n_observations else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (0 <= q <= 1).
+
+        Walks the cumulative bucket counts to the bucket holding the
+        q-th observation and interpolates linearly within it (the
+        Prometheus ``histogram_quantile`` estimator).  Observations in
+        the overflow bucket report the last finite bound — a floor, not
+        an exact value.  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {q}")
+        if self.n_observations == 0:
+            return 0.0
+        rank = q * self.n_observations
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cumulative + count >= rank:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                within = (rank - cumulative) / count
+                return lower + (upper - lower) * min(max(within, 0.0), 1.0)
+            cumulative += count
+        return self.bounds[-1]
+
 
 class MetricsRegistry:
     """Lazily creates metrics by name and snapshots them as plain data.

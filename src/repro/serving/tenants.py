@@ -1,0 +1,82 @@
+"""Per-tenant admission control.
+
+Each tenant gets its own one-minute RPM/TPM window
+(:class:`~repro.llm.ratelimit.SlidingWindowBudget`), layered *under* the
+executor's global rate limiter: admission refuses work the tenant's plan
+does not cover before it ever queues, while the global limiter still
+paces whatever is admitted against the provider's account-wide budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ServingError
+from repro.llm.ratelimit import RateLimit, SlidingWindowBudget
+
+
+@dataclass(frozen=True)
+class TenantBudget:
+    """One tenant's plan: requests and tokens per minute."""
+
+    name: str
+    requests_per_minute: int
+    tokens_per_minute: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServingError("tenant name cannot be empty")
+        if self.requests_per_minute <= 0 or self.tokens_per_minute <= 0:
+            raise ServingError(
+                f"tenant {self.name!r} budgets must be positive"
+            )
+
+    def limit(self) -> RateLimit:
+        return RateLimit(
+            requests_per_minute=self.requests_per_minute,
+            tokens_per_minute=self.tokens_per_minute,
+        )
+
+
+class TenantAdmission:
+    """Admission decisions across a fixed set of tenants.
+
+    ``admit`` returns ``None`` (admitted, budget charged) or a typed
+    refusal reason ``"tenant_rpm"`` / ``"tenant_tpm"`` (nothing charged).
+    An unknown tenant is a caller bug, not a quota decision, and raises
+    :class:`~repro.errors.ServingError`.
+    """
+
+    def __init__(self, budgets: Iterable[TenantBudget]):
+        self._windows: dict[str, SlidingWindowBudget] = {}
+        self._budgets: dict[str, TenantBudget] = {}
+        for budget in budgets:
+            if budget.name in self._windows:
+                raise ServingError(f"duplicate tenant {budget.name!r}")
+            self._windows[budget.name] = SlidingWindowBudget(budget.limit())
+            self._budgets[budget.name] = budget
+        if not self._windows:
+            raise ServingError("admission control needs at least one tenant")
+
+    @property
+    def tenants(self) -> list[str]:
+        return list(self._windows)
+
+    def budget_of(self, tenant: str) -> TenantBudget:
+        try:
+            return self._budgets[tenant]
+        except KeyError:
+            raise ServingError(f"unknown tenant {tenant!r}") from None
+
+    def admit(self, tenant: str, tokens: int, now: float) -> str | None:
+        window = self._windows.get(tenant)
+        if window is None:
+            raise ServingError(
+                f"unknown tenant {tenant!r}; known: "
+                f"{', '.join(sorted(self._windows))}"
+            )
+        verdict = window.try_admit(tokens, now)
+        if verdict is None:
+            return None
+        return f"tenant_{verdict}"

@@ -24,9 +24,12 @@ from repro.testing.fuzz import (
     run_fuzz,
 )
 from repro.testing.golden import (
+    ALL_GOLDEN_CELLS,
     GOLDEN_CELLS,
     GOLDEN_VERSION,
+    SERVING_GOLDEN_CELLS,
     GoldenCell,
+    ServingGoldenCell,
     GoldenDiff,
     GoldenError,
     GoldenStore,
@@ -48,9 +51,12 @@ from repro.testing.replay import (
 )
 
 __all__ = [
+    "ALL_GOLDEN_CELLS",
     "GOLDEN_CELLS",
     "GOLDEN_VERSION",
+    "SERVING_GOLDEN_CELLS",
     "GoldenCell",
+    "ServingGoldenCell",
     "GoldenDiff",
     "GoldenError",
     "GoldenStore",

@@ -83,16 +83,107 @@ GOLDEN_CELLS: tuple[GoldenCell, ...] = (
 )
 
 
-def cell_by_name(name: str) -> GoldenCell:
-    for cell in GOLDEN_CELLS:
+@dataclass(frozen=True)
+class ServingGoldenCell:
+    """One recorded serving trace: tenants, budgets, scheduler, answers.
+
+    Mirrors :class:`GoldenCell` for the online layer — a fixed synthetic
+    multi-tenant trace replayed through the full admission → coalescer →
+    executor path with the scheduler's config pinned, freezing batch
+    composition, per-request answers and sources, typed rejections, and
+    the deterministic metrics registry.  Budgets are deliberately tight
+    enough that the fastest tenant draws some ``tenant_rpm`` rejections,
+    so the snapshot exercises the refusal path too.
+    """
+
+    name: str
+    dataset: str
+    size: int
+    n_requests: int
+    n_tenants: int = 3
+    model: str = "gpt-3.5"
+    seed: int = 0
+    concurrency: int = 2
+    max_batch: int = 8
+    max_wait_s: float = 2.0
+    coalesce: str = "window"
+    rate_rps: float = 10.0
+    requests_per_minute: int = 40
+    tokens_per_minute: int = 100_000
+
+
+SERVING_GOLDEN_CELLS: tuple[ServingGoldenCell, ...] = (
+    ServingGoldenCell(
+        "serving_ed_adult_3tenants", dataset="adult", size=60,
+        n_requests=150,
+    ),
+)
+
+#: every recorded cell, offline and serving
+ALL_GOLDEN_CELLS: tuple[GoldenCell | ServingGoldenCell, ...] = (
+    GOLDEN_CELLS + SERVING_GOLDEN_CELLS
+)
+
+
+def cell_by_name(name: str) -> GoldenCell | ServingGoldenCell:
+    for cell in ALL_GOLDEN_CELLS:
         if cell.name == name:
             return cell
-    known = ", ".join(cell.name for cell in GOLDEN_CELLS)
+    known = ", ".join(cell.name for cell in ALL_GOLDEN_CELLS)
     raise GoldenError(f"unknown golden cell {name!r}; known cells: {known}")
 
 
-def capture_snapshot(cell: GoldenCell) -> dict:
+def _capture_serving_snapshot(cell: ServingGoldenCell) -> dict:
+    """Replay the cell's serving trace and freeze the full report."""
+    from repro.core.config import PipelineConfig
+    from repro.datasets import load_dataset
+    from repro.llm.simulated import SimulatedLLM
+    from repro.serving import (
+        PreprocessingService,
+        ServeConfig,
+        TenantBudget,
+        default_tenants,
+        generate_trace,
+    )
+
+    dataset = load_dataset(cell.dataset, size=cell.size, seed=cell.seed)
+    tenants = default_tenants(
+        cell.n_tenants, cell.n_requests, rate_rps=cell.rate_rps
+    )
+    trace = generate_trace(dataset, tenants, seed=cell.seed)
+    service = PreprocessingService(
+        SimulatedLLM(cell.model, seed=cell.seed),
+        dataset,
+        [
+            TenantBudget(
+                name=spec.name,
+                requests_per_minute=cell.requests_per_minute,
+                tokens_per_minute=cell.tokens_per_minute,
+            )
+            for spec in tenants
+        ],
+        serve_config=ServeConfig(
+            max_batch=cell.max_batch,
+            max_wait_s=cell.max_wait_s,
+            coalesce=cell.coalesce,
+        ),
+        pipeline_config=PipelineConfig(
+            model=cell.model, seed=cell.seed, concurrency=cell.concurrency,
+        ),
+    )
+    report = service.serve(trace)
+    payload = {
+        "golden_version": GOLDEN_VERSION,
+        "cell": {**dataclasses.asdict(cell), "kind": "serving"},
+        "serve": report.payload(),
+    }
+    return json.loads(canonical_json(payload))
+
+
+def capture_snapshot(cell: "GoldenCell | ServingGoldenCell") -> dict:
     """Run ``cell`` end to end and freeze its behavior as a JSON payload."""
+    if isinstance(cell, ServingGoldenCell):
+        return _capture_serving_snapshot(cell)
     # Imported here so the conformance layer stays importable without
     # dragging the dataset/LLM stack in at module-import time.
     from repro.datasets import load_dataset

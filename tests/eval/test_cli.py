@@ -109,6 +109,37 @@ class TestGoldenCli:
         assert "__tampered__" in artifact.read_text(encoding="utf-8")
 
 
+class TestServeBenchCli:
+    def test_serve_bench_writes_the_report(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_serving.json"
+        assert main([
+            "serve-bench", "--requests", "400", "--size", "40",
+            "--baseline-requests", "100", "--out", str(out_path),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "serve-bench:" in printed
+        assert "token cost per request" in printed
+
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["bench"] == "serving"
+        # the five headline metrics, flattened for dashboards
+        for key in (
+            "p50_latency_s", "p99_latency_s", "throughput_rps",
+            "coalesce_rate", "cache_hit_rate",
+        ):
+            assert key in payload
+            assert payload[key] == payload["coalesced"][key]
+        assert payload["config"]["baseline_requests"] == 100
+        assert payload["coalesced"]["n_requests"] == 400
+        assert payload["uncoalesced"]["n_requests"] == 100
+        assert payload["token_reduction"] > 1.0
+
+    def test_serving_golden_cell_verifies_via_cli(self, capsys):
+        assert main(["golden", "--cell", "serving_ed_adult_3tenants"]) == 0
+        out = capsys.readouterr().out
+        assert "golden serving_ed_adult_3tenants: OK" in out
+
+
 class TestFuzzCli:
     def test_fuzz_command_reports_and_passes(self, capsys):
         assert main(["fuzz", "--cases", "40", "--seed", "0"]) == 0

@@ -13,7 +13,9 @@ from pathlib import Path
 import pytest
 
 from repro.testing import (
+    ALL_GOLDEN_CELLS,
     GOLDEN_CELLS,
+    SERVING_GOLDEN_CELLS,
     GoldenDiff,
     GoldenStore,
     capture_snapshot,
@@ -24,8 +26,12 @@ from repro.testing import (
 
 STORE = GoldenStore(Path(__file__).parent / "snapshots")
 
+PIPELINE_NAMES = {cell.name for cell in GOLDEN_CELLS}
 
-@pytest.mark.parametrize("cell", GOLDEN_CELLS, ids=lambda cell: cell.name)
+
+@pytest.mark.parametrize(
+    "cell", ALL_GOLDEN_CELLS, ids=lambda cell: cell.name
+)
 def test_cell_matches_golden(cell):
     payload = capture_snapshot(cell)
     diffs = STORE.verify(cell.name, payload)
@@ -37,7 +43,7 @@ def test_cell_matches_golden(cell):
 
 def test_every_snapshot_has_a_cell():
     """No orphan snapshot files, no unrecorded cells."""
-    assert set(STORE.names()) == {cell.name for cell in GOLDEN_CELLS}
+    assert set(STORE.names()) == {cell.name for cell in ALL_GOLDEN_CELLS}
 
 
 def test_snapshots_are_canonical_json():
@@ -45,14 +51,39 @@ def test_snapshots_are_canonical_json():
     for name in STORE.names():
         payload = STORE.load(name)
         assert payload["golden_version"] == 1
-        assert payload["exchanges"], f"{name} recorded no exchanges"
+        if name in PIPELINE_NAMES:
+            assert payload["exchanges"], f"{name} recorded no exchanges"
+        else:
+            assert payload["serve"]["responses"], (
+                f"{name} recorded no responses"
+            )
+
+
+def test_serving_snapshot_covers_reject_and_share_paths():
+    """The serving corpus must freeze more than the happy path: typed
+    rejections, coalesced sharing, and cache hits all appear."""
+    assert SERVING_GOLDEN_CELLS, "no serving cells recorded"
+    for cell in SERVING_GOLDEN_CELLS:
+        payload = STORE.load(cell.name)
+        serve = payload["serve"]
+        sources = serve["summary"]["sources"]
+        assert sources["llm"] > 0
+        assert sources["shared"] > 0
+        assert sources["cache"] > 0
+        reasons = {r["reason"] for r in serve["rejections"]}
+        assert "tenant_rpm" in reasons
+        assert serve["batches"], f"{cell.name} recorded no batches"
+        # cache traffic is metered into the frozen metrics manifest
+        counters = serve["metrics"]["counters"]
+        assert counters["serving.cache.hits"] > 0
+        assert counters["serving.cache.misses"] > 0
 
 
 def test_snapshot_covers_all_parse_paths():
     """The corpus must exercise ok, format-error, and salvage-null paths —
     otherwise the replay layer silently loses its teeth."""
     strict_ok = strict_error = lenient_null = 0
-    for name in STORE.names():
+    for name in PIPELINE_NAMES:
         for exchange in STORE.load(name)["exchanges"]:
             if "ok" in exchange["strict"]:
                 strict_ok += 1

@@ -69,6 +69,47 @@ class TestHistogram:
             registry.histogram("latency", buckets=(1.0, 4.0))
 
 
+class TestHistogramQuantile:
+    def test_empty_histogram_reports_zero(self):
+        assert Histogram("h", bounds=(1.0,)).quantile(0.5) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        histogram = Histogram("h", bounds=(1.0,))
+        with pytest.raises(MetricsError):
+            histogram.quantile(-0.1)
+        with pytest.raises(MetricsError):
+            histogram.quantile(1.1)
+
+    def test_interpolates_within_the_holding_bucket(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            histogram.observe(value)
+        # rank 2 lands halfway through the (1, 2] bucket's two counts
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+
+    def test_extremes_hit_the_bucket_edges(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(0.5)
+        # every observation sits in the first bucket: q=0 is its lower
+        # edge, q=1 its upper edge
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) == 1.0
+
+    def test_overflow_bucket_reports_the_last_finite_bound(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        histogram.observe(10.0)
+        histogram.observe(20.0)
+        # a floor, not an exact value — all mass is above every bound
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_skips_empty_buckets(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0, 8.0))
+        histogram.observe(0.5)
+        histogram.observe(7.0)
+        assert histogram.quantile(1.0) == 8.0
+
+
 class TestRegistry:
     def test_kind_collision_raises(self):
         registry = MetricsRegistry()

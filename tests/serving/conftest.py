@@ -1,0 +1,70 @@
+"""Fixtures for the serving-layer suite.
+
+Tests drive :class:`~repro.serving.PreprocessingService` over small
+synthetic traces against the session-scoped adult dataset (ED task) with
+a :class:`~repro.llm.simulated.SimulatedLLM` backend.  ``make_service``
+is a factory fixture so each test owns a fresh service (the service is
+stateful across :meth:`serve` calls by design); ``make_trace`` builds
+hand-written traces from ``(tenant, arrival_s, instance_index)`` rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.llm.simulated import SimulatedLLM
+from repro.serving import PreprocessingService, ServeRequest, TenantBudget
+
+#: a budget no test trace can exhaust
+GENEROUS = 10**9
+
+
+def generous_budgets(*names: str) -> list[TenantBudget]:
+    return [TenantBudget(name, GENEROUS, GENEROUS) for name in names]
+
+
+@pytest.fixture
+def make_service(adult_dataset):
+    def _make(
+        budgets: list[TenantBudget] | None = None,
+        serve_config=None,
+        concurrency: int = 2,
+        seed: int = 0,
+        model: str = "gpt-3.5",
+        dataset=None,
+    ) -> PreprocessingService:
+        target = dataset if dataset is not None else adult_dataset
+        if budgets is None:
+            budgets = generous_budgets("tenant-0", "tenant-1", "tenant-2")
+        return PreprocessingService(
+            SimulatedLLM(model, seed=seed),
+            target,
+            budgets,
+            serve_config=serve_config,
+            pipeline_config=PipelineConfig(
+                model=model, seed=seed, concurrency=concurrency
+            ),
+        )
+
+    return _make
+
+
+@pytest.fixture
+def make_trace(adult_dataset):
+    def _make(rows, dataset=None) -> list[ServeRequest]:
+        """rows: iterable of (tenant, arrival_s, instance_index)."""
+        instances = list(
+            (dataset if dataset is not None else adult_dataset).instances
+        )
+        return [
+            ServeRequest(
+                request_id=request_id,
+                tenant=tenant,
+                arrival_s=arrival_s,
+                instance=instances[index],
+            )
+            for request_id, (tenant, arrival_s, index) in enumerate(rows)
+        ]
+
+    return _make

@@ -1,0 +1,185 @@
+"""Property tests for admission control and queue conservation.
+
+The sliding one-minute window must never let a tenant exceed its RPM/TPM
+plan in *any* 60-second span, and the service must account for every
+arrival exactly once — served or rejected with a typed reason, nothing
+dropped silently.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.llm.ratelimit import RateLimit, SlidingWindowBudget
+from repro.serving import (
+    ANSWER_SOURCES,
+    REJECT_REASONS,
+    ServeConfig,
+    TenantAdmission,
+    TenantBudget,
+)
+from repro.errors import ServingError
+
+# -- the window itself -----------------------------------------------------
+
+_events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=30.0,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(min_value=1, max_value=500),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+@given(
+    events=_events,
+    rpm=st.integers(min_value=1, max_value=20),
+    tpm=st.integers(min_value=100, max_value=5000),
+)
+@settings(max_examples=200, deadline=None)
+def test_no_60s_span_ever_exceeds_the_plan(events, rpm, tpm):
+    window = SlidingWindowBudget(
+        RateLimit(requests_per_minute=rpm, tokens_per_minute=tpm)
+    )
+    admitted: list[tuple[float, int]] = []
+    now = 0.0
+    for delta, tokens in events:
+        now += delta
+        verdict = window.try_admit(tokens, now)
+        if verdict is None:
+            admitted.append((now, tokens))
+        else:
+            assert verdict in ("rpm", "tpm")
+    # The invariant the plan sells: looking back from any admitted
+    # request, the trailing (t-60, t] window respects both limits.
+    for at, __ in admitted:
+        in_window = [
+            (t, tok) for t, tok in admitted if at - 60.0 < t <= at
+        ]
+        assert len(in_window) <= rpm
+        assert sum(tok for __, tok in in_window) <= tpm
+
+
+@given(events=_events)
+@settings(max_examples=50, deadline=None)
+def test_rejections_never_poison_the_window(events):
+    """An over-budget burst is refused but not recorded: a single-slot
+    plan admits again as soon as the previous admission ages out."""
+    window = SlidingWindowBudget(
+        RateLimit(requests_per_minute=1, tokens_per_minute=10**9)
+    )
+    now = 0.0
+    last_admitted = None
+    for delta, tokens in events:
+        now += delta
+        verdict = window.try_admit(tokens, now)
+        if verdict is None:
+            last_admitted = now
+        else:
+            # only the recorded admission can be blocking
+            assert last_admitted is not None
+            assert now - last_admitted < 60.0
+
+
+def test_admission_times_must_be_nondecreasing():
+    window = SlidingWindowBudget(
+        RateLimit(requests_per_minute=10, tokens_per_minute=1000)
+    )
+    assert window.try_admit(1, 5.0) is None
+    with pytest.raises(ValueError):
+        window.try_admit(1, 4.0)
+
+
+# -- tenant bookkeeping ----------------------------------------------------
+
+class TestTenantAdmission:
+    def test_unknown_tenant_is_a_caller_bug(self):
+        admission = TenantAdmission([TenantBudget("a", 10, 1000)])
+        with pytest.raises(ServingError):
+            admission.admit("ghost", 1, 0.0)
+        with pytest.raises(ServingError):
+            admission.budget_of("ghost")
+
+    def test_duplicate_or_empty_fleet_rejected(self):
+        budget = TenantBudget("a", 10, 1000)
+        with pytest.raises(ServingError):
+            TenantAdmission([budget, budget])
+        with pytest.raises(ServingError):
+            TenantAdmission([])
+
+    def test_refusals_carry_the_tenant_prefix(self):
+        admission = TenantAdmission([TenantBudget("a", 1, 10**9)])
+        assert admission.admit("a", 1, 0.0) is None
+        assert admission.admit("a", 1, 0.0) == "tenant_rpm"
+
+    def test_budget_validation(self):
+        with pytest.raises(ServingError):
+            TenantBudget("", 10, 1000)
+        with pytest.raises(ServingError):
+            TenantBudget("a", 0, 1000)
+        with pytest.raises(ServingError):
+            TenantBudget("a", 10, 0)
+
+
+# -- conservation through the whole service --------------------------------
+
+_steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),   # tenant index
+        st.floats(min_value=0.0, max_value=2.0,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(min_value=0, max_value=39),  # instance index
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(
+    steps=_steps,
+    rpm=st.integers(min_value=1, max_value=30),
+    tpm=st.integers(min_value=200, max_value=20_000),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    # the factory fixtures are stateless closures over session-scoped
+    # data; every example builds its own fresh service from them
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_queue_conservation_and_typed_outcomes(
+    adult_dataset, make_service, make_trace, steps, rpm, tpm
+):
+    budgets = [TenantBudget(f"tenant-{i}", rpm, tpm) for i in range(3)]
+    service = make_service(
+        budgets=budgets,
+        serve_config=ServeConfig(max_batch=4, max_wait_s=1.0),
+    )
+    now = 0.0
+    rows = []
+    for tenant, delta, index in steps:
+        now += delta
+        rows.append((f"tenant-{tenant}", now, index))
+    trace = make_trace(rows)
+
+    report = service.serve(trace)
+
+    # arrived = served + rejected, and the ids partition exactly
+    assert report.n_served + report.n_rejected == len(trace)
+    served = {r.request_id for r in report.responses}
+    rejected = {r.request_id for r in report.rejections}
+    assert served.isdisjoint(rejected)
+    assert served | rejected == {r.request_id for r in trace}
+    # every outcome is typed
+    assert all(r.reason in REJECT_REASONS for r in report.rejections)
+    assert all(r.source in ANSWER_SOURCES for r in report.responses)
+    # no tenant's served requests ever exceed its RPM plan in any
+    # trailing minute (admission charges served requests only)
+    for tenant in ("tenant-0", "tenant-1", "tenant-2"):
+        arrivals = sorted(
+            r.arrival_s for r in report.responses if r.tenant == tenant
+        )
+        for at in arrivals:
+            assert sum(1 for a in arrivals if at - 60.0 < a <= at) <= rpm

@@ -1,0 +1,96 @@
+"""Starvation and fairness regressions.
+
+The coalescer's bound: a group flushes whole at its *oldest* entry's
+deadline, so no request waits past its own ``max_wait`` on the arrival
+clock — a high-rate tenant can fill batches but can never delay a
+low-rate tenant's flush.  Refusals are always typed, one reason per
+rejection, so a squeezed tenant can tell a full queue from an exhausted
+plan.
+"""
+
+import pytest
+
+from repro.serving import (
+    REJECT_REASONS,
+    ServeConfig,
+    TenantBudget,
+    TenantSpec,
+    generate_trace,
+)
+from tests.serving.conftest import generous_budgets
+
+
+@pytest.mark.parametrize("coalesce", ["window", "eager"])
+def test_whale_cannot_starve_minnow(adult_dataset, make_service, coalesce):
+    """160:1 rate imbalance; every request still flushes within max_wait."""
+    tenants = [
+        TenantSpec("whale", rate_rps=80.0, n_requests=400),
+        TenantSpec("minnow", rate_rps=0.5, n_requests=5),
+    ]
+    trace = generate_trace(adult_dataset, tenants, seed=3)
+    max_wait_s = 2.0
+    service = make_service(
+        budgets=generous_budgets("whale", "minnow"),
+        serve_config=ServeConfig(
+            coalesce=coalesce, max_wait_s=max_wait_s, max_batch=8
+        ),
+    )
+    report = service.serve(trace)
+
+    assert report.n_rejected == 0
+    for response in report.responses:
+        assert response.wait_s <= max_wait_s + 1e-9
+    # the minnow's requests all complete, none swallowed by whale churn
+    minnow = [r for r in report.responses if r.tenant == "minnow"]
+    assert len(minnow) == 5
+
+
+def test_rpm_exhaustion_is_typed(make_service, make_trace):
+    trace = make_trace([
+        ("tenant-0", 0.1 * i, i) for i in range(5)
+    ])
+    service = make_service(
+        budgets=[TenantBudget("tenant-0", 2, 10**9)],
+    )
+    report = service.serve(trace)
+    assert report.n_served == 2
+    assert [r.reason for r in report.rejections] == ["tenant_rpm"] * 3
+    assert {r.request_id for r in report.rejections} == {2, 3, 4}
+
+
+def test_tpm_exhaustion_is_typed(make_service, make_trace):
+    """A plan too small for even one question refuses everything as
+    tenant_tpm — and never burns a completion call doing it."""
+    trace = make_trace([("tenant-0", float(i), i) for i in range(3)])
+    service = make_service(
+        budgets=[TenantBudget("tenant-0", 10**6, 1)],
+    )
+    report = service.serve(trace)
+    assert report.n_served == 0
+    assert [r.reason for r in report.rejections] == ["tenant_tpm"] * 3
+    assert report.usage.total_tokens == 0
+
+
+def test_queue_full_rejects_new_questions_but_not_joins(
+    make_service, make_trace
+):
+    """With one queue slot: a second unique question is refused
+    queue_full, but a duplicate of the queued question still rides along
+    as a waiter — capacity bounds questions, not requests."""
+    trace = make_trace([
+        ("tenant-0", 0.0, 0),   # occupies the only slot
+        ("tenant-0", 0.1, 1),   # new unique question -> queue_full
+        ("tenant-0", 0.2, 0),   # duplicate -> joins as waiter
+    ])
+    service = make_service(
+        serve_config=ServeConfig(
+            max_queue=1, max_batch=16, max_wait_s=100.0
+        ),
+    )
+    report = service.serve(trace)
+    assert {r.request_id for r in report.responses} == {0, 2}
+    [rejection] = report.rejections
+    assert rejection.request_id == 1
+    assert rejection.reason == "queue_full"
+    assert rejection.detail  # names the in-flight count
+    assert {r.reason for r in report.rejections} <= set(REJECT_REASONS)

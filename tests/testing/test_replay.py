@@ -18,6 +18,7 @@ from repro.core import parsing as live_parsing
 from repro.data.instances import Task
 from repro.errors import AnswerFormatError
 from repro.testing import (
+    GOLDEN_CELLS,
     GoldenStore,
     ReplayError,
     load_mutated_parsing,
@@ -27,7 +28,12 @@ from repro.testing import (
 )
 
 STORE = GoldenStore(Path(__file__).parent.parent / "golden" / "snapshots")
-SNAPSHOT_NAMES = STORE.names()
+#: only pipeline cells record a reply corpus; serving snapshots freeze
+#: scheduler behavior and have nothing for the parser to replay
+SNAPSHOT_NAMES = [
+    name for name in STORE.names()
+    if name in {cell.name for cell in GOLDEN_CELLS}
+]
 
 #: single-character edits of core/parsing.py, each breaking a different
 #: layer: marker detection, block splitting, block classification, and
