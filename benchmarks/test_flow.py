@@ -1,0 +1,62 @@
+"""Flow benchmark — per-stage and end-to-end cost of the reference flow.
+
+Runs the shipped detect → impute → align → match reference flow on the
+simulated clock and writes ``BENCH_flow.json`` with tokens, request
+counts, and latency for every stage plus the end-to-end roll-up.  All
+quantities come from the deterministic token meter, so the file is
+byte-reproducible and the printed table doubles as a regression anchor:
+a prompt-assembly change that bloats one stage's token bill shows up as
+a diff in this artifact.
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.eval.reporting import render_table
+from repro.flow import run_flow_bench
+
+OUT_PATH = Path("BENCH_flow.json")
+
+
+def test_reference_flow_cost_breakdown(benchmark):
+    payload = run_once(benchmark, run_flow_bench, out_path=OUT_PATH)
+
+    rows = []
+    for name, stage in payload["stages"].items():
+        rows.append([
+            name,
+            stage["kind"],
+            str(stage["n_requests"]),
+            str(stage["prompt_tokens"] + stage["completion_tokens"]),
+            f"{stage['estimated_seconds']:.2f}",
+            str(stage["n_quarantined"]),
+        ])
+    totals = payload["end_to_end"]
+    rows.append([
+        "end-to-end", "-",
+        str(totals["n_requests"]),
+        str(totals["prompt_tokens"] + totals["completion_tokens"]),
+        f"{totals['estimated_seconds']:.2f}",
+        "-",
+    ])
+    print()
+    print(render_table(
+        f"Flow — {payload['flow']}, Beer 30+30 rows, GPT-3.5, "
+        f"concurrency {payload['concurrency']}",
+        ["stage", "kind", "requests", "tokens", "sim s", "quarantined"],
+        rows,
+    ))
+
+    # the roll-up must equal the sum of its stages
+    for key in ("prompt_tokens", "completion_tokens", "n_requests"):
+        assert totals[key] == sum(s[key] for s in payload["stages"].values())
+    # the flow did real work at every stage
+    assert payload["outputs"]["flagged"] > 0
+    assert payload["outputs"]["imputed"] > 0
+    assert payload["outputs"]["correspondences"] > 0
+    assert totals["n_requests"] > 0
+
+    # and the artifact on disk is the canonical form of what we measured
+    written = json.loads(OUT_PATH.read_text(encoding="utf-8"))
+    assert written == payload

@@ -41,23 +41,46 @@ from repro.llm.base import LLMClient, Usage
 
 @dataclass
 class WorkflowReport:
-    """Usage accounting shared by every workflow result."""
+    """Usage accounting shared by every workflow result.
+
+    ``prep_cache_hits``/``prep_cache_misses`` surface the shared-artifact
+    cache counters from :class:`~repro.core.prep.PrepStats`, so a flow
+    composing several workflows over the same records can see how much
+    serialization/embedding work was reused across stages instead of the
+    reuse hiding inside per-stage wall time.
+    """
 
     usage: Usage
     n_requests: int
     estimated_seconds: float
+    prep_cache_hits: int = 0
+    prep_cache_misses: int = 0
 
     @classmethod
     def from_results(cls, results: list[PipelineResult]) -> "WorkflowReport":
         usage = Usage(prompt_tokens=0, completion_tokens=0)
         n_requests = 0
         seconds = 0.0
+        hits = 0
+        misses = 0
         for result in results:
             usage = usage + result.usage
             n_requests += result.n_requests
             seconds += result.estimated_seconds
+            if result.prep is not None:
+                hits += result.prep.total_hits
+                misses += result.prep.total_misses
         return cls(usage=usage, n_requests=n_requests,
-                   estimated_seconds=seconds)
+                   estimated_seconds=seconds,
+                   prep_cache_hits=hits, prep_cache_misses=misses)
+
+    def merge(self, other: "WorkflowReport") -> None:
+        """Fold another report's accounting into this one, in place."""
+        self.usage = self.usage + other.usage
+        self.n_requests += other.n_requests
+        self.estimated_seconds += other.estimated_seconds
+        self.prep_cache_hits += other.prep_cache_hits
+        self.prep_cache_misses += other.prep_cache_misses
 
 
 @dataclass
@@ -73,6 +96,13 @@ class FlaggedCell:
 class ErrorDetectionResult:
     flagged: list[FlaggedCell]
     report: WorkflowReport
+    #: (row, attribute) of every cell actually posed to the model, in
+    #: instance order — zips against ``result.predictions``
+    positions: list[tuple[int, str]] = field(default_factory=list)
+    #: cells the caller asked us to skip (e.g. upstream quarantines)
+    excluded: list[tuple[int, str]] = field(default_factory=list)
+    #: the underlying pipeline result (quarantine, exchanges, prep stats)
+    result: PipelineResult | None = None
 
 
 @dataclass
@@ -80,12 +110,20 @@ class ImputationResult:
     table: Table                     # a repaired copy
     imputed: dict[int, str]          # row index -> imputed value
     report: WorkflowReport
+    #: row index of every missing cell posed, in instance order
+    rows: list[int] = field(default_factory=list)
+    #: rows the caller asked us to skip (e.g. upstream quarantines)
+    excluded: list[int] = field(default_factory=list)
+    result: PipelineResult | None = None
 
 
 @dataclass
 class SchemaMatchResult:
     correspondences: list[tuple[str, str]]
     report: WorkflowReport
+    #: every attribute pair posed, in instance order
+    pairs: list[tuple[str, str]] = field(default_factory=list)
+    result: PipelineResult | None = None
 
 
 @dataclass
@@ -94,6 +132,11 @@ class EntityMatchResult:
     n_candidates: int
     reduction_ratio: float
     report: WorkflowReport
+    #: candidate pairs actually posed, in instance order
+    candidates: list[tuple[int, int]] = field(default_factory=list)
+    #: candidate pairs dropped because a row was excluded by the caller
+    excluded: list[tuple[int, int]] = field(default_factory=list)
+    result: PipelineResult | None = None
 
 
 def _run(
@@ -103,12 +146,16 @@ def _run(
     instances: list,
     fewshot_pool: list | None = None,
     name: str = "workflow",
+    checkpoint=None,
+    keep_raw: bool = False,
 ) -> PipelineResult:
     dataset = PreprocessingDataset(
         name=name, task=task, instances=instances,
         fewshot_pool=list(fewshot_pool or []),
     )
-    return Preprocessor(client, config).run(dataset)
+    return Preprocessor(client, config).run(
+        dataset, keep_raw=keep_raw, checkpoint=checkpoint
+    )
 
 
 def detect_errors(
@@ -117,24 +164,36 @@ def detect_errors(
     attributes: list[str] | None = None,
     config: PipelineConfig | None = None,
     fewshot: list[EDInstance] | None = None,
+    exclude: set[tuple[int, str]] | None = None,
+    checkpoint=None,
+    keep_raw: bool = False,
 ) -> ErrorDetectionResult:
     """Scan ``attributes`` (default: all) of every row for erroneous cells.
 
     ``fewshot`` optionally supplies hand-labeled examples demonstrating the
     table's error criteria — without them the run is zero-shot, which the
     paper's ablation shows is much weaker for error detection.
+
+    ``exclude`` lists ``(row, attribute)`` cells to skip entirely; skipped
+    cells are reported back in ``excluded`` so callers (the flow engine)
+    can account for them instead of losing them.
     """
     config = config or PipelineConfig()
+    exclude = exclude or set()
     names = list(attributes or table.schema.attribute_names)
     for name in names:
         if name not in table.schema:
             raise ConfigError(f"table has no attribute {name!r}")
     instances: list[EDInstance] = []
     positions: list[tuple[int, str]] = []
+    excluded: list[tuple[int, str]] = []
     for row, record in enumerate(table):
         for name in names:
             if record[name] is None:
                 continue  # missingness is imputation's job
+            if (row, name) in exclude:
+                excluded.append((row, name))
+                continue
             instances.append(
                 EDInstance(record=record, target_attribute=name, label=False,
                            instance_id=f"ed-{row}-{name}")
@@ -143,7 +202,8 @@ def detect_errors(
     if not instances:
         raise EvaluationError("the table has no non-missing cells to check")
     result = _run(client, config, Task.ERROR_DETECTION, instances,
-                  fewshot_pool=fewshot, name="detect_errors")
+                  fewshot_pool=fewshot, name="detect_errors",
+                  checkpoint=checkpoint, keep_raw=keep_raw)
     flagged = [
         FlaggedCell(row=row, attribute=name,
                     value=None if table[row][name] is None
@@ -152,7 +212,8 @@ def detect_errors(
         if predicted
     ]
     return ErrorDetectionResult(
-        flagged=flagged, report=WorkflowReport.from_results([result])
+        flagged=flagged, report=WorkflowReport.from_results([result]),
+        positions=positions, excluded=excluded, result=result,
     )
 
 
@@ -163,9 +224,18 @@ def impute_missing(
     config: PipelineConfig | None = None,
     fewshot: list[DIInstance] | None = None,
     type_hint: str | None = None,
+    exclude_rows: set[int] | None = None,
+    checkpoint=None,
+    keep_raw: bool = False,
 ) -> ImputationResult:
-    """Fill every missing cell of ``attribute``; returns a repaired copy."""
+    """Fill every missing cell of ``attribute``; returns a repaired copy.
+
+    Rows in ``exclude_rows`` are skipped even when missing (their records
+    are untrustworthy — e.g. an upstream stage quarantined one of their
+    cells) and reported back in ``excluded``.
+    """
     config = config or PipelineConfig()
+    exclude_rows = exclude_rows or set()
     if type_hint is not None:
         from dataclasses import replace
 
@@ -174,8 +244,12 @@ def impute_missing(
         raise ConfigError(f"table has no attribute {attribute!r}")
     instances: list[DIInstance] = []
     rows: list[int] = []
+    excluded: list[int] = []
     for row, record in enumerate(table):
         if record[attribute] is None:
+            if row in exclude_rows:
+                excluded.append(row)
+                continue
             instances.append(
                 DIInstance(record=record, target_attribute=attribute,
                            true_value="", instance_id=f"di-{row}")
@@ -186,9 +260,11 @@ def impute_missing(
             table=Table(table.schema, [r.copy() for r in table]),
             imputed={},
             report=WorkflowReport.from_results([]),
+            rows=[], excluded=excluded,
         )
     result = _run(client, config, Task.DATA_IMPUTATION, instances,
-                  fewshot_pool=fewshot, name="impute_missing")
+                  fewshot_pool=fewshot, name="impute_missing",
+                  checkpoint=checkpoint, keep_raw=keep_raw)
     repaired = Table(table.schema, [record.copy() for record in table])
     imputed: dict[int, str] = {}
     for row, value in zip(rows, result.predictions):
@@ -198,6 +274,7 @@ def impute_missing(
     return ImputationResult(
         table=repaired, imputed=imputed,
         report=WorkflowReport.from_results([result]),
+        rows=rows, excluded=excluded, result=result,
     )
 
 
@@ -259,9 +336,7 @@ def repair_errors(
             else:
                 unrepaired.append(cell)
     report = WorkflowReport.from_results(results)
-    report.usage = report.usage + detection.report.usage
-    report.n_requests += detection.report.n_requests
-    report.estimated_seconds += detection.report.estimated_seconds
+    report.merge(detection.report)
     return RepairResult(
         table=repaired, repairs=repairs,
         flagged_unrepaired=unrepaired, report=report,
@@ -274,6 +349,8 @@ def match_schemas(
     right: Schema,
     config: PipelineConfig | None = None,
     fewshot: list[SMInstance] | None = None,
+    checkpoint=None,
+    keep_raw: bool = False,
 ) -> SchemaMatchResult:
     """Compare every attribute pair of two schemas."""
     config = config or PipelineConfig()
@@ -286,7 +363,8 @@ def match_schemas(
     if not instances:
         raise EvaluationError("both schemas must have attributes")
     result = _run(client, config, Task.SCHEMA_MATCHING, instances,
-                  fewshot_pool=fewshot, name="match_schemas")
+                  fewshot_pool=fewshot, name="match_schemas",
+                  checkpoint=checkpoint, keep_raw=keep_raw)
     correspondences = [
         (inst.pair.left.name, inst.pair.right.name)
         for inst, predicted in zip(instances, result.predictions)
@@ -295,6 +373,8 @@ def match_schemas(
     return SchemaMatchResult(
         correspondences=correspondences,
         report=WorkflowReport.from_results([result]),
+        pairs=[(i.pair.left.name, i.pair.right.name) for i in instances],
+        result=result,
     )
 
 
@@ -306,14 +386,25 @@ def match_entities(
     blocking_method: str = "token",
     config: PipelineConfig | None = None,
     fewshot: list[EMInstance] | None = None,
+    exclude_left_rows: set[int] | None = None,
+    exclude_right_rows: set[int] | None = None,
+    checkpoint=None,
+    keep_raw: bool = False,
 ) -> EntityMatchResult:
     """Block two tables, then match the candidate pairs with the LLM.
 
     ``blocking_attribute`` defaults to the first attribute (the identity
     field).  Blocking keeps the pairwise stage tractable — the classical
     two-step EM procedure from the paper's Section 2.1.
+
+    Candidate pairs touching an excluded row on either side are dropped
+    from the pairwise stage and reported back in ``excluded`` — matching
+    against a record whose cells an upstream stage quarantined would
+    launder untrustworthy data into the match set.
     """
     config = config or PipelineConfig()
+    exclude_left_rows = exclude_left_rows or set()
+    exclude_right_rows = exclude_right_rows or set()
     if left.schema.attribute_names != right.schema.attribute_names:
         raise ConfigError(
             "entity matching expects schema-aligned tables; align or "
@@ -325,29 +416,39 @@ def match_entities(
     blocking = Blocker(blocking_attribute, method=blocking_method).block(
         left, right
     )
-    if not blocking.pairs:
+    candidates: list[tuple[int, int]] = []
+    excluded: list[tuple[int, int]] = []
+    for i, j in blocking.pairs:
+        if i in exclude_left_rows or j in exclude_right_rows:
+            excluded.append((i, j))
+        else:
+            candidates.append((i, j))
+    if not candidates:
         return EntityMatchResult(
             matches=[], n_candidates=0,
             reduction_ratio=blocking.reduction_ratio,
             report=WorkflowReport.from_results([]),
+            candidates=[], excluded=excluded,
         )
     instances = [
         EMInstance(
             pair=RecordPair(left[i], right[j]), label=False,
             instance_id=f"em-{i}-{j}",
         )
-        for i, j in blocking.pairs
+        for i, j in candidates
     ]
     result = _run(client, config, Task.ENTITY_MATCHING, instances,
-                  fewshot_pool=fewshot, name="match_entities")
+                  fewshot_pool=fewshot, name="match_entities",
+                  checkpoint=checkpoint, keep_raw=keep_raw)
     matches = [
         (i, j)
-        for (i, j), predicted in zip(blocking.pairs, result.predictions)
+        for (i, j), predicted in zip(candidates, result.predictions)
         if predicted
     ]
     return EntityMatchResult(
         matches=matches,
-        n_candidates=len(blocking.pairs),
+        n_candidates=len(candidates),
         reduction_ratio=blocking.reduction_ratio,
         report=WorkflowReport.from_results([result]),
+        candidates=candidates, excluded=excluded, result=result,
     )

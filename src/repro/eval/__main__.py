@@ -18,6 +18,9 @@ Usage::
                                      [--out BENCH_serving.json]
     python -m repro.eval fuzz [--cases 200] [--seed 0]
     python -m repro.eval chaos [--cell NAME] [--site SITE] [--workdir DIR]
+    python -m repro.eval flow SPEC.yaml [--describe] [--workdir DIR]
+                             [--resume] [--manifest OUT] [--concurrency N]
+    python -m repro.eval flow --reference [--bench BENCH_flow.json]
 
 Every cell prints as ``measured (paper)`` so the reproduction gap is
 visible inline.  ``--scale 1.0`` runs the published dataset sizes.
@@ -29,7 +32,10 @@ can convert its span trace to the Chrome ``chrome://tracing`` format).
 ``golden`` verifies (or, with ``--update``, re-records) the golden
 conformance snapshots; ``fuzz`` runs the deterministic reply fuzzer;
 ``chaos`` runs the crash→resume determinism matrix.  All three exit
-non-zero on drift/violations.
+non-zero on drift/violations.  ``flow`` runs (or ``--describe``s) a
+declarative prep flow — a YAML stage DAG, or the shipped reference flow
+with ``--reference`` — with per-stage checkpointing under ``--workdir``
+and bit-identical ``--resume``.
 """
 
 from __future__ import annotations
@@ -337,6 +343,112 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_flow(args: argparse.Namespace) -> int:
+    """Run, resume, or describe a declarative prep flow."""
+    from pathlib import Path
+
+    from repro.core.config import PipelineConfig
+    from repro.errors import ConfigError
+    from repro.flow import (
+        FlowEngine,
+        load_flow_spec,
+        reference_spec,
+        run_flow_bench,
+    )
+    from repro.llm.simulated import SimulatedLLM
+    from repro.obs.manifest import canonical_json
+    from repro.runtime import JournalError
+
+    if args.bench is not None:
+        payload = run_flow_bench(
+            out_path=args.bench, concurrency=args.concurrency
+        )
+        totals = payload["end_to_end"]
+        print(
+            f"flow-bench: {payload['flow']} — "
+            f"{totals['n_requests']} request(s), "
+            f"{totals['prompt_tokens'] + totals['completion_tokens']} "
+            f"tokens, {totals['estimated_seconds']:.2f}s simulated"
+        )
+        print(f"report written to {args.bench}")
+        return 0
+    try:
+        if args.reference:
+            spec = reference_spec()
+        elif args.spec is not None:
+            spec = load_flow_spec(
+                Path(args.spec).read_text(encoding="utf-8")
+            )
+        else:
+            print(
+                "error: provide a flow spec path or --reference",
+                file=sys.stderr,
+            )
+            return 2
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot read {args.spec}: {error}", file=sys.stderr)
+        return 2
+    if args.describe:
+        print(spec.describe())
+        return 0
+    if args.resume:
+        if args.workdir is None:
+            print(
+                "error: --resume needs --workdir (the ledger lives there)",
+                file=sys.stderr,
+            )
+            return 2
+        ledger_path = Path(args.workdir) / "flow.journal"
+        if not ledger_path.exists():
+            print(
+                f"error: no flow ledger to resume at {ledger_path}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        overrides = dict(spec.config)
+        overrides["concurrency"] = args.concurrency
+        config = PipelineConfig(**overrides)
+        client = SimulatedLLM(config.model, seed=args.seed)
+        engine = FlowEngine(client, config, workdir=args.workdir)
+        tables, __ = spec.build_inputs()
+        result = engine.run(spec.graph, tables)
+    except (ConfigError, JournalError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"flow {spec.name}: {len(result.order)} stage(s)")
+    for name in result.order:
+        stage = result.stages[name]
+        usage = stage.report.usage
+        origin = "resumed from ledger" if stage.resumed else "ran"
+        note = (
+            f", {len(stage.quarantine)} quarantined"
+            if stage.quarantine else ""
+        )
+        print(
+            f"  {name} ({stage.kind}): {origin}, "
+            f"{stage.report.n_requests} request(s), "
+            f"{usage.prompt_tokens + usage.completion_tokens} tokens{note}"
+        )
+    totals = result.report
+    print(
+        f"end to end: {totals.n_requests} request(s), "
+        f"{totals.usage.prompt_tokens + totals.usage.completion_tokens} "
+        f"tokens, {totals.estimated_seconds:.2f}s simulated"
+    )
+    if args.workdir is not None:
+        print(f"ledger at {Path(args.workdir) / 'flow.journal'}")
+    if args.manifest:
+        Path(args.manifest).write_text(
+            canonical_json(result.manifest_payload()), encoding="utf-8"
+        )
+        print(f"manifest written to {args.manifest}")
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     """Run the deterministic reply fuzzer and report invariant violations."""
     from repro.testing import run_fuzz
@@ -473,6 +585,33 @@ def main(argv: list[str] | None = None) -> int:
                                 "(default: $REPRO_CHAOS_DIFF_PATH or "
                                 "CHAOS_DIFF.txt)")
     chaos_cmd.set_defaults(handler=_cmd_chaos)
+    flow_cmd = sub.add_parser(
+        "flow",
+        help="run, resume, or describe a declarative prep flow "
+             "(a YAML stage DAG composing the four tasks)",
+    )
+    flow_cmd.add_argument("spec", nargs="?", default=None,
+                          help="path to a flow spec YAML")
+    flow_cmd.add_argument("--reference", action="store_true",
+                          help="use the shipped reference flow "
+                               "(detect → impute → align → match on Beer)")
+    flow_cmd.add_argument("--describe", action="store_true",
+                          help="print the parsed stage plan and exit")
+    flow_cmd.add_argument("--workdir", default=None, metavar="DIR",
+                          help="enable durability: flow ledger plus "
+                               "per-stage journals under DIR")
+    flow_cmd.add_argument("--resume", action="store_true",
+                          help="continue an interrupted run from the "
+                               "ledger in --workdir (must exist; refuses "
+                               "a ledger from a different flow)")
+    flow_cmd.add_argument("--manifest", default=None, metavar="OUT",
+                          help="write the provenance manifest JSON here")
+    flow_cmd.add_argument("--concurrency", type=int, default=1)
+    flow_cmd.add_argument("--seed", type=int, default=0)
+    flow_cmd.add_argument("--bench", default=None, metavar="OUT",
+                          help="benchmark the reference flow and write "
+                               "per-stage + end-to-end numbers to OUT")
+    flow_cmd.set_defaults(handler=_cmd_flow)
     args = parser.parse_args(argv)
     return args.handler(args) or 0
 

@@ -1,0 +1,293 @@
+"""YAML flow specifications: declare a flow, its inputs, and its stages.
+
+A spec is a single YAML document:
+
+.. code-block:: yaml
+
+    flow: clean_match_beer
+    config:                      # optional PipelineConfig overrides
+      degradation: ladder
+    inputs:
+      dirty_left:
+        dataset: beer            # any registered dataset
+        side: left               # required for entity-matching datasets
+        size: 30
+        corrupt:                 # optional, applied in order
+          - {kind: typos, attribute: beer_name, rate: 0.2, seed: 7}
+          - {kind: missing, attribute: style, rate: 0.25, seed: 3}
+      clean_right:
+        dataset: beer
+        side: right
+        size: 30
+    stages:
+      - name: detect
+        kind: detect_errors
+        table: inputs.dirty_left
+        params: {attributes: [beer_name]}
+      - name: impute
+        kind: impute_missing
+        table: detect
+        params: {attribute: style}
+      - name: match
+        kind: match_entities
+        left: impute
+        right: inputs.clean_right
+        params: {blocking_attribute: beer_name}
+
+Each stage wires its kind's ports (``table`` or ``left``/``right``) as
+top-level keys; everything else an operator needs goes under ``params``.
+Parsing is strict — unknown keys, malformed sections, and graph problems
+all raise typed :class:`~repro.errors.ConfigError` before anything runs.
+PyYAML is an optional dependency: specs are only needed by the CLI path,
+so its absence degrades to a clear error, not an import crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+try:  # pragma: no cover - exercised only where PyYAML is absent
+    import yaml as _yaml
+except ImportError:  # pragma: no cover
+    _yaml = None
+
+from repro.data.records import Table
+from repro.errors import ConfigError
+from repro.flow.graph import STAGE_PORTS, FlowGraph, StageNode
+from repro.flow.tables import dataset_table, inject_missing, inject_typos
+
+_INPUT_KEYS = {"dataset", "side", "size", "seed", "corrupt"}
+_STAGE_KEYS = {"name", "kind", "params", "table", "left", "right"}
+_CORRUPT_KEYS = {"kind", "attribute", "rate", "seed", "typo_kind"}
+_CORRUPTORS = ("typos", "missing")
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """One declared corruption pass over an input table."""
+
+    kind: str
+    attribute: str
+    rate: float = 0.2
+    seed: int = 0
+    typo_kind: str = "any"
+
+    def payload(self) -> dict:
+        return {
+            "kind": self.kind,
+            "attribute": self.attribute,
+            "rate": self.rate,
+            "seed": self.seed,
+            "typo_kind": self.typo_kind,
+        }
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """One declared flow input: a dataset-derived table, optionally dirtied."""
+
+    name: str
+    dataset: str
+    side: str | None = None
+    size: int | None = None
+    seed: int = 0
+    corrupt: tuple[CorruptionSpec, ...] = ()
+
+    def build(self) -> tuple[Table, list[tuple[int, str, str]]]:
+        """The table plus the audit trail of every corrupted cell."""
+        table = dataset_table(
+            self.dataset, size=self.size, seed=self.seed, side=self.side
+        )
+        touched: list[tuple[int, str, str]] = []
+        for pass_ in self.corrupt:
+            if pass_.kind == "typos":
+                outcome = inject_typos(
+                    table, pass_.attribute, rate=pass_.rate,
+                    seed=pass_.seed, kind=pass_.typo_kind,
+                )
+            else:
+                outcome = inject_missing(
+                    table, pass_.attribute, rate=pass_.rate, seed=pass_.seed
+                )
+            table = outcome.table
+            touched.extend(outcome.cells)
+        return table, touched
+
+    def payload(self) -> dict:
+        return {
+            "name": self.name,
+            "dataset": self.dataset,
+            "side": self.side,
+            "size": self.size,
+            "seed": self.seed,
+            "corrupt": [pass_.payload() for pass_ in self.corrupt],
+        }
+
+
+@dataclass
+class FlowSpec:
+    """A fully parsed flow: name, graph, input recipes, config overrides."""
+
+    name: str
+    graph: FlowGraph
+    inputs: dict[str, InputSpec] = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
+
+    def build_inputs(
+        self,
+    ) -> tuple[dict[str, Table], dict[str, list[tuple[int, str, str]]]]:
+        """Materialize every input table; also return corruption audits."""
+        tables: dict[str, Table] = {}
+        audits: dict[str, list[tuple[int, str, str]]] = {}
+        for name in sorted(self.inputs):
+            tables[name], audits[name] = self.inputs[name].build()
+        return tables, audits
+
+    def payload(self) -> dict:
+        """Canonical plain data — two specs are equal iff payloads are."""
+        return {
+            "name": self.name,
+            "config": dict(self.config),
+            "inputs": [
+                self.inputs[name].payload() for name in sorted(self.inputs)
+            ],
+            "graph": self.graph.spec_payload(),
+        }
+
+    def describe(self) -> str:
+        lines = [f"flow: {self.name}"]
+        if self.config:
+            overrides = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(self.config.items())
+            )
+            lines.append(f"config: {overrides}")
+        for name in sorted(self.inputs):
+            spec = self.inputs[name]
+            source = spec.dataset + (f".{spec.side}" if spec.side else "")
+            dirt = ""
+            if spec.corrupt:
+                dirt = " + " + ", ".join(
+                    f"{p.kind}({p.attribute}@{p.rate})" for p in spec.corrupt
+                )
+            lines.append(f"input {name}: {source}"
+                         f"{f' [{spec.size} rows]' if spec.size else ''}{dirt}")
+        lines.append(self.graph.describe())
+        return "\n".join(lines)
+
+
+def _require_mapping(value: object, what: str) -> dict:
+    if not isinstance(value, dict):
+        raise ConfigError(f"{what} must be a mapping, got "
+                          f"{type(value).__name__}")
+    return value
+
+
+def _check_keys(mapping: dict, allowed: set[str], what: str) -> None:
+    unknown = sorted(set(mapping) - allowed)
+    if unknown:
+        raise ConfigError(
+            f"{what} has unknown key(s): {', '.join(unknown)}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+def _parse_corruption(raw: object, where: str) -> CorruptionSpec:
+    entry = _require_mapping(raw, f"{where} corrupt entry")
+    _check_keys(entry, _CORRUPT_KEYS, f"{where} corrupt entry")
+    for key in ("kind", "attribute"):
+        if key not in entry:
+            raise ConfigError(f"{where} corrupt entry is missing {key!r}")
+    kind = str(entry["kind"])
+    if kind not in _CORRUPTORS:
+        raise ConfigError(
+            f"{where}: unknown corruption kind {kind!r}; expected "
+            f"{' or '.join(_CORRUPTORS)}"
+        )
+    return CorruptionSpec(
+        kind=kind,
+        attribute=str(entry["attribute"]),
+        rate=float(entry.get("rate", 0.2)),
+        seed=int(entry.get("seed", 0)),
+        typo_kind=str(entry.get("typo_kind", "any")),
+    )
+
+
+def _parse_input(name: str, raw: object) -> InputSpec:
+    where = f"input {name!r}"
+    entry = _require_mapping(raw, where)
+    _check_keys(entry, _INPUT_KEYS, where)
+    if "dataset" not in entry:
+        raise ConfigError(f"{where} is missing 'dataset'")
+    side = entry.get("side")
+    if side is not None and side not in ("left", "right"):
+        raise ConfigError(
+            f"{where}: side must be 'left' or 'right', got {side!r}"
+        )
+    return InputSpec(
+        name=name,
+        dataset=str(entry["dataset"]),
+        side=None if side is None else str(side),
+        size=None if entry.get("size") is None else int(entry["size"]),
+        seed=int(entry.get("seed", 0)),
+        corrupt=tuple(
+            _parse_corruption(item, where)
+            for item in (entry.get("corrupt") or [])
+        ),
+    )
+
+
+def _parse_stage(raw: object, index: int) -> StageNode:
+    where = f"stage #{index + 1}"
+    entry = _require_mapping(raw, where)
+    _check_keys(entry, _STAGE_KEYS, where)
+    for key in ("name", "kind"):
+        if key not in entry:
+            raise ConfigError(f"{where} is missing {key!r}")
+    name = str(entry["name"])
+    kind = str(entry["kind"])
+    ports = STAGE_PORTS.get(kind, ("table", "left", "right"))
+    wired = {
+        port: str(entry[port]) for port in ports if port in entry
+    }
+    params = _require_mapping(entry.get("params") or {},
+                              f"{where} ('{name}') params")
+    return StageNode.make(name=name, kind=kind, inputs=wired, params=params)
+
+
+def parse_flow(document: object) -> FlowSpec:
+    """Build a :class:`FlowSpec` from an already-decoded YAML document."""
+    root = _require_mapping(document, "flow spec")
+    _check_keys(root, {"flow", "config", "inputs", "stages"}, "flow spec")
+    if "flow" not in root:
+        raise ConfigError("flow spec is missing its 'flow' name")
+    if "stages" not in root or not isinstance(root["stages"], list):
+        raise ConfigError("flow spec needs a 'stages' list")
+    inputs = {
+        str(name): _parse_input(str(name), raw)
+        for name, raw in _require_mapping(
+            root.get("inputs") or {}, "'inputs' section"
+        ).items()
+    }
+    stages = [
+        _parse_stage(raw, index) for index, raw in enumerate(root["stages"])
+    ]
+    graph = FlowGraph(stages, inputs=tuple(inputs))
+    config = _require_mapping(root.get("config") or {}, "'config' section")
+    return FlowSpec(
+        name=str(root["flow"]), graph=graph, inputs=inputs,
+        config=dict(config),
+    )
+
+
+def load_flow_spec(text: str) -> FlowSpec:
+    """Parse a YAML flow spec from source text."""
+    if _yaml is None:
+        raise ConfigError(
+            "flow specs are YAML documents, but PyYAML is not installed; "
+            "install pyyaml or build the FlowGraph programmatically"
+        )
+    try:
+        document = _yaml.safe_load(text)
+    except _yaml.YAMLError as exc:
+        raise ConfigError(f"flow spec is not valid YAML: {exc}") from exc
+    return parse_flow(document)

@@ -1,0 +1,145 @@
+"""Flow inputs: build tables from the registered datasets, optionally dirty.
+
+The benchmark datasets ship as *instance* collections (one question per
+cell or pair); a flow consumes *tables*.  :func:`dataset_table`
+reassembles a table from a dataset's instances — deduplicating the
+records that back several instances, restoring ground-truth values for
+imputation datasets, and selecting a side for entity-matching pairs.
+
+A clean benchmark table gives the detect/impute stages nothing to do, so
+the reference flows dirty their inputs first: :func:`inject_typos` and
+:func:`inject_missing` corrupt a deterministic sample of cells (seeded
+``random.Random``, reusing the corruption kit the ED benchmarks use) and
+report exactly which cells they touched, so tests can check the flow
+found and repaired what was planted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.data.instances import Task
+from repro.data.records import Record, Table
+from repro.datasets.corruption import typo
+from repro.datasets.registry import load_dataset
+from repro.errors import ConfigError, DatasetError
+
+
+def dataset_table(
+    name: str,
+    size: int | None = None,
+    seed: int = 0,
+    side: str | None = None,
+) -> Table:
+    """A :class:`Table` reassembled from dataset ``name``'s instances.
+
+    ``side`` must be ``"left"`` or ``"right"`` for entity-matching
+    datasets (each instance is a record *pair*) and omitted otherwise.
+    Imputation datasets come back whole: the ground-truth value is
+    restored into each instance's blanked target cell.
+    """
+    dataset = load_dataset(name, size=size, seed=seed)
+    task = dataset.task
+    if task in (Task.ERROR_DETECTION, Task.DATA_IMPUTATION):
+        if side is not None:
+            raise ConfigError(
+                f"dataset {name!r} ({task.value}) has no sides; "
+                f"drop the side selector"
+            )
+        records: list[Record] = []
+        seen: set[str] = set()
+        for instance in dataset.instances:
+            record = instance.record
+            if record.record_id in seen:
+                continue
+            seen.add(record.record_id)
+            copy = record.copy()
+            if task is Task.DATA_IMPUTATION and instance.true_value:
+                copy[instance.target_attribute] = instance.true_value
+            records.append(copy)
+        if not records:
+            raise DatasetError(f"dataset {name!r} produced no records")
+        return Table(records[0].schema, records)
+    if task is Task.ENTITY_MATCHING:
+        if side not in ("left", "right"):
+            raise ConfigError(
+                f"dataset {name!r} (entity matching) needs side='left' "
+                f"or side='right'"
+            )
+        records = []
+        seen = set()
+        for instance in dataset.instances:
+            record = getattr(instance.pair, side)
+            if record.record_id in seen:
+                continue
+            seen.add(record.record_id)
+            records.append(record.copy())
+        if not records:
+            raise DatasetError(f"dataset {name!r} produced no records")
+        return Table(records[0].schema, records)
+    raise ConfigError(
+        f"dataset {name!r} ({task.value}) holds attribute pairs, not "
+        f"records; it cannot back a flow table input"
+    )
+
+
+@dataclass
+class CorruptedCells:
+    """The audit trail of one corruption pass over a table."""
+
+    table: Table
+    #: (row, attribute, original value) for every cell touched
+    cells: list[tuple[int, str, str]] = field(default_factory=list)
+
+
+def _eligible_rows(table: Table, attribute: str) -> list[int]:
+    if attribute not in table.schema:
+        raise ConfigError(f"table has no attribute {attribute!r}")
+    return [
+        row for row, record in enumerate(table)
+        if record[attribute] is not None
+    ]
+
+
+def _sample_rows(
+    eligible: list[int], rate: float, seed: int
+) -> list[int]:
+    if not 0.0 < rate <= 1.0:
+        raise ConfigError(f"corruption rate must be in (0, 1], got {rate}")
+    if not eligible:
+        raise DatasetError("no non-missing cells to corrupt")
+    count = max(1, round(rate * len(eligible)))
+    rng = random.Random(seed)
+    return sorted(rng.sample(eligible, min(count, len(eligible))))
+
+
+def inject_typos(
+    table: Table, attribute: str, rate: float = 0.2, seed: int = 0,
+    kind: str = "any",
+) -> CorruptedCells:
+    """Copy ``table`` with typos in a seeded sample of ``attribute`` cells."""
+    rows = _sample_rows(_eligible_rows(table, attribute), rate, seed)
+    rng = random.Random(seed + 1)  # edits independent of row choice
+    corrupted = Table(table.schema, [record.copy() for record in table])
+    cells: list[tuple[int, str, str]] = []
+    for row in rows:
+        original = str(corrupted[row][attribute])
+        edit = typo(original, rng, kind=kind)
+        corrupted[row][attribute] = edit.corrupted
+        cells.append((row, attribute, original))
+    return CorruptedCells(table=corrupted, cells=cells)
+
+
+def inject_missing(
+    table: Table, attribute: str, rate: float = 0.2, seed: int = 0
+) -> CorruptedCells:
+    """Copy ``table`` with a seeded sample of ``attribute`` cells blanked."""
+    rows = _sample_rows(_eligible_rows(table, attribute), rate, seed)
+    corrupted = Table(table.schema, [record.copy() for record in table])
+    cells: list[tuple[int, str, str]] = []
+    for row in rows:
+        original = str(corrupted[row][attribute])
+        corrupted[row][attribute] = None
+        cells.append((row, attribute, original))
+    return CorruptedCells(table=corrupted, cells=cells)

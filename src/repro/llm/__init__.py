@@ -18,7 +18,7 @@ from repro.llm.base import (
     LLMClient,
     Usage,
 )
-from repro.llm.faults import Fault, FaultInjectingClient
+from repro.llm.faults import Fault, FaultInjectingClient, GarblingClient
 from repro.llm.profiles import ModelProfile, get_profile, list_profiles
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.accounting import UsageLedger
@@ -26,6 +26,7 @@ from repro.llm.accounting import UsageLedger
 __all__ = [
     "Fault",
     "FaultInjectingClient",
+    "GarblingClient",
     "ChatMessage",
     "CompletionRequest",
     "CompletionResponse",

@@ -195,6 +195,69 @@ class FaultInjectingClient:
                 restore(state["inner"])
 
 
+class GarblingClient:
+    """Serves an unparseable reply whenever a trigger string is in the prompt.
+
+    Wraps any :class:`~repro.llm.base.LLMClient`; a request whose
+    transcript contains one of ``triggers`` gets ``reply`` (metered
+    through the real token accounting, so usage stays honest) instead of
+    the wrapped client's answer.  Because the decision is a pure function
+    of the request *content*, the garbling fires identically at any
+    concurrency, batch composition, or retry order — including the
+    degradation ladder's bisected and per-instance re-asks, which still
+    contain the poisoned cell's text.  That makes it the deterministic
+    way to drive one chosen instance into quarantine: plant a marker
+    value in a cell, trigger on it, and every prompt mentioning that
+    cell yields garbage until the ladder gives up.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        triggers: Sequence[str],
+        reply: str = "I cannot help with that.",
+    ):
+        if not triggers:
+            raise LLMError("GarblingClient needs at least one trigger string")
+        self._inner = inner
+        self._triggers = tuple(str(trigger) for trigger in triggers)
+        self._reply = reply
+        self.n_calls = 0
+        self.n_garbled = 0
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        self.n_calls += 1
+        transcript = "\n".join(content for __, content in request.transcript)
+        if any(trigger in transcript for trigger in self._triggers):
+            self.n_garbled += 1
+            from repro.llm.accounting import meter_response
+            from repro.llm.profiles import get_profile
+
+            return meter_response(
+                get_profile(request.model), request, self._reply
+            )
+        return self._inner.complete(request)
+
+    def checkpoint_state(self) -> dict:
+        inner_state = None
+        capture = getattr(self._inner, "checkpoint_state", None)
+        if callable(capture):
+            inner_state = capture()
+        return {
+            "n_calls": self.n_calls,
+            "n_garbled": self.n_garbled,
+            "inner": inner_state,
+        }
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        self.n_calls = int(state["n_calls"])
+        self.n_garbled = int(state["n_garbled"])
+        if state.get("inner") is not None:
+            restore = getattr(self._inner, "restore_checkpoint_state", None)
+            if callable(restore):
+                restore(state["inner"])
+
+
 def fail_first(n: int, fault: Fault) -> FaultPlan:
     """A plan injecting ``fault`` on the first ``n`` calls."""
     return lambda index: fault if index <= n else None

@@ -25,9 +25,11 @@ from repro.testing.fuzz import (
 )
 from repro.testing.golden import (
     ALL_GOLDEN_CELLS,
+    FLOW_GOLDEN_CELLS,
     GOLDEN_CELLS,
     GOLDEN_VERSION,
     SERVING_GOLDEN_CELLS,
+    FlowGoldenCell,
     GoldenCell,
     ServingGoldenCell,
     GoldenDiff,
@@ -37,6 +39,7 @@ from repro.testing.golden import (
     cell_by_name,
     default_store_root,
     diff_payloads,
+    flow_cell_fixture,
     render_diffs,
     write_diff_artifact,
 )
@@ -52,9 +55,11 @@ from repro.testing.replay import (
 
 __all__ = [
     "ALL_GOLDEN_CELLS",
+    "FLOW_GOLDEN_CELLS",
     "GOLDEN_CELLS",
     "GOLDEN_VERSION",
     "SERVING_GOLDEN_CELLS",
+    "FlowGoldenCell",
     "GoldenCell",
     "ServingGoldenCell",
     "GoldenDiff",
@@ -64,6 +69,7 @@ __all__ = [
     "cell_by_name",
     "default_store_root",
     "diff_payloads",
+    "flow_cell_fixture",
     "render_diffs",
     "write_diff_artifact",
     "ReplayError",

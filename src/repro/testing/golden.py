@@ -119,18 +119,111 @@ SERVING_GOLDEN_CELLS: tuple[ServingGoldenCell, ...] = (
     ),
 )
 
-#: every recorded cell, offline and serving
-ALL_GOLDEN_CELLS: tuple[GoldenCell | ServingGoldenCell, ...] = (
-    GOLDEN_CELLS + SERVING_GOLDEN_CELLS
+
+@dataclass(frozen=True)
+class FlowGoldenCell:
+    """One recorded two-stage flow: ED → DI with staged degradation.
+
+    The cell plants a marker string in one cell of a small Adult table
+    and garbles every model reply whose prompt mentions it
+    (:class:`~repro.llm.faults.GarblingClient`), so the detect stage's
+    degradation ladder quarantines exactly that instance; the same row
+    also has its imputation target blanked, so the impute stage must
+    visibly *exclude* the row rather than fill it.  The snapshot freezes
+    the full flow payload — per-stage prompts and raw replies, flagged /
+    imputed cells, the quarantine, its downstream exclusion, and the
+    provenance trail — so any drift in cross-stage propagation is a
+    golden diff, not a silent behavior change.
+    """
+
+    name: str
+    dataset: str = "adult"
+    rows: int = 12
+    model: str = "gpt-3.5"
+    seed: int = 0
+    detect_attribute: str = "occupation"
+    impute_attribute: str = "workclass"
+    poison_row: int = 5
+    marker: str = "!!GARBLED-CELL!!"
+    missing_rows: tuple[int, ...] = (2, 5, 8)
+
+
+FLOW_GOLDEN_CELLS: tuple[FlowGoldenCell, ...] = (
+    FlowGoldenCell("flow_ed_di_adult"),
+)
+
+#: every recorded cell, offline, serving, and flow
+ALL_GOLDEN_CELLS: tuple[GoldenCell | ServingGoldenCell | FlowGoldenCell, ...] = (
+    GOLDEN_CELLS + SERVING_GOLDEN_CELLS + FLOW_GOLDEN_CELLS
 )
 
 
-def cell_by_name(name: str) -> GoldenCell | ServingGoldenCell:
+def cell_by_name(name: str) -> "GoldenCell | ServingGoldenCell | FlowGoldenCell":
     for cell in ALL_GOLDEN_CELLS:
         if cell.name == name:
             return cell
     known = ", ".join(cell.name for cell in ALL_GOLDEN_CELLS)
     raise GoldenError(f"unknown golden cell {name!r}; known cells: {known}")
+
+
+def flow_cell_fixture(cell: FlowGoldenCell):
+    """The client, config, graph, and poisoned table for one flow cell.
+
+    Shared between snapshot capture and the flow tests, so both exercise
+    the exact same scenario.
+    """
+    from repro.core.config import PipelineConfig
+    from repro.data.records import Table
+    from repro.flow.graph import FlowGraph, StageNode
+    from repro.flow.tables import dataset_table
+    from repro.llm.faults import GarblingClient
+    from repro.llm.simulated import SimulatedLLM
+
+    base = dataset_table(cell.dataset, size=4 * cell.rows, seed=cell.seed)
+    records = [record.copy() for record in list(base)[: cell.rows]]
+    table = Table(base.schema, records)
+    table[cell.poison_row][cell.detect_attribute] = cell.marker
+    for row in cell.missing_rows:
+        table[row][cell.impute_attribute] = None
+    graph = FlowGraph(
+        [
+            StageNode.make(
+                "detect", "detect_errors",
+                inputs={"table": "inputs.dirty"},
+                params={"attributes": [cell.detect_attribute]},
+            ),
+            StageNode.make(
+                "impute", "impute_missing",
+                inputs={"table": "detect"},
+                params={"attribute": cell.impute_attribute},
+            ),
+        ],
+        inputs=("dirty",),
+    )
+    client = GarblingClient(
+        SimulatedLLM(cell.model, seed=cell.seed), triggers=[cell.marker]
+    )
+    config = PipelineConfig(
+        model=cell.model, seed=cell.seed, degradation="ladder"
+    )
+    return client, config, graph, table
+
+
+def _capture_flow_snapshot(cell: FlowGoldenCell) -> dict:
+    """Run the cell's two-stage flow and freeze the full flow payload."""
+    from repro.flow.engine import FlowEngine
+
+    client, config, graph, table = flow_cell_fixture(cell)
+    result = FlowEngine(client, config).run(
+        graph, {"dirty": table}, keep_raw=True
+    )
+    payload = {
+        "golden_version": GOLDEN_VERSION,
+        "cell": {**dataclasses.asdict(cell), "kind": "flow"},
+        "flow": result.payload(include_timing=True),
+        "n_garbled": client.n_garbled,
+    }
+    return json.loads(canonical_json(payload))
 
 
 def _capture_serving_snapshot(cell: ServingGoldenCell) -> dict:
@@ -180,10 +273,14 @@ def _capture_serving_snapshot(cell: ServingGoldenCell) -> dict:
     return json.loads(canonical_json(payload))
 
 
-def capture_snapshot(cell: "GoldenCell | ServingGoldenCell") -> dict:
+def capture_snapshot(
+    cell: "GoldenCell | ServingGoldenCell | FlowGoldenCell",
+) -> dict:
     """Run ``cell`` end to end and freeze its behavior as a JSON payload."""
     if isinstance(cell, ServingGoldenCell):
         return _capture_serving_snapshot(cell)
+    if isinstance(cell, FlowGoldenCell):
+        return _capture_flow_snapshot(cell)
     # Imported here so the conformance layer stays importable without
     # dragging the dataset/LLM stack in at module-import time.
     from repro.datasets import load_dataset

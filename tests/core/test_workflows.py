@@ -4,11 +4,13 @@ import pytest
 
 from repro import PipelineConfig, SimulatedLLM
 from repro.core.workflows import (
+    WorkflowReport,
     detect_errors,
     impute_missing,
     match_entities,
     match_schemas,
 )
+from repro.llm.base import Usage
 from repro.data.records import Table
 from repro.data.schema import Attribute, Schema
 from repro.datasets import load_dataset
@@ -163,3 +165,89 @@ class TestMatchEntities:
         empty = Table(left.schema, [])
         with pytest.raises(EvaluationError):
             match_entities(client, left, empty, config=config)
+
+
+class TestReportCounters:
+    def test_prep_cache_counters_surface_in_the_report(self, client, config):
+        dataset = load_dataset("hospital", size=40)
+        schema = dataset.instances[0].record.schema
+        table = Table(schema, [i.record.copy() for i in dataset.instances[:8]])
+        result = detect_errors(client, table, attributes=["city"],
+                               config=config)
+        report = result.report
+        assert report.prep_cache_misses > 0
+        assert report.prep_cache_hits >= 0
+
+    def test_merge_folds_usage_and_counters(self):
+        first = WorkflowReport(
+            usage=Usage(prompt_tokens=10, completion_tokens=2),
+            n_requests=1, estimated_seconds=0.5,
+            prep_cache_hits=3, prep_cache_misses=4,
+        )
+        second = WorkflowReport(
+            usage=Usage(prompt_tokens=5, completion_tokens=1),
+            n_requests=2, estimated_seconds=0.25,
+            prep_cache_hits=1, prep_cache_misses=2,
+        )
+        first.merge(second)
+        assert first.usage.prompt_tokens == 15
+        assert first.usage.completion_tokens == 3
+        assert first.n_requests == 3
+        assert first.estimated_seconds == 0.75
+        assert first.prep_cache_hits == 4
+        assert first.prep_cache_misses == 6
+
+
+class TestExclusions:
+    def test_detect_skips_excluded_cells(self, client, config):
+        dataset = load_dataset("hospital", size=40)
+        schema = dataset.instances[0].record.schema
+        table = Table(schema, [i.record.copy() for i in dataset.instances[:8]])
+        table[0]["city"] = "bostxon"
+        result = detect_errors(
+            client, table, attributes=["city"], config=config,
+            exclude={(0, "city")},
+        )
+        assert (0, "city") in result.excluded
+        assert (0, "city") not in result.positions
+        assert not any(f.row == 0 and f.attribute == "city"
+                       for f in result.flagged)
+
+    def test_impute_skips_excluded_rows(self, client, config,
+                                        restaurant_table):
+        table, truths = restaurant_table
+        skip = sorted(truths)[0]
+        result = impute_missing(client, table, "city", config=config,
+                                exclude_rows={skip})
+        assert skip in result.excluded
+        assert skip not in result.imputed
+        assert skip not in result.rows
+        # the other held-out rows are still answered
+        assert result.imputed
+
+    def test_keep_raw_exposes_exchanges(self, client, config):
+        dataset = load_dataset("hospital", size=40)
+        schema = dataset.instances[0].record.schema
+        table = Table(schema, [i.record.copy() for i in dataset.instances[:6]])
+        result = detect_errors(client, table, attributes=["city"],
+                               config=config, keep_raw=True)
+        assert result.result is not None
+        assert result.result.exchanges
+
+    def test_match_entities_drops_pairs_touching_excluded_rows(
+        self, client, config
+    ):
+        dataset = load_dataset("beer", size=60)
+        schema = dataset.instances[0].pair.left.schema
+        left = Table(schema, [i.pair.left for i in dataset.instances[:20]])
+        right = Table(schema, [i.pair.right for i in dataset.instances[:20]])
+        baseline = match_entities(client, left, right, config=config)
+        banned = {pair[0] for pair in baseline.candidates[:2]}
+        assert banned
+        result = match_entities(client, left, right, config=config,
+                                exclude_left_rows=banned)
+        assert result.excluded
+        for i, __ in result.candidates:
+            assert i not in banned
+        for i, __ in result.excluded:
+            assert i in banned

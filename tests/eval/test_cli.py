@@ -140,6 +140,72 @@ class TestServeBenchCli:
         assert "golden serving_ed_adult_3tenants: OK" in out
 
 
+class TestFlowCli:
+    def test_describe_prints_the_plan_without_running(self, capsys):
+        assert main(["flow", "--reference", "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert "flow: clean_match_beer" in out
+        assert "1. detect [detect_errors]" in out
+        assert "4. match [match_entities]" in out
+
+    def test_run_resume_and_manifest(self, tmp_path, capsys):
+        workdir = str(tmp_path / "flowrun")
+        manifest = tmp_path / "flow_manifest.json"
+        assert main([
+            "flow", "--reference", "--workdir", workdir,
+            "--manifest", str(manifest),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flow clean_match_beer: 4 stage(s)" in out
+        assert "end to end:" in out
+        payload = json.loads(manifest.read_text(encoding="utf-8"))
+        assert payload["kind"] == "flow_manifest"
+        assert payload["order"] == ["detect", "impute", "align", "match"]
+
+        assert main([
+            "flow", "--reference", "--workdir", workdir, "--resume",
+        ]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed.count("resumed from ledger") == 4
+
+    def test_spec_file_runs(self, tmp_path, capsys):
+        from pathlib import Path
+
+        example = (
+            Path(__file__).parent.parent.parent
+            / "examples" / "flows" / "clean_match_beer.yaml"
+        )
+        assert main(["flow", str(example), "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert "flow: clean_match_beer" in out
+
+    def test_errors_exit_2(self, tmp_path, capsys):
+        # no spec and no --reference
+        assert main(["flow"]) == 2
+        # --resume without a ledger
+        assert main([
+            "flow", "--reference",
+            "--workdir", str(tmp_path / "void"), "--resume",
+        ]) == 2
+        # unreadable spec path
+        assert main(["flow", str(tmp_path / "absent.yaml")]) == 2
+        # malformed spec
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("flow: x\nstages: []\n", encoding="utf-8")
+        assert main(["flow", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_bench_writes_the_report(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_flow.json"
+        assert main(["flow", "--bench", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "flow-bench: clean_match_beer" in printed
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert set(payload["stages"]) == {"detect", "impute", "align", "match"}
+        assert payload["end_to_end"]["n_requests"] > 0
+
+
 class TestFuzzCli:
     def test_fuzz_command_reports_and_passes(self, capsys):
         assert main(["fuzz", "--cases", "40", "--seed", "0"]) == 0

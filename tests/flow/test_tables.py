@@ -1,0 +1,102 @@
+"""Dataset-backed flow tables and seeded corruption injectors."""
+
+import pytest
+
+from repro.errors import ConfigError, DatasetError
+from repro.flow import dataset_table, inject_missing, inject_typos
+
+
+class TestDatasetTable:
+    def test_error_detection_dataset_becomes_table(self):
+        table = dataset_table("adult", size=20)
+        assert len(table) > 0
+        assert "age" in table.schema
+
+    def test_imputation_dataset_restores_ground_truth(self):
+        """DI instances blank their target cell; the flow table gets the
+        true value back so corruption starts from clean data."""
+        table = dataset_table("restaurant", size=20)
+        missing = sum(
+            1 for record in table for __, value in record if value is None
+        )
+        assert missing == 0
+
+    def test_rows_are_deduplicated(self):
+        table = dataset_table("adult", size=40)
+        ids = [record.record_id for record in table]
+        assert len(ids) == len(set(ids))
+
+    def test_entity_matching_needs_a_side(self):
+        with pytest.raises(ConfigError, match="needs side="):
+            dataset_table("beer", size=10)
+
+    def test_entity_matching_sides_differ(self):
+        left = dataset_table("beer", size=20, side="left")
+        right = dataset_table("beer", size=20, side="right")
+        assert [r.record_id for r in left] != [r.record_id for r in right]
+
+    def test_side_rejected_for_single_table_dataset(self):
+        with pytest.raises(ConfigError, match="has no sides"):
+            dataset_table("adult", size=10, side="left")
+
+    def test_schema_matching_dataset_rejected(self):
+        with pytest.raises(ConfigError, match="attribute pairs"):
+            dataset_table("synthea", size=10)
+
+
+class TestInjectors:
+    def test_typos_touch_the_sampled_cells_only(self):
+        table = dataset_table("adult", size=20)
+        outcome = inject_typos(table, "occupation", rate=0.2, seed=3)
+        touched = {(row, attribute) for row, attribute, __ in outcome.cells}
+        assert touched
+        for row, record in enumerate(outcome.table):
+            for name, value in record:
+                if (row, name) in touched:
+                    assert value != table[row][name]
+                else:
+                    assert value == table[row][name]
+
+    def test_original_table_is_not_mutated(self):
+        table = dataset_table("adult", size=20)
+        before = [dict(record) for record in table]
+        inject_typos(table, "occupation", rate=0.5, seed=0)
+        inject_missing(table, "occupation", rate=0.5, seed=0)
+        assert [dict(record) for record in table] == before
+
+    def test_missing_blanks_cells_and_audits_originals(self):
+        table = dataset_table("adult", size=20)
+        outcome = inject_missing(table, "education", rate=0.3, seed=1)
+        assert outcome.cells
+        for row, attribute, original in outcome.cells:
+            assert outcome.table[row][attribute] is None
+            assert str(table[row][attribute]) == original
+
+    def test_same_seed_same_cells(self):
+        table = dataset_table("adult", size=30)
+        first = inject_typos(table, "occupation", rate=0.2, seed=5)
+        second = inject_typos(table, "occupation", rate=0.2, seed=5)
+        assert first.cells == second.cells
+
+    def test_different_seed_different_sample(self):
+        table = dataset_table("adult", size=30)
+        first = inject_typos(table, "occupation", rate=0.2, seed=5)
+        second = inject_typos(table, "occupation", rate=0.2, seed=6)
+        assert first.cells != second.cells
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_rate_out_of_range(self, rate):
+        table = dataset_table("adult", size=10)
+        with pytest.raises(ConfigError, match="rate must be in"):
+            inject_typos(table, "occupation", rate=rate)
+
+    def test_unknown_attribute(self):
+        table = dataset_table("adult", size=10)
+        with pytest.raises(ConfigError, match="no attribute"):
+            inject_missing(table, "ghost")
+
+    def test_nothing_left_to_corrupt(self):
+        table = dataset_table("adult", size=10)
+        blanked = inject_missing(table, "occupation", rate=1.0, seed=0).table
+        with pytest.raises(DatasetError, match="no non-missing cells"):
+            inject_missing(blanked, "occupation", rate=0.5, seed=0)

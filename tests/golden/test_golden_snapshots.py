@@ -14,6 +14,7 @@ import pytest
 
 from repro.testing import (
     ALL_GOLDEN_CELLS,
+    FLOW_GOLDEN_CELLS,
     GOLDEN_CELLS,
     SERVING_GOLDEN_CELLS,
     GoldenDiff,
@@ -27,6 +28,7 @@ from repro.testing import (
 STORE = GoldenStore(Path(__file__).parent / "snapshots")
 
 PIPELINE_NAMES = {cell.name for cell in GOLDEN_CELLS}
+FLOW_NAMES = {cell.name for cell in FLOW_GOLDEN_CELLS}
 
 
 @pytest.mark.parametrize(
@@ -53,6 +55,8 @@ def test_snapshots_are_canonical_json():
         assert payload["golden_version"] == 1
         if name in PIPELINE_NAMES:
             assert payload["exchanges"], f"{name} recorded no exchanges"
+        elif name in FLOW_NAMES:
+            assert payload["flow"]["stages"], f"{name} recorded no stages"
         else:
             assert payload["serve"]["responses"], (
                 f"{name} recorded no responses"
@@ -77,6 +81,31 @@ def test_serving_snapshot_covers_reject_and_share_paths():
         counters = serve["metrics"]["counters"]
         assert counters["serving.cache.hits"] > 0
         assert counters["serving.cache.misses"] > 0
+
+
+def test_flow_snapshot_covers_quarantine_propagation():
+    """The flow corpus must freeze the staged-degradation story: a cell
+    quarantined in one stage, and the next stage visibly excluding it."""
+    assert FLOW_GOLDEN_CELLS, "no flow cells recorded"
+    for cell in FLOW_GOLDEN_CELLS:
+        payload = STORE.load(cell.name)
+        assert payload["n_garbled"] > 0, "garbling never fired"
+        stages = payload["flow"]["stages"]
+        first, second = (
+            stages[name] for name in payload["flow"]["order"]
+        )
+        quarantined = first["provenance"]["quarantined"]
+        assert quarantined, f"{cell.name}: stage 1 quarantined nothing"
+        excluded = second["provenance"]["excluded_upstream"]
+        assert excluded, f"{cell.name}: stage 2 excluded nothing"
+        # the exclusion names the stage that quarantined the cell
+        assert any(
+            first["name"] in entry["detail"] for entry in excluded
+        )
+        # each stage recorded its raw exchanges for replay
+        assert first["exchanges"] and second["exchanges"]
+        # the happy path still ran: stage 2 imputed the undamaged rows
+        assert second["output"]["imputed"]
 
 
 def test_snapshot_covers_all_parse_paths():

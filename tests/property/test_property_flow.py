@@ -1,0 +1,116 @@
+"""Property tests for flow graph scheduling (repro.flow.graph).
+
+Flow journals address stages by their position in the topological order,
+so that order must be a *pure function of the graph*: the same set of
+stages and edges must schedule identically no matter what order a
+program declared them in.  And every malformed graph — cycles, dangling
+references — must fail closed with a typed ConfigError, never a hang or
+a partial schedule.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.flow import FlowGraph, StageNode
+
+_names = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+    ).filter(lambda s: not s.startswith("inputs")),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+@st.composite
+def random_dags(draw):
+    """A random DAG of table-producing stages over one flow input.
+
+    Stage i may consume any stage j < i (in name-sorted construction
+    order) or the flow input; edges always point from lower to higher
+    index, so the graph is acyclic by construction.
+    """
+    names = draw(_names)
+    stages = []
+    for index, name in enumerate(names):
+        if index == 0:
+            source = "inputs.t"
+        else:
+            upstream = draw(
+                st.integers(min_value=-1, max_value=index - 1)
+            )
+            source = "inputs.t" if upstream < 0 else names[upstream]
+        stages.append(
+            StageNode.make(name, "detect_errors", {"table": source})
+        )
+    return stages
+
+
+@given(random_dags(), st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_topological_order_is_insertion_order_free(stages, rng):
+    """Shuffling the declaration order never changes the schedule."""
+    baseline = FlowGraph(stages, inputs=("t",)).topological_order()
+    shuffled = list(stages)
+    rng.shuffle(shuffled)
+    assert FlowGraph(shuffled, inputs=("t",)).topological_order() == baseline
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_order_is_a_valid_schedule(stages):
+    """Every stage appears exactly once, after everything it consumes."""
+    graph = FlowGraph(stages, inputs=("t",))
+    order = graph.topological_order()
+    assert sorted(order) == sorted(graph.stages)
+    position = {name: index for index, name in enumerate(order)}
+    for name, stage in graph.stages.items():
+        for upstream in stage.upstream_stages():
+            assert position[upstream] < position[name]
+
+
+@given(_names, st.data())
+@settings(max_examples=60, deadline=None)
+def test_any_cycle_raises_config_error(names, data):
+    """Chain the stages, then add one back edge: always a ConfigError."""
+    if len(names) < 2:
+        names = names + [names[0] + "x"]
+    stages = []
+    for index, name in enumerate(names):
+        source = "inputs.t" if index == 0 else names[index - 1]
+        stages.append(
+            StageNode.make(name, "detect_errors", {"table": source})
+        )
+    # rewire stage k to consume a later stage, closing a cycle
+    k = data.draw(st.integers(min_value=0, max_value=len(names) - 2))
+    j = data.draw(st.integers(min_value=k + 1, max_value=len(names) - 1))
+    stages[k] = StageNode.make(names[k], "detect_errors", {"table": names[j]})
+    with pytest.raises(ConfigError, match="cycle"):
+        FlowGraph(stages, inputs=("t",))
+
+
+@given(random_dags(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_dangling_reference_raises_config_error(stages, data):
+    """Rewiring any stage to a nonexistent upstream fails closed."""
+    index = data.draw(
+        st.integers(min_value=0, max_value=len(stages) - 1)
+    )
+    victim = stages[index]
+    stages[index] = StageNode.make(
+        victim.name, victim.kind, {"table": "no_such_stage"}
+    )
+    with pytest.raises(ConfigError, match="unknown stage"):
+        FlowGraph(stages, inputs=("t",))
+
+
+@given(random_dags())
+@settings(max_examples=30, deadline=None)
+def test_spec_payload_is_canonical(stages):
+    """Payload equality is declaration-order independent too."""
+    forward = FlowGraph(stages, inputs=("t",)).spec_payload()
+    backward = FlowGraph(list(reversed(stages)), inputs=("t",)).spec_payload()
+    assert forward == backward
