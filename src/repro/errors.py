@@ -144,6 +144,12 @@ class InjectedCrashError(ReproError):
         super().__init__(message)
 
 
+class ShardError(ReproError):
+    """A sharded run was planned, executed, or merged inconsistently
+    (overlapping shard deltas, a payload from a foreign plan, an
+    unmergeable metrics snapshot)."""
+
+
 class ConfigError(ReproError):
     """A pipeline configuration is inconsistent."""
 

@@ -12,6 +12,9 @@ Usage::
                              [--manifest out.json] [--chrome out.trace.json]
                              [--journal run.journal | --resume run.journal]
                              [--degradation off|ladder]
+                             [--workers N] [--shards S]
+    python -m repro.eval shard-bench [--out BENCH_shards.json]
+                                     [--size 240] [--decode-n 1000]
     python -m repro.eval trace manifest.json [--chrome out.trace.json]
     python -m repro.eval golden [--update] [--cell NAME] [--store DIR]
     python -m repro.eval serve-bench [--requests 200000] [--tenants 3]
@@ -123,9 +126,81 @@ def _cmd_cluster_batching(args: argparse.Namespace) -> None:
     print()
 
 
+def _cmd_run_sharded(args: argparse.Namespace) -> int:
+    """The scale-out path of ``run``: shard the dataset, fan out workers.
+
+    ``--journal`` names a *directory* here (one ``shard-NNNN.journal``
+    per shard); re-running with the same directory resumes.  The merged
+    result is bit-identical at any ``--workers`` count.
+    """
+    from repro import PipelineConfig, load_dataset
+    from repro.data.instances import ground_truth_labels
+    from repro.errors import ShardError
+    from repro.eval.metrics import score_answered
+    from repro.eval.reporting import format_score_with_coverage
+    from repro.llm.backend import SimulatedBackend
+    from repro.llm.profiles import get_profile
+    from repro.runtime import JournalError
+    from repro.shard import run_sharded
+
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    config = PipelineConfig(
+        model=args.model,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        observability=True,
+        degradation=args.degradation,
+    )
+    backend = SimulatedBackend(model=args.model, seed=args.seed)
+    workdir = args.resume or args.journal
+    try:
+        run = run_sharded(
+            backend, config, dataset,
+            n_shards=args.shards,
+            workers=args.workers,
+            workdir=workdir,
+        )
+    except (ShardError, JournalError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    merged = run.merged
+    labels = ground_truth_labels(dataset.instances)
+    score, n_scored = score_answered(
+        dataset.task, merged.predictions, labels
+    )
+    cost = get_profile(args.model).cost_usd(
+        merged.usage["prompt_tokens"], merged.usage["completion_tokens"]
+    )
+    score_text = format_score_with_coverage(score, merged.coverage)
+    total_tokens = (
+        merged.usage["prompt_tokens"] + merged.usage["completion_tokens"]
+    )
+    print(
+        f"{args.dataset} / {args.model}: {dataset.task.metric_name} "
+        f"{score_text}, {total_tokens} tokens, ${cost:.2f}, "
+        f"{merged.estimated_seconds / 3600.0:.3f}h"
+    )
+    print(
+        f"sharded: {run.plan.n_shards} shard(s) over {run.workers} "
+        f"worker(s); parallel makespan {merged.estimated_seconds:.1f}s vs "
+        f"{merged.sequential_seconds:.1f}s sequential"
+    )
+    if merged.n_quarantined:
+        print(
+            f"quarantined: {merged.n_quarantined}/{merged.n_instances} "
+            f"instance(s) left unanswered"
+        )
+    if workdir:
+        print(f"shard journals under {workdir}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     """One observed evaluation run; optionally writes its manifest."""
     from pathlib import Path
+
+    if args.workers > 1 or args.shards is not None:
+        return _cmd_run_sharded(args)
 
     from repro import PipelineConfig, SimulatedLLM, load_dataset
     from repro.eval.harness import evaluate_pipeline
@@ -412,8 +487,19 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         overrides = dict(spec.config)
         overrides["concurrency"] = args.concurrency
         config = PipelineConfig(**overrides)
-        client = SimulatedLLM(config.model, seed=args.seed)
-        engine = FlowEngine(client, config, workdir=args.workdir)
+        if args.workers > 1:
+            # Parallel stages require hermetic per-stage clients; the
+            # backend builds one in each worker process.
+            from repro.llm.backend import SimulatedBackend
+
+            engine = FlowEngine(
+                None, config, workdir=args.workdir,
+                backend=SimulatedBackend(model=config.model, seed=args.seed),
+                workers=args.workers,
+            )
+        else:
+            client = SimulatedLLM(config.model, seed=args.seed)
+            engine = FlowEngine(client, config, workdir=args.workdir)
         tables, __ = spec.build_inputs()
         result = engine.run(spec.graph, tables)
     except (ConfigError, JournalError) as error:
@@ -446,6 +532,34 @@ def _cmd_flow(args: argparse.Namespace) -> int:
             canonical_json(result.manifest_payload()), encoding="utf-8"
         )
         print(f"manifest written to {args.manifest}")
+    return 0
+
+
+def _cmd_shard_bench(args: argparse.Namespace) -> int:
+    """Measure the shard scaling curve and the batch-decode speedup."""
+    from repro.shard.bench import render_bench, run_shard_bench
+
+    payload = run_shard_bench(
+        out=args.out,
+        size=args.size,
+        n_shards=args.shards,
+        worker_counts=tuple(args.workers),
+        decode_n=args.decode_n,
+        dataset=args.dataset,
+        model=args.model,
+        seed=args.seed,
+    )
+    print(render_bench(payload))
+    print(f"report written to {args.out}")
+    identical = (
+        payload["scaling"]["identical"] and payload["decode"]["identical"]
+    )
+    if not identical:
+        print(
+            "error: sharded/vectorized results diverged from the reference",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -511,6 +625,14 @@ def main(argv: list[str] | None = None) -> int:
                          help="failure handling: 'off' fills safe fallback "
                               "answers (historical), 'ladder' bisects and "
                               "quarantines instead of guessing")
+    run_cmd.add_argument("--workers", type=int, default=1,
+                         help="worker processes for the sharded path "
+                              "(default 1: single-process, bit-identical "
+                              "to the historical behaviour)")
+    run_cmd.add_argument("--shards", type=int, default=None,
+                         help="shard count for the sharded path (default: "
+                              "auto-sized from the dataset; setting this "
+                              "opts into sharding even at --workers 1)")
     run_cmd.set_defaults(handler=_cmd_run)
     trace_cmd = sub.add_parser(
         "trace", help="render a run manifest written by `run`"
@@ -608,10 +730,33 @@ def main(argv: list[str] | None = None) -> int:
                           help="write the provenance manifest JSON here")
     flow_cmd.add_argument("--concurrency", type=int, default=1)
     flow_cmd.add_argument("--seed", type=int, default=0)
+    flow_cmd.add_argument("--workers", type=int, default=1,
+                          help="worker processes for independent stages "
+                               "(default 1; >1 runs each stage with a "
+                               "hermetic per-stage client)")
     flow_cmd.add_argument("--bench", default=None, metavar="OUT",
                           help="benchmark the reference flow and write "
                                "per-stage + end-to-end numbers to OUT")
     flow_cmd.set_defaults(handler=_cmd_flow)
+    shard_bench_cmd = sub.add_parser(
+        "shard-bench",
+        help="measure the worker scaling curve and the vectorized "
+             "batch-decode speedup; writes BENCH_shards.json",
+    )
+    shard_bench_cmd.add_argument("--out", default="BENCH_shards.json",
+                                 help="where to write the benchmark report")
+    shard_bench_cmd.add_argument("--size", type=int, default=240,
+                                 help="instances in the scaling run")
+    shard_bench_cmd.add_argument("--shards", type=int, default=8)
+    shard_bench_cmd.add_argument("--workers", type=int, nargs="+",
+                                 default=[1, 2, 4, 8],
+                                 help="worker counts to sweep")
+    shard_bench_cmd.add_argument("--decode-n", type=int, default=1000,
+                                 help="requests in the decode microbench")
+    shard_bench_cmd.add_argument("--dataset", default="adult")
+    shard_bench_cmd.add_argument("--model", default="gpt-3.5")
+    shard_bench_cmd.add_argument("--seed", type=int, default=0)
+    shard_bench_cmd.set_defaults(handler=_cmd_shard_bench)
     args = parser.parse_args(argv)
     return args.handler(args) or 0
 

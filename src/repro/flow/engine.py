@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -335,25 +337,40 @@ class FlowLedger:
 def flow_context(
     graph: FlowGraph,
     config: PipelineConfig,
-    client: LLMClient,
+    client: LLMClient | None,
     inputs: dict[str, Table],
     keep_raw: bool,
+    backend=None,
 ) -> dict:
-    """The context a flow ledger's header is sealed to."""
+    """The context a flow ledger's header is sealed to.
+
+    Stage-isolation runs (``backend`` set) seal the backend's description
+    instead of a client class name — deliberately a *different* context
+    than the shared-client path, because the two modes produce different
+    ledgers (isolation has no cross-stage client state) and must never
+    resume each other.  The worker count is deliberately absent: it is
+    pure scheduling, and a ledger written at ``workers=4`` resumes at
+    ``workers=1`` bit-identically.
+    """
     digests = {
         name: hashlib.sha256(
             canonical_json(table_payload(table)).encode("utf-8")
         ).hexdigest()[:16]
         for name, table in inputs.items()
     }
-    return {
+    context = {
         "kind": "flow",
         "flow": graph.spec_payload(),
         "config": canonical_json(config),
-        "client": type(client).__name__,
+        "client": (
+            {"stage_isolation": True, "backend": backend.describe()}
+            if backend is not None
+            else type(client).__name__
+        ),
         "keep_raw": keep_raw,
         "inputs": digests,
     }
+    return context
 
 
 # -- the engine ------------------------------------------------------------
@@ -368,6 +385,46 @@ class _Edge:
     source: str
 
 
+@dataclass(frozen=True)
+class _StageTask:
+    """One stage's full execution context, as a picklable value object.
+
+    Tables and marks travel as plain-data payloads (the same round-trip
+    the ledger uses), so a task crosses a spawn boundary with nothing but
+    stdlib pickling of frozen dataclasses and dicts.
+    """
+
+    node: StageNode
+    edges: tuple[tuple[str, dict], ...]
+    config: PipelineConfig
+    backend: object
+    journal_path: str | None
+    keep_raw: bool
+
+
+def _execute_stage_task(task: _StageTask) -> dict:
+    """Run one stage hermetically (module-level: spawn imports by name)."""
+    engine = FlowEngine(task.backend.build(), task.config)
+    edges = {
+        port: _Edge(
+            table=table_from_payload(payload["table"]),
+            marks=[
+                QuarantineMark.from_payload(mark)
+                for mark in payload["marks"]
+            ],
+            source=payload["source"],
+        )
+        for port, payload in task.edges
+    }
+    checkpoint = (
+        RunCheckpoint(task.journal_path)
+        if task.journal_path is not None
+        else None
+    )
+    result = engine._run_stage(task.node, edges, checkpoint, task.keep_raw)
+    return result.payload(include_timing=True)
+
+
 class FlowEngine:
     """Executes a flow graph over named input tables.
 
@@ -375,15 +432,58 @@ class FlowEngine:
     ``<workdir>/flow.journal`` and each stage's own run journals into
     ``<workdir>/stage-<seq>-<name>.journal``.  Without a workdir the run
     is purely in-memory (no resume).
+
+    Two execution modes:
+
+    - **shared client** (default, ``client`` given) — the historical
+      path: every stage runs through one client whose call counter
+      carries across stages, sequentially, with cross-stage client state
+      journaled in the ledger.
+    - **stage isolation** (``backend`` given) — every stage builds a
+      fresh hermetic client from the backend, which removes the
+      cross-stage coupling and is what makes parallel stage execution
+      legal: with ``workers > 1``, independent stages of the same
+      dependency generation run in a spawn-context process pool, and the
+      result is bit-identical at any worker count (``workers=1``
+      isolation included, since it runs the same hermetic stages inline).
+
+    The two modes produce different results by design (call-counter
+    continuity vs hermetic stages) and seal different ledger contexts, so
+    one can never silently resume the other.
     """
 
     def __init__(
         self,
-        client: LLMClient,
+        client: LLMClient | None,
         config: PipelineConfig | None = None,
         workdir: str | Path | None = None,
+        backend=None,
+        workers: int = 1,
     ):
+        from repro.llm.backend import Backend
+
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if backend is not None and not isinstance(backend, Backend):
+            raise ConfigError(
+                f"FlowEngine backend must satisfy the Backend protocol, "
+                f"got {type(backend).__name__}"
+            )
+        if backend is None:
+            if client is None:
+                raise ConfigError(
+                    "FlowEngine needs a client (shared-client mode) or a "
+                    "backend (stage-isolation mode)"
+                )
+            if workers > 1:
+                raise ConfigError(
+                    "parallel stage execution (workers > 1) requires "
+                    "stage isolation: pass backend= — a shared client's "
+                    "call counter cannot span processes"
+                )
         self.client = client
+        self.backend = backend
+        self.workers = workers
         self.config = config or PipelineConfig()
         self.workdir = Path(workdir) if workdir is not None else None
 
@@ -409,74 +509,34 @@ class FlowEngine:
             raise ConfigError(
                 f"chaos targets unknown stage {chaos.stage!r}"
             )
+        if chaos is not None and self.workers > 1:
+            raise ConfigError(
+                "flow chaos drills run at workers=1; a pool worker's "
+                "injected kill would tear down unrelated stages"
+            )
         order = graph.topological_order()
 
         ledger: FlowLedger | None = None
         if self.workdir is not None:
             self.workdir.mkdir(parents=True, exist_ok=True)
             context = flow_context(
-                graph, self.config, self.client, inputs, keep_raw
+                graph, self.config, self.client, inputs, keep_raw,
+                backend=self.backend,
             )
             ledger = FlowLedger.open(self.workdir / "flow.journal", context)
 
         stages: dict[str, StageResult] = {}
         resumed: list[str] = []
-        pending_client_state: dict | None = None
         try:
-            for seq, name in enumerate(order):
-                if ledger is not None and seq < len(ledger.records):
-                    record = ledger.records[seq]
-                    restored = StageResult.from_payload(record.state["stage"])
-                    restored.resumed = True
-                    stages[name] = restored
-                    resumed.append(name)
-                    pending_client_state = record.state.get("client")
-                    continue
-                if pending_client_state is not None:
-                    # First fresh stage after a restored prefix: put the
-                    # client back where the last journaled stage left it.
-                    restore_client_state(self.client, pending_client_state)
-                    pending_client_state = None
-                node = graph.stages[name]
-                edges = {
-                    port: self._resolve(ref, inputs, stages)
-                    for port, ref in node.inputs
-                }
-                checkpoint = None
-                if self.workdir is not None:
-                    checkpoint = RunCheckpoint(
-                        self.workdir / f"stage-{seq:02d}-{name}.journal"
-                    )
-                result = self._run_stage(node, edges, checkpoint, keep_raw)
-                stages[name] = result
-                if (
-                    chaos is not None
-                    and chaos.stage == name
-                    and chaos.site == "pre_record"
-                ):
-                    raise InjectedCrashError(
-                        "stage_boundary",
-                        f"pre_record: stage {name!r} finished, record lost",
-                    )
-                if ledger is not None:
-                    ledger.append_stage(
-                        seq,
-                        name,
-                        {
-                            "stage": result.payload(include_timing=True),
-                            "client": capture_client_state(self.client),
-                        },
-                    )
-                if (
-                    chaos is not None
-                    and chaos.stage == name
-                    and chaos.site == "post_record"
-                ):
-                    raise InjectedCrashError(
-                        "stage_boundary",
-                        f"post_record: killed between stage {name!r} "
-                        f"and its successor",
-                    )
+            if self.workers > 1:
+                self._run_parallel(
+                    graph, order, inputs, keep_raw, ledger, stages, resumed
+                )
+            else:
+                self._run_sequential(
+                    graph, order, inputs, keep_raw, chaos, ledger,
+                    stages, resumed,
+                )
         finally:
             if ledger is not None:
                 ledger.close()
@@ -494,6 +554,202 @@ class FlowEngine:
             stages=stages,
             report=report,
             resumed_stages=tuple(resumed),
+        )
+
+    def _run_sequential(
+        self,
+        graph: FlowGraph,
+        order: tuple[str, ...],
+        inputs: dict[str, Table],
+        keep_raw: bool,
+        chaos: FlowChaos | None,
+        ledger: FlowLedger | None,
+        stages: dict[str, StageResult],
+        resumed: list[str],
+    ) -> None:
+        """The inline path: shared-client mode, or isolation at workers=1."""
+        pending_client_state: dict | None = None
+        for seq, name in enumerate(order):
+            if ledger is not None and seq < len(ledger.records):
+                record = ledger.records[seq]
+                restored = StageResult.from_payload(record.state["stage"])
+                restored.resumed = True
+                stages[name] = restored
+                resumed.append(name)
+                pending_client_state = record.state.get("client")
+                continue
+            if pending_client_state is not None and self.backend is None:
+                # First fresh stage after a restored prefix: put the
+                # client back where the last journaled stage left it.
+                # (Isolation mode has no cross-stage client state.)
+                restore_client_state(self.client, pending_client_state)
+            pending_client_state = None
+            if self.backend is not None:
+                # Hermetic per-stage client: same construction as a pool
+                # worker's, which is what keeps workers=1 isolation
+                # bit-identical to workers=N.
+                self.client = self.backend.build()
+            node = graph.stages[name]
+            edges = {
+                port: self._resolve(ref, inputs, stages)
+                for port, ref in node.inputs
+            }
+            checkpoint = None
+            if self.workdir is not None:
+                checkpoint = RunCheckpoint(
+                    self.workdir / f"stage-{seq:02d}-{name}.journal"
+                )
+            result = self._run_stage(node, edges, checkpoint, keep_raw)
+            stages[name] = result
+            if (
+                chaos is not None
+                and chaos.stage == name
+                and chaos.site == "pre_record"
+            ):
+                raise InjectedCrashError(
+                    "stage_boundary",
+                    f"pre_record: stage {name!r} finished, record lost",
+                )
+            if ledger is not None:
+                ledger.append_stage(
+                    seq,
+                    name,
+                    {
+                        "stage": result.payload(include_timing=True),
+                        "client": (
+                            None if self.backend is not None
+                            else capture_client_state(self.client)
+                        ),
+                    },
+                )
+            if (
+                chaos is not None
+                and chaos.stage == name
+                and chaos.site == "post_record"
+            ):
+                raise InjectedCrashError(
+                    "stage_boundary",
+                    f"post_record: killed between stage {name!r} "
+                    f"and its successor",
+                )
+
+    @staticmethod
+    def _generations(
+        graph: FlowGraph, order: tuple[str, ...]
+    ) -> list[list[str]]:
+        """Stages bucketed by dependency depth, topo order within each.
+
+        Generation 0 consumes only flow inputs; generation g+1 consumes at
+        least one generation-g output.  Stages within one generation are
+        independent of each other by construction, so a pool may run them
+        concurrently.
+        """
+        depth: dict[str, int] = {}
+        for name in order:
+            upstream = graph.stages[name].upstream_stages()
+            depth[name] = 1 + max(
+                (depth[ref] for ref in upstream), default=-1
+            )
+        buckets: dict[int, list[str]] = {}
+        for name in order:
+            buckets.setdefault(depth[name], []).append(name)
+        return [buckets[level] for level in sorted(buckets)]
+
+    def _run_parallel(
+        self,
+        graph: FlowGraph,
+        order: tuple[str, ...],
+        inputs: dict[str, Table],
+        keep_raw: bool,
+        ledger: FlowLedger | None,
+        stages: dict[str, StageResult],
+        resumed: list[str],
+    ) -> None:
+        """The pool path: one spawn worker per independent stage.
+
+        Ledger records still append in topological order — after each
+        generation lands, the completed contiguous prefix of ``order`` is
+        flushed — so a ledger written here is indistinguishable from one
+        written sequentially and resumes under either path.
+        """
+        done: set[str] = set()
+        if ledger is not None:
+            for seq, name in enumerate(order[: len(ledger.records)]):
+                record = ledger.records[seq]
+                restored = StageResult.from_payload(record.state["stage"])
+                restored.resumed = True
+                stages[name] = restored
+                resumed.append(name)
+                done.add(name)
+        next_seq = len(done)
+        generations = self._generations(graph, order)
+        max_workers = min(
+            self.workers, max(len(generation) for generation in generations)
+        )
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=context
+        ) as pool:
+            for generation in generations:
+                pending = [name for name in generation if name not in done]
+                if not pending:
+                    continue
+                tasks = [
+                    self._stage_task(
+                        graph.stages[name], order.index(name),
+                        inputs, stages, keep_raw,
+                    )
+                    for name in pending
+                ]
+                for name, payload in zip(
+                    pending, pool.map(_execute_stage_task, tasks)
+                ):
+                    stages[name] = StageResult.from_payload(payload)
+                    done.add(name)
+                if ledger is None:
+                    continue
+                while next_seq < len(order) and order[next_seq] in done:
+                    name = order[next_seq]
+                    ledger.append_stage(
+                        next_seq,
+                        name,
+                        {
+                            "stage": stages[name].payload(
+                                include_timing=True
+                            ),
+                            "client": None,
+                        },
+                    )
+                    next_seq += 1
+
+    def _stage_task(
+        self,
+        node: StageNode,
+        seq: int,
+        inputs: dict[str, Table],
+        stages: dict[str, StageResult],
+        keep_raw: bool,
+    ) -> _StageTask:
+        edges = []
+        for port, ref in node.inputs:
+            edge = self._resolve(ref, inputs, stages)
+            edges.append((port, {
+                "table": table_payload(edge.table),
+                "marks": [mark.payload() for mark in edge.marks],
+                "source": edge.source,
+            }))
+        journal_path = None
+        if self.workdir is not None:
+            journal_path = str(
+                self.workdir / f"stage-{seq:02d}-{node.name}.journal"
+            )
+        return _StageTask(
+            node=node,
+            edges=tuple(edges),
+            config=self.config,
+            backend=self.backend,
+            journal_path=journal_path,
+            keep_raw=keep_raw,
         )
 
     # -- wiring -----------------------------------------------------------

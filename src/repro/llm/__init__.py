@@ -11,6 +11,14 @@ engine sees *only the prompt*.  Ground truth never flows in; errors emerge
 from the solvers' mechanistic limits plus profile noise.
 """
 
+from repro.llm.backend import (
+    Backend,
+    CachingBackend,
+    Checkpointable,
+    FaultBackend,
+    GarblingBackend,
+    SimulatedBackend,
+)
 from repro.llm.base import (
     ChatMessage,
     CompletionRequest,
@@ -20,16 +28,24 @@ from repro.llm.base import (
 )
 from repro.llm.faults import Fault, FaultInjectingClient, GarblingClient
 from repro.llm.profiles import ModelProfile, get_profile, list_profiles
+from repro.llm.promptparse import PromptParseMemo
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.accounting import UsageLedger
 
 __all__ = [
+    "Backend",
+    "CachingBackend",
+    "Checkpointable",
     "Fault",
+    "FaultBackend",
     "FaultInjectingClient",
+    "GarblingBackend",
     "GarblingClient",
     "ChatMessage",
     "CompletionRequest",
     "CompletionResponse",
+    "PromptParseMemo",
+    "SimulatedBackend",
     "Usage",
     "LLMClient",
     "ModelProfile",

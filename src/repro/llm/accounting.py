@@ -88,10 +88,21 @@ class UsageLedger:
 
 
 def meter_response(
-    profile: ModelProfile, request: CompletionRequest, text: str
+    profile: ModelProfile,
+    request: CompletionRequest,
+    text: str,
+    prompt_tokens: int | None = None,
 ) -> CompletionResponse:
-    """Build a fully metered response for ``text`` answering ``request``."""
-    prompt = request_prompt_tokens(request)
+    """Build a fully metered response for ``text`` answering ``request``.
+
+    ``prompt_tokens`` lets a caller that already counted the transcript
+    (the vectorized decode path memoizes per-message counts) skip the
+    recount; when given it must equal ``request_prompt_tokens(request)``.
+    """
+    prompt = (
+        request_prompt_tokens(request) if prompt_tokens is None
+        else prompt_tokens
+    )
     completion = completion_tokens(text)
     return CompletionResponse(
         text=text,

@@ -71,17 +71,195 @@ class ParsedPrompt:
     questions: list[ParsedQuestion] = field(default_factory=list)
 
 
-def parse_prompt(request: CompletionRequest) -> ParsedPrompt:
+@dataclass(frozen=True)
+class _ParsedSystem:
+    """The (immutable) facts recovered from one system-message block."""
+
+    task: Task
+    reasoning: bool
+    confirm_target: bool
+    target: str | None
+    type_hint: str | None
+
+
+class PromptParseMemo:
+    """A cross-request memo amortizing prompt parsing over a batch.
+
+    Batched runs send hundreds of requests that share almost their entire
+    transcript: the same system instruction and the same few-shot
+    demonstration block, with only the final question block changing.
+    Scalar decoding re-parses that shared prefix for every request; the
+    memo parses each distinct block **once** and replays the result.
+
+    Losslessness is structural: every cached function —
+    :func:`_detect_task` and friends over the system text,
+    :func:`_parse_examples` over one (user, assistant) message pair,
+    :func:`_questions_in` over one user message, and the token counts in
+    :mod:`repro.text.tokenize` — is a pure function of the message
+    *content*, and the cache key is exactly that content.  A memoized
+    parse therefore returns the same value the scalar path computes, so
+    ``SimulatedLLM(decode="vectorized")`` is bit-identical to the scalar
+    reference (property-tested in ``tests/llm/test_batch_decode.py``).
+
+    All cached values are frozen dataclasses (or tuples of them), shared
+    safely across the :class:`ParsedPrompt` results, which keep their own
+    mutable list containers.
+    """
+
+    def __init__(self) -> None:
+        self._systems: dict[str, _ParsedSystem] = {}
+        self._examples: dict[tuple, tuple[ParsedExample, ...]] = {}
+        self._questions: dict[tuple, tuple[ParsedQuestion, ...]] = {}
+        self._token_counts: dict[str, int] = {}
+        self._fits: dict[tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- block-level caches ----------------------------------------------
+
+    def system(self, system: str) -> _ParsedSystem:
+        cached = self._systems.get(system)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        task = _detect_task(system)
+        target = _detect_target(system, task)
+        cached = _ParsedSystem(
+            task=task,
+            reasoning="in two lines" in system,
+            confirm_target="confirm the target attribute" in system,
+            target=target,
+            type_hint=_detect_type_hint(system, target),
+        )
+        self._systems[system] = cached
+        return cached
+
+    def example_pair(
+        self, user: str, assistant: str, task: Task
+    ) -> tuple[ParsedExample, ...]:
+        key = (task, user, assistant)
+        cached = self._examples.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        questions = {q.number: q for q in _questions_in(user, task)}
+        answers = _answers_in(assistant)
+        cached = tuple(
+            ParsedExample(question=question, answer=answers[number])
+            for number, question in sorted(questions.items())
+            if number in answers
+        )
+        self._examples[key] = cached
+        return cached
+
+    def questions(self, text: str, task: Task) -> tuple[ParsedQuestion, ...]:
+        key = (task, text)
+        cached = self._questions.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        cached = tuple(_questions_in(text, task))
+        self._questions[key] = cached
+        return cached
+
+    # -- solver fit cache -------------------------------------------------
+
+    def fit(self, key: tuple, compute):
+        """Memoize a solver's few-shot fit (thresholds, attribute weights).
+
+        A batch's requests all carry the same few-shot block, and every
+        solver re-derives its decision criteria from that block before
+        answering — deterministically (no RNG touches the fit), from the
+        example *content* plus the client's fixed profile and knowledge
+        base.  The memo lives inside one client, so profile and knowledge
+        are constant across its entries and ``key`` only needs to carry
+        the solver tag and the example content.
+        """
+        cached = self._fits.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        cached = compute()
+        self._fits[key] = cached
+        return cached
+
+    # -- token metering ---------------------------------------------------
+
+    def count_tokens(self, text: str) -> int:
+        """Memoized :func:`repro.text.tokenize.count_tokens`."""
+        cached = self._token_counts.get(text)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        from repro.text.tokenize import count_tokens
+
+        self.misses += 1
+        cached = count_tokens(text)
+        self._token_counts[text] = cached
+        return cached
+
+    def prompt_tokens(self, request: CompletionRequest) -> int:
+        """Transcript token count, identical to
+        :func:`repro.llm.accounting.request_prompt_tokens` by construction
+        (same per-message formula, memoized per content block)."""
+        total = 3
+        for role, content in request.transcript:
+            total += 4
+            total += self.count_tokens(role)
+            total += self.count_tokens(content)
+        return total
+
+
+def parse_prompt(
+    request: CompletionRequest, memo: PromptParseMemo | None = None
+) -> ParsedPrompt:
     """Parse a framework-built chat transcript.
 
     Raises :class:`LLMError` for prompts the simulated model cannot make
     sense of (no task instruction, no questions) — the moral equivalent of
     a model answering garbage to a garbage prompt, made loud.
+
+    With ``memo`` set, distinct system / few-shot / question blocks are
+    parsed once and replayed from the memo (see :class:`PromptParseMemo`);
+    the result is identical to the memo-less parse.
     """
     system_texts = [m.content for m in request.messages if m.role == "system"]
     if not system_texts:
         raise LLMError("prompt has no system message")
     system = "\n".join(system_texts)
+
+    if memo is not None:
+        parsed_system = memo.system(system)
+        task = parsed_system.task
+        messages = list(request.messages)
+        examples: list[ParsedExample] = []
+        for i, message in enumerate(messages[:-1]):
+            if message.role == "user" and messages[i + 1].role == "assistant":
+                examples.extend(
+                    memo.example_pair(
+                        message.content, messages[i + 1].content, task
+                    )
+                )
+        questions: list[ParsedQuestion] = []
+        for message in reversed(messages):
+            if message.role == "user":
+                questions = list(memo.questions(message.content, task))
+                break
+        if not questions:
+            raise LLMError("prompt contains no questions to answer")
+        return ParsedPrompt(
+            task=task,
+            reasoning=parsed_system.reasoning,
+            target_attribute=parsed_system.target,
+            confirm_target=parsed_system.confirm_target,
+            type_hint=parsed_system.type_hint,
+            examples=examples,
+            questions=questions,
+        )
 
     task = _detect_task(system)
     reasoning = "in two lines" in system

@@ -34,11 +34,12 @@ class DISolver:
     """Answers "what is the missing value?" questions."""
 
     def __init__(self, profile: ModelProfile, knowledge: KnowledgeBase,
-                 rng: random.Random, temperature: float):
+                 rng: random.Random, temperature: float, memo=None):
         self._profile = profile
         self._knowledge = knowledge
         self._rng = rng
         self._temperature = temperature
+        self._memo = memo  # DI retrieves per-question; nothing to pre-fit
 
     def solve(self, prompt: ParsedPrompt) -> list[SolvedAnswer]:
         target = prompt.target_attribute or ""

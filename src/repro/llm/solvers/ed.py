@@ -33,6 +33,8 @@ from repro.llm.solvers.common import (
     SolvedAnswer,
     ThresholdFit,
     default_threshold,
+    examples_key,
+    memoized_fit,
     noisy,
 )
 from repro.text.similarity import levenshtein
@@ -49,11 +51,12 @@ class EDSolver:
     """Answers "is there an error in the target cell?" questions."""
 
     def __init__(self, profile: ModelProfile, knowledge: KnowledgeBase,
-                 rng: random.Random, temperature: float):
+                 rng: random.Random, temperature: float, memo=None):
         self._profile = profile
         self._knowledge = knowledge
         self._rng = rng
         self._temperature = temperature
+        self._memo = memo
 
     # -- evidence ------------------------------------------------------------
 
@@ -227,7 +230,11 @@ class EDSolver:
     def solve(self, prompt: ParsedPrompt) -> list[SolvedAnswer]:
         target = prompt.target_attribute or ""
         careful = prompt.reasoning
-        fit = self._fit_threshold(prompt.examples, target, careful)
+        fit = memoized_fit(
+            self._memo,
+            ("ed", target, careful, examples_key(prompt.examples)),
+            lambda: self._fit_threshold(prompt.examples, target, careful),
+        )
         interference = BatchInterference(
             self._profile, self._rng,
             questions=[q.raw for q in prompt.questions],

@@ -27,6 +27,8 @@ from repro.llm.solvers.common import (
     SolvedAnswer,
     ThresholdFit,
     default_threshold,
+    examples_key,
+    memoized_fit,
     noisy,
 )
 from repro.text.normalize import expand_abbreviations, extract_phone, normalize_text
@@ -151,15 +153,19 @@ class EMSolver:
     """Answers "are these the same entity?" questions."""
 
     def __init__(self, profile: ModelProfile, knowledge: KnowledgeBase,
-                 rng: random.Random, temperature: float):
+                 rng: random.Random, temperature: float, memo=None):
         self._profile = profile
         self._knowledge = knowledge
         self._rng = rng
         self._temperature = temperature
+        self._memo = memo
 
     def solve(self, prompt: ParsedPrompt) -> list[SolvedAnswer]:
-        weights = self._fit_weights(prompt.examples, prompt.reasoning)
-        fit = self._fit_threshold(prompt.examples, weights, prompt.reasoning)
+        weights, fit = memoized_fit(
+            self._memo,
+            ("em", prompt.reasoning, examples_key(prompt.examples)),
+            lambda: self._fit(prompt.examples, prompt.reasoning),
+        )
         interference = BatchInterference(
             self._profile, self._rng,
             questions=[q.raw for q in prompt.questions],
@@ -171,6 +177,11 @@ class EMSolver:
                                 interference)
             )
         return answers
+
+    def _fit(self, examples: list[ParsedExample],
+             careful: bool) -> tuple[dict[str, float] | None, ThresholdFit]:
+        weights = self._fit_weights(examples, careful)
+        return weights, self._fit_threshold(examples, weights, careful)
 
     def _fit_weights(self, examples: list[ParsedExample],
                      careful: bool) -> dict[str, float] | None:

@@ -24,6 +24,8 @@ from repro.llm.solvers.common import (
     SolvedAnswer,
     ThresholdFit,
     default_threshold,
+    examples_key,
+    memoized_fit,
     noisy,
 )
 from repro.text.similarity import jaccard, token_set_ratio
@@ -61,11 +63,12 @@ class SMSolver:
     """Answers "are these the same attribute?" questions."""
 
     def __init__(self, profile: ModelProfile, knowledge: KnowledgeBase,
-                 rng: random.Random, temperature: float):
+                 rng: random.Random, temperature: float, memo=None):
         self._profile = profile
         self._knowledge = knowledge
         self._rng = rng
         self._temperature = temperature
+        self._memo = memo
 
     def lexical_score(self, left: dict[str, str | None],
                       right: dict[str, str | None]) -> float:
@@ -82,7 +85,11 @@ class SMSolver:
         return score
 
     def solve(self, prompt: ParsedPrompt) -> list[SolvedAnswer]:
-        fit = self._fit_threshold(prompt.examples)
+        fit = memoized_fit(
+            self._memo,
+            ("sm", examples_key(prompt.examples)),
+            lambda: self._fit_threshold(prompt.examples),
+        )
         interference = BatchInterference(
             self._profile, self._rng,
             questions=[q.raw for q in prompt.questions],

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.llm.backend import Checkpointable
 from repro.runtime.journal import (
     BatchRecord,
     JournalHeader,
@@ -70,17 +71,26 @@ class RunCheckpoint:
 
 
 def capture_client_state(client: object) -> dict | None:
-    """The client's mutable state, when it supports checkpointing."""
-    capture = getattr(client, "checkpoint_state", None)
-    return capture() if callable(capture) else None
+    """The client's mutable state, when it opts into the resume contract.
+
+    Clients declare resumability by satisfying the
+    :class:`~repro.llm.backend.Checkpointable` protocol — both
+    ``checkpoint_state`` and ``restore_checkpoint_state`` — rather than by
+    being on a known-class list.  A client with neither journals ``None``
+    state and replays statelessly; a client with only one half of the
+    contract is ignored the same way (captured state that could never be
+    restored would corrupt a resume silently).
+    """
+    if isinstance(client, Checkpointable):
+        return client.checkpoint_state()
+    return None
 
 
 def restore_client_state(client: object, state: dict | None) -> None:
     if state is None:
         return
-    restore = getattr(client, "restore_checkpoint_state", None)
-    if callable(restore):
-        restore(state)
+    if isinstance(client, Checkpointable):
+        client.restore_checkpoint_state(state)
 
 
 class CheckpointSession:

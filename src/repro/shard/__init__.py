@@ -1,0 +1,72 @@
+"""Sharded multi-process execution with a deterministic merge.
+
+The scale-out layer: partition a dataset into content-addressed shards
+(:mod:`repro.shard.plan`), run each shard as a hermetic pipeline in a
+worker process (:mod:`repro.shard.runner`), and fold the per-shard
+payloads with an order-independent merge (:mod:`repro.shard.merge`) whose
+output is bit-identical at any worker count.  :mod:`repro.shard.chaos`
+drills worker kills; :mod:`repro.shard.bench` measures the scaling curve.
+"""
+
+from repro.shard.chaos import ShardChaosTrial, run_shard_crash_trial
+from repro.shard.merge import (
+    MergedRun,
+    combine,
+    delta_of,
+    empty_delta,
+    finalize,
+    merge_shards,
+)
+from repro.shard.plan import (
+    ShardPlan,
+    ShardSpec,
+    config_fingerprint,
+    dataset_digest,
+    default_shard_count,
+    plan_shards,
+    shard_of,
+)
+from repro.shard.runner import (
+    SHARD_CRASH_SITES,
+    ShardChaos,
+    ShardTask,
+    ShardedRun,
+    run_shard,
+    run_sharded,
+    shard_dataset,
+    shard_payload,
+)
+from repro.shard.bench import (
+    decode_microbench,
+    run_shard_bench,
+    shard_scaling_bench,
+)
+
+__all__ = [
+    "SHARD_CRASH_SITES",
+    "MergedRun",
+    "ShardChaos",
+    "ShardChaosTrial",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardTask",
+    "ShardedRun",
+    "combine",
+    "config_fingerprint",
+    "dataset_digest",
+    "decode_microbench",
+    "default_shard_count",
+    "delta_of",
+    "empty_delta",
+    "finalize",
+    "merge_shards",
+    "plan_shards",
+    "run_shard",
+    "run_shard_bench",
+    "run_shard_crash_trial",
+    "run_sharded",
+    "shard_dataset",
+    "shard_of",
+    "shard_payload",
+    "shard_scaling_bench",
+]

@@ -1,0 +1,78 @@
+"""Vectorized batch decode: bit-identical to the scalar reference.
+
+The vectorized mode may only ever change host-CPU cost.  Everything a
+caller can observe — reply text, token usage, latency, retry resampling —
+must match the scalar path exactly, because the scalar path is what every
+golden snapshot and journal digest in the repo was recorded against.
+"""
+
+import pytest
+
+from repro.errors import LLMError
+from repro.llm.simulated import SimulatedLLM
+from repro.shard.bench import build_decode_requests, decode_microbench
+
+
+@pytest.fixture(scope="module")
+def requests():
+    # Real pipeline prompts (shared system + few-shot prefix, one question
+    # each) across two datasets so ED and EM solvers both get exercised.
+    return (
+        build_decode_requests(40, dataset="adult")
+        + build_decode_requests(40, dataset="beer")
+    )
+
+
+class TestVectorizedEquivalence:
+    def test_replies_usage_and_latency_match_scalar(self, requests):
+        scalar = SimulatedLLM("gpt-3.5", seed=0, decode="scalar")
+        vectorized = SimulatedLLM("gpt-3.5", seed=0, decode="vectorized")
+        for reference, candidate in zip(
+            scalar.complete_batch(requests),
+            vectorized.complete_batch(requests),
+        ):
+            assert candidate.text == reference.text
+            assert candidate.usage == reference.usage
+            assert candidate.latency_s == reference.latency_s
+
+    def test_batch_equals_sequential_calls(self, requests):
+        batched = SimulatedLLM("gpt-3.5", seed=0, decode="vectorized")
+        sequential = SimulatedLLM("gpt-3.5", seed=0, decode="vectorized")
+        batch = batched.complete_batch(requests)
+        singles = [sequential.complete(request) for request in requests]
+        assert [r.text for r in batch] == [r.text for r in singles]
+
+    def test_retries_still_resample(self, requests):
+        # The call counter must advance identically in both modes: a
+        # repeated prompt is a retry and may legitimately change its reply.
+        client = SimulatedLLM("gpt-3.5", seed=0, decode="vectorized")
+        repeated = [requests[0]] * 6
+        replies = [r.text for r in client.complete_batch(repeated)]
+        scalar = SimulatedLLM("gpt-3.5", seed=0, decode="scalar")
+        assert replies == [
+            scalar.complete(request).text for request in repeated
+        ]
+
+
+class TestMemoBehaviour:
+    def test_scalar_mode_has_no_memo(self):
+        assert SimulatedLLM("gpt-3.5", decode="scalar").memo is None
+
+    def test_shared_prefixes_hit_the_memo(self, requests):
+        client = SimulatedLLM("gpt-3.5", seed=0, decode="vectorized")
+        client.complete_batch(requests)
+        memo = client.memo
+        assert memo.hits > memo.misses
+        assert memo.hits > 0
+
+    def test_unknown_decode_mode_is_rejected(self):
+        with pytest.raises(LLMError, match="decode"):
+            SimulatedLLM("gpt-3.5", decode="turbo")
+
+
+class TestMicrobench:
+    def test_microbench_reports_identity_and_positive_speedup(self):
+        result = decode_microbench(n=60)
+        assert result["identical"]
+        assert result["speedup"] > 0
+        assert result["memo"]["hits"] > 0

@@ -1,0 +1,46 @@
+"""Worker-kill drills: crash one shard's worker, resume, diff the merge.
+
+Extends the single-process chaos suite (``test_chaos.py``) to the sharded
+runner: the same three crash sites, but injected inside one worker of a
+multi-shard run.  A passing trial proves three things at once — the
+injected crash fired, sibling shards' journals survived intact, and the
+resumed run's merged payload is bit-identical to an uninterrupted one.
+"""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.datasets import load_dataset
+from repro.llm.backend import SimulatedBackend
+from repro.shard import SHARD_CRASH_SITES, run_shard_crash_trial
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("adult", size=32, seed=0)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PipelineConfig(observability=True)
+
+
+class TestShardCrashTrials:
+    @pytest.mark.parametrize("site", SHARD_CRASH_SITES)
+    def test_every_site_resumes_bit_identical(self, config, dataset, site,
+                                              tmp_path):
+        trial = run_shard_crash_trial(
+            SimulatedBackend(), config, dataset, site, tmp_path,
+            n_shards=3, workers=2,
+        )
+        assert trial.crashed, f"{site}: the injected crash never fired"
+        assert trial.identical, trial.render()
+        assert trial.ok
+
+    def test_degradation_ladder_cell_survives_too(self, dataset, tmp_path):
+        config = PipelineConfig(observability=True, degradation="ladder")
+        trial = run_shard_crash_trial(
+            SimulatedBackend(), config, dataset, "mid_batch", tmp_path,
+            n_shards=3, workers=2,
+        )
+        assert trial.ok, trial.render()

@@ -1,0 +1,139 @@
+"""Sharded execution: bit-identity across worker counts and vs the legacy
+single-process path, plus the crash-sentinel contract."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Preprocessor
+from repro.datasets import load_dataset
+from repro.errors import InjectedCrashError, ShardError
+from repro.llm.backend import FaultBackend, SimulatedBackend
+from repro.llm.faults import Fault
+from repro.shard import ShardChaos, plan_shards, run_sharded, shard_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("adult", size=40, seed=0)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PipelineConfig(observability=True)
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return SimulatedBackend()
+
+
+@pytest.fixture(scope="module")
+def reference(backend, config, dataset):
+    """The workers=1 sharded run every other configuration is diffed against."""
+    return run_sharded(backend, config, dataset, n_shards=4, workers=1,
+                       keep_raw=True)
+
+
+class TestWorkerCountIndependence:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_merged_payload_is_bit_identical(self, backend, config, dataset,
+                                             reference, workers):
+        run = run_sharded(backend, config, dataset, n_shards=4,
+                          workers=workers, keep_raw=True)
+        assert run.payload() == reference.payload()
+
+    def test_worker_count_caps_at_the_shard_count(self, backend, config,
+                                                  dataset):
+        run = run_sharded(backend, config, dataset, n_shards=2, workers=16)
+        assert run.workers == 2
+
+
+class TestSingleShardMatchesLegacy:
+    def test_field_by_field(self, backend, config, dataset):
+        sharded = run_sharded(backend, config, dataset, n_shards=1,
+                              workers=1, keep_raw=True).merged
+        legacy = Preprocessor(backend.build(), config).run(
+            dataset, keep_raw=True
+        )
+        assert sharded.predictions == legacy.predictions
+        assert sharded.raw_replies == legacy.raw_replies
+        assert sharded.usage["prompt_tokens"] == legacy.usage.prompt_tokens
+        assert (
+            sharded.usage["completion_tokens"]
+            == legacy.usage.completion_tokens
+        )
+        assert sharded.n_requests == legacy.n_requests
+        assert sharded.n_format_retries == legacy.n_format_retries
+        assert sharded.n_fallbacks == legacy.n_fallbacks
+        assert sharded.estimated_seconds == legacy.estimated_seconds
+        assert sharded.sequential_seconds == legacy.estimated_seconds
+
+
+class TestShardDataset:
+    def test_keeps_name_order_and_the_full_fewshot_pool(self, config, dataset):
+        plan = plan_shards(dataset, config, 4)
+        spec = plan.nonempty_shards[0]
+        sub = shard_dataset(dataset, spec)
+        assert sub.name == dataset.name
+        assert sub.task == dataset.task
+        assert sub.fewshot_pool == dataset.fewshot_pool
+        assert sub.instances == [
+            dataset.instances[index] for index in spec.indices
+        ]
+
+
+class TestRunnerContracts:
+    def test_rejects_a_bare_client(self, config, dataset):
+        with pytest.raises(ShardError, match="Backend"):
+            run_sharded(SimulatedBackend().build(), config, dataset)
+
+    def test_rejects_nonpositive_workers(self, backend, config, dataset):
+        with pytest.raises(ShardError, match="workers"):
+            run_sharded(backend, config, dataset, workers=0)
+
+    def test_journal_chaos_without_workdir_is_an_error(self, backend, config,
+                                                       dataset):
+        with pytest.raises(ShardError, match="workdir"):
+            run_sharded(
+                backend, config, dataset, n_shards=2,
+                chaos=ShardChaos(shard_id=0, site="mid_journal", at=1),
+            )
+
+    def test_unknown_chaos_site_is_an_error(self):
+        with pytest.raises(ShardError, match="site"):
+            ShardChaos(shard_id=0, site="mid_merge", at=1)
+
+    def test_worker_crash_surfaces_after_siblings_finish(
+        self, backend, config, dataset, tmp_path
+    ):
+        plan = plan_shards(dataset, config, 3)
+        target = plan.nonempty_shards[0].shard_id
+        with pytest.raises(InjectedCrashError):
+            run_sharded(
+                backend, config, dataset, n_shards=3, workers=1,
+                workdir=tmp_path,
+                chaos=ShardChaos(shard_id=target, site="mid_batch", at=1),
+            )
+        # every *other* shard completed and left a sealed journal behind
+        journals = sorted(p.name for p in tmp_path.glob("shard-*.journal"))
+        expected = sorted(
+            f"shard-{spec.shard_id:04d}.journal"
+            for spec in plan.nonempty_shards
+        )
+        assert journals == expected
+
+    def test_mid_batch_chaos_arms_an_existing_fault_backend(
+        self, config, dataset
+    ):
+        # A pre-wrapped backend (as the chaos harness uses) must not end up
+        # double-wrapped: the journaled client state's shape depends on the
+        # stack, and resume rebuilds the stack without the chaos.
+        wrapped = FaultBackend(
+            SimulatedBackend(),
+            {1: Fault(kind="rate_limit", message="slow down")},
+        )
+        with pytest.raises(InjectedCrashError):
+            run_sharded(
+                wrapped, config, dataset, n_shards=2, workers=1,
+                chaos=ShardChaos(shard_id=0, site="mid_batch", at=2),
+            )
