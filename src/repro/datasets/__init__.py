@@ -27,6 +27,7 @@ relative difficulty ordering is preserved (see DESIGN.md).
 
 from repro.datasets.registry import (
     DATASET_NAMES,
+    SCHEMA_PREFIX,
     dataset_info,
     load_dataset,
     register_dataset,
@@ -37,4 +38,5 @@ __all__ = [
     "register_dataset",
     "dataset_info",
     "DATASET_NAMES",
+    "SCHEMA_PREFIX",
 ]

@@ -29,6 +29,11 @@ class DatasetGenerator(abc.ABC):
     fewshot_pool_size: int = 16
     #: human-readable provenance note
     description: str = ""
+    #: content address of the generator's *parameters*, folded into the
+    #: registry cache key.  Hand-written benchmarks are identified by name
+    #: alone (empty token); schema-backed generators put the schema
+    #: fingerprint here so two schemas sharing a name can never alias.
+    cache_token: str = ""
 
     def generate(
         self, size: int | None = None, seed: int = 0

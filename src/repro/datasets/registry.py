@@ -1,8 +1,18 @@
 """Dataset registry: ``load_dataset("adult")`` etc.
 
-Generated datasets are cached per ``(name, size, seed)`` within the
-process, so repeated experiment runs see identical data without paying the
-generation cost twice.
+Generated datasets are cached per ``(name, size, seed, cache_token)``
+within the process, so repeated experiment runs see identical data
+without paying the generation cost twice.  The ``cache_token`` component
+is the generator's content address — empty for the twelve hand-written
+benchmarks, the schema fingerprint for factory-backed generators — so
+two *different* schemas registered under the same name (or one schema
+file edited between loads) can never alias in the cache.
+
+Beyond registered names, ``load_dataset("schema:<path>")`` loads a
+factory schema file on the fly: the file is parsed and validated, and
+the resulting :class:`~repro.factory.adapter.SchemaGenerator` behaves
+like any registered generator (same caching, same interface), without
+a registration step.
 """
 
 from __future__ import annotations
@@ -23,8 +33,12 @@ from repro.datasets.synthea import SyntheaGenerator
 from repro.datasets.venues import FodorsZagatGenerator
 from repro.errors import DatasetError, UnknownDatasetError
 
+#: dataset-name prefix that resolves a factory schema file instead of a
+#: registered generator: ``load_dataset("schema:examples/schemas/orders.yaml")``
+SCHEMA_PREFIX = "schema:"
+
 _GENERATORS: dict[str, DatasetGenerator] = {}
-_CACHE: dict[tuple[str, int, int], PreprocessingDataset] = {}
+_CACHE: dict[tuple[str, int, int, str], PreprocessingDataset] = {}
 
 
 def register_dataset(generator: DatasetGenerator) -> None:
@@ -32,6 +46,11 @@ def register_dataset(generator: DatasetGenerator) -> None:
     only if the name is new — silent replacement hides bugs)."""
     if not generator.name:
         raise DatasetError("generator has an empty name")
+    if generator.name.startswith(SCHEMA_PREFIX):
+        raise DatasetError(
+            f"generator name {generator.name!r} collides with the "
+            f"{SCHEMA_PREFIX!r} dataset-path prefix"
+        )
     if generator.name in _GENERATORS:
         raise DatasetError(f"dataset {generator.name!r} is already registered")
     _GENERATORS[generator.name] = generator
@@ -63,6 +82,23 @@ DATASET_NAMES: tuple[str, ...] = (
 )
 
 
+def _resolve_generator(name: str) -> DatasetGenerator:
+    """The generator for ``name`` — registered, or a ``schema:`` file."""
+    if name.startswith(SCHEMA_PREFIX):
+        # Imported lazily: the factory depends on datasets, not vice versa.
+        from repro.factory.adapter import schema_generator_from_file
+
+        path = name[len(SCHEMA_PREFIX):]
+        if not path:
+            raise DatasetError(
+                f"{name!r}: expected {SCHEMA_PREFIX}<path-to-schema-file>"
+            )
+        return schema_generator_from_file(path)
+    if name not in _GENERATORS:
+        raise UnknownDatasetError(name, list(_GENERATORS))
+    return _GENERATORS[name]
+
+
 def load_dataset(
     name: str, size: int | None = None, seed: int = 0
 ) -> PreprocessingDataset:
@@ -71,18 +107,18 @@ def load_dataset(
     Parameters
     ----------
     name:
-        One of :data:`DATASET_NAMES`.
+        One of :data:`DATASET_NAMES`, any registered name, or
+        ``schema:<path>`` for a factory schema file.
     size:
-        Number of test instances; defaults to the published benchmark size.
+        Number of test instances; defaults to the published benchmark size
+        (for a schema, its task table's declared rows).
     seed:
-        Generation seed; the same ``(name, size, seed)`` is cached and
-        always identical.
+        Generation seed; the same ``(name, size, seed, content)`` is
+        cached and always identical.
     """
-    if name not in _GENERATORS:
-        raise UnknownDatasetError(name, list(_GENERATORS))
-    generator = _GENERATORS[name]
+    generator = _resolve_generator(name)
     effective_size = size if size is not None else generator.default_size
-    key = (name, effective_size, seed)
+    key = (name, effective_size, seed, generator.cache_token)
     if key not in _CACHE:
         _CACHE[key] = generator.generate(size=effective_size, seed=seed)
     return _CACHE[key]
@@ -99,10 +135,8 @@ class DatasetInfo:
 
 
 def dataset_info(name: str) -> DatasetInfo:
-    """Metadata for a registered dataset without generating it."""
-    if name not in _GENERATORS:
-        raise UnknownDatasetError(name, list(_GENERATORS))
-    generator = _GENERATORS[name]
+    """Metadata for a dataset (or ``schema:<path>``) without generating it."""
+    generator = _resolve_generator(name)
     return DatasetInfo(
         name=generator.name,
         task=generator.task,

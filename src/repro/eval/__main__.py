@@ -20,6 +20,8 @@ Usage::
     python -m repro.eval serve-bench [--requests 200000] [--tenants 3]
                                      [--out BENCH_serving.json]
     python -m repro.eval fuzz [--cases 200] [--seed 0]
+    python -m repro.eval gen SCHEMA [--table T] [--rows N] [--seed 0]
+                             [--group-size 4096] [--out rows.jsonl]
     python -m repro.eval chaos [--cell NAME] [--site SITE] [--workdir DIR]
     python -m repro.eval flow SPEC.yaml [--describe] [--workdir DIR]
                              [--resume] [--manifest OUT] [--concurrency N]
@@ -38,7 +40,10 @@ conformance snapshots; ``fuzz`` runs the deterministic reply fuzzer;
 non-zero on drift/violations.  ``flow`` runs (or ``--describe``s) a
 declarative prep flow — a YAML stage DAG, or the shipped reference flow
 with ``--reference`` — with per-stage checkpointing under ``--workdir``
-and bit-identical ``--resume``.
+and bit-identical ``--resume``.  ``gen`` streams rows from a factory
+schema (file or preset) without materializing the table and prints their
+content digest; ``run --dataset schema:<path>`` evaluates the pipeline
+over such a schema directly.
 """
 
 from __future__ import annotations
@@ -563,6 +568,66 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gen(args: argparse.Namespace) -> int:
+    """Stream rows from a factory schema, row-group by row-group.
+
+    ``SCHEMA`` is a schema file path or a shipped preset name.  The rows
+    are generated and (optionally) written without ever materializing
+    the table; the printed digest is :meth:`TableStream.digest`, so two
+    runs — or a streamed and a materialized run — can be compared by one
+    hex string.
+    """
+    import hashlib
+
+    from repro.errors import ConfigError, DatasetError
+    from repro.factory import DatasetFactory, preset, load_schema_file
+    from repro.factory.presets import PRESET_NAMES
+    from repro.obs.manifest import canonical_json
+
+    try:
+        if args.schema in PRESET_NAMES:
+            schema = preset(args.schema)
+        else:
+            schema = load_schema_file(args.schema)
+        factory = DatasetFactory(schema, seed=args.seed)
+        stream = factory.stream(args.table)
+        n_rows = args.rows if args.rows is not None else stream.rows
+        if n_rows < 0:
+            raise ConfigError(f"--rows must be >= 0, got {n_rows}")
+        hasher = hashlib.blake2b(digest_size=16)
+        out = open(args.out, "w", encoding="utf-8") if args.out else None
+        try:
+            for group in stream.iter_groups(
+                n_rows=n_rows, group_size=args.group_size
+            ):
+                for row in group:
+                    # digest over the same canonical framing as
+                    # TableStream.digest; output as compact JSON lines
+                    hasher.update(canonical_json(row).encode("utf-8"))
+                    hasher.update(b"\x00")
+                    if out is not None:
+                        out.write(
+                            json.dumps(row, sort_keys=True,
+                                       ensure_ascii=False) + "\n"
+                        )
+        finally:
+            if out is not None:
+                out.close()
+    except (ConfigError, DatasetError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"{schema.name} [{schema.fingerprint}] table {stream.spec.name}: "
+        f"{n_rows} row(s), seed {args.seed}, digest {hasher.hexdigest()}"
+    )
+    if args.out:
+        print(f"rows written to {args.out}")
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     """Run the deterministic reply fuzzer and report invariant violations."""
     from repro.testing import run_fuzz
@@ -603,7 +668,9 @@ def main(argv: list[str] | None = None) -> int:
     run_cmd = sub.add_parser(
         "run", help="one observed evaluation run (writes a manifest)"
     )
-    run_cmd.add_argument("--dataset", required=True)
+    run_cmd.add_argument("--dataset", required=True,
+                         help="a registered dataset name, or "
+                              "schema:<path> for a factory schema file")
     run_cmd.add_argument("--model", default="gpt-3.5")
     run_cmd.add_argument("--size", type=int, default=None,
                          help="instance count (default: the dataset's)")
@@ -688,6 +755,27 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_cmd.add_argument("--cases", type=int, default=200)
     fuzz_cmd.add_argument("--seed", type=int, default=0)
     fuzz_cmd.set_defaults(handler=_cmd_fuzz)
+    gen_cmd = sub.add_parser(
+        "gen",
+        help="stream rows from a factory schema (file or preset name) "
+             "and print the content digest",
+    )
+    gen_cmd.add_argument("schema",
+                         help="schema file path, or a preset name "
+                              "(adult_replica, beer_replica, ocr_invoices, "
+                              "orders)")
+    gen_cmd.add_argument("--table", default=None,
+                         help="table to stream (default: the task's table)")
+    gen_cmd.add_argument("--rows", type=int, default=None,
+                         help="row count (default: the table's declared "
+                              "universe)")
+    gen_cmd.add_argument("--seed", type=int, default=0)
+    gen_cmd.add_argument("--group-size", type=int, default=4096,
+                         help="rows held in memory at a time")
+    gen_cmd.add_argument("--out", default=None, metavar="PATH",
+                         help="write rows as JSON lines to PATH "
+                              "(default: digest only, nothing written)")
+    gen_cmd.set_defaults(handler=_cmd_gen)
     chaos_cmd = sub.add_parser(
         "chaos",
         help="crash the pipeline at every injection site and verify "

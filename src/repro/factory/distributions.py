@@ -1,0 +1,290 @@
+"""Column value distributions for the dataset factory.
+
+Each column of a factory schema declares a distribution — *what* values
+the column holds and *how often*.  This module owns the distribution
+vocabulary: parameter validation at schema-parse time (strict, typed
+:class:`~repro.errors.ConfigError`) and sampler construction at
+generation time.
+
+A sampler is a pure function ``(rng, index, row, resolve) -> value``:
+
+- ``rng`` is the per-row random stream (derived from the schema
+  fingerprint, seed, table, and row index — see ``factory/generate.py``);
+- ``index`` is the row index (used by ``sequence`` columns);
+- ``row`` maps the columns of this row generated *so far* (``map``
+  columns derive from an earlier column's value);
+- ``resolve`` is ``(table, column, pick) -> value`` for foreign keys:
+  the generator supplies the parent table's row universe and calls
+  ``pick(n)`` to choose a parent row index, so the *skew* lives here and
+  the *row materialization* lives with the generator.
+
+Because samplers close over validated parameters only and draw
+exclusively from the passed ``rng``, every column value is a pure
+function of ``(schema fingerprint, seed, table, row index)`` — the
+streaming contract the whole factory is built on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import re
+from typing import Callable, Mapping
+
+from repro.errors import ConfigError
+
+#: every distribution kind a schema may declare
+KNOWN_KINDS = (
+    "uniform", "weighted", "zipf", "int", "float",
+    "sequence", "pattern", "ref", "map",
+)
+
+#: kinds whose value domain is an explicit, finite value list
+VALUE_KINDS = ("uniform", "weighted", "zipf")
+
+_PLACEHOLDER_RE = re.compile(r"\{([\w\-]+)\}")
+
+#: sampler signature — see module docstring
+Sampler = Callable[
+    [random.Random, int, Mapping[str, object], Callable], object
+]
+
+
+def _require(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        raise ConfigError(f"{where}: {message}")
+
+
+def _scalar_list(value: object, where: str, key: str) -> list:
+    _require(isinstance(value, (list, tuple)) and len(value) > 0,
+             where, f"{key!r} must be a non-empty list")
+    for item in value:  # type: ignore[union-attr]
+        _require(isinstance(item, (str, int, float)) and not isinstance(item, bool),
+                 where, f"{key!r} entries must be strings or numbers, got {item!r}")
+    return list(value)  # type: ignore[arg-type]
+
+
+def validate_params(kind: str, params: Mapping[str, object], where: str) -> dict:
+    """Validate and normalize the parameters of one distribution.
+
+    Returns a plain-dict copy suitable for fingerprinting; raises
+    :class:`~repro.errors.ConfigError` naming ``where`` on any problem.
+    Unknown parameter keys are rejected — a typo in a schema must fail
+    parse, not silently fall back to a default.
+    """
+    if kind not in KNOWN_KINDS:
+        raise ConfigError(
+            f"{where}: unknown distribution kind {kind!r}; "
+            f"known: {', '.join(KNOWN_KINDS)}"
+        )
+    params = dict(params)
+    allowed = {
+        "uniform": {"values"},
+        "weighted": {"values", "weights"},
+        "zipf": {"values", "a"},
+        "int": {"low", "high"},
+        "float": {"low", "high", "ndigits"},
+        "sequence": {"prefix", "start"},
+        "pattern": {"pattern", "pools"},
+        "ref": {"table", "column", "skew", "a"},
+        "map": {"source", "mapping", "default"},
+    }[kind]
+    unknown = set(params) - allowed
+    _require(not unknown, where,
+             f"unknown parameter(s) for {kind!r}: {', '.join(sorted(unknown))}")
+
+    out: dict = {}
+    if kind in VALUE_KINDS:
+        out["values"] = _scalar_list(params.get("values"), where, "values")
+    if kind == "weighted":
+        weights = params.get("weights")
+        _require(isinstance(weights, (list, tuple)), where,
+                 "'weights' must be a list")
+        _require(len(weights) == len(out["values"]), where,  # type: ignore[arg-type]
+                 "'weights' must match 'values' in length")
+        for w in weights:  # type: ignore[union-attr]
+            _require(isinstance(w, (int, float)) and not isinstance(w, bool)
+                     and w > 0, where, f"weights must be positive, got {w!r}")
+        out["weights"] = [float(w) for w in weights]  # type: ignore[union-attr]
+    if kind == "zipf":
+        a = params.get("a", 1.2)
+        _require(isinstance(a, (int, float)) and not isinstance(a, bool)
+                 and a > 0, where, f"'a' must be a positive number, got {a!r}")
+        out["a"] = float(a)
+    if kind in ("int", "float"):
+        low, high = params.get("low"), params.get("high")
+        number = (int,) if kind == "int" else (int, float)
+        for key, value in (("low", low), ("high", high)):
+            _require(isinstance(value, number) and not isinstance(value, bool),
+                     where, f"{key!r} must be a number, got {value!r}")
+        _require(low <= high, where,  # type: ignore[operator]
+                 f"'low' must be <= 'high' ({low!r} > {high!r})")
+        out["low"], out["high"] = low, high
+        if kind == "float":
+            ndigits = params.get("ndigits", 2)
+            _require(isinstance(ndigits, int) and 0 <= ndigits <= 6, where,
+                     f"'ndigits' must be an int in [0, 6], got {ndigits!r}")
+            out["ndigits"] = ndigits
+    if kind == "sequence":
+        prefix = params.get("prefix", "id-")
+        start = params.get("start", 1)
+        _require(isinstance(prefix, str), where, "'prefix' must be a string")
+        _require(isinstance(start, int) and not isinstance(start, bool),
+                 where, f"'start' must be an int, got {start!r}")
+        out["prefix"], out["start"] = prefix, start
+    if kind == "pattern":
+        pattern = params.get("pattern")
+        _require(isinstance(pattern, str) and pattern, where,
+                 "'pattern' must be a non-empty string")
+        placeholders = _PLACEHOLDER_RE.findall(pattern)  # type: ignore[arg-type]
+        _require(bool(placeholders), where,
+                 "'pattern' must contain at least one {placeholder}")
+        pools = params.get("pools")
+        _require(isinstance(pools, dict) and pools, where,
+                 "'pools' must be a non-empty mapping")
+        clean_pools = {}
+        for name, pool in pools.items():  # type: ignore[union-attr]
+            clean_pools[str(name)] = _scalar_list(pool, where, f"pools[{name!r}]")
+        missing = [p for p in placeholders if p not in clean_pools]
+        _require(not missing, where,
+                 f"pattern placeholder(s) without a pool: {', '.join(missing)}")
+        out["pattern"], out["pools"] = pattern, clean_pools
+    if kind == "ref":
+        for key in ("table", "column"):
+            value = params.get(key)
+            _require(isinstance(value, str) and value, where,
+                     f"{key!r} must be a non-empty string")
+            out[key] = value
+        skew = params.get("skew", "uniform")
+        _require(skew in ("uniform", "zipf"), where,
+                 f"'skew' must be 'uniform' or 'zipf', got {skew!r}")
+        out["skew"] = skew
+        if skew == "zipf":
+            a = params.get("a", 1.5)
+            _require(isinstance(a, (int, float)) and not isinstance(a, bool)
+                     and a > 1.0, where,
+                     f"zipf ref skew needs 'a' > 1, got {a!r}")
+            out["a"] = float(a)
+    if kind == "map":
+        source = params.get("source")
+        _require(isinstance(source, str) and source, where,
+                 "'source' must be a non-empty string")
+        mapping = params.get("mapping")
+        _require(isinstance(mapping, dict) and mapping, where,
+                 "'mapping' must be a non-empty mapping")
+        out["source"] = source
+        out["mapping"] = {str(k): v for k, v in mapping.items()}  # type: ignore[union-attr]
+        if "default" in params:
+            out["default"] = params["default"]
+    return out
+
+
+def _zipf_cdf(n: int, a: float) -> list[float]:
+    """Cumulative rank weights for a finite Zipf over ``n`` items."""
+    weights = [(rank + 1) ** -a for rank in range(n)]
+    total = sum(weights)
+    cum: list[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cum.append(acc)
+    cum[-1] = 1.0  # guard float drift at the boundary
+    return cum
+
+
+def bounded_zipf(rng: random.Random, n: int, a: float) -> int:
+    """A Zipf(``a``) draw truncated to ``[0, n)``, without O(n) tables.
+
+    Devroye's rejection sampler — the standard trick for skewed
+    foreign-key fan-in over parent tables too large to enumerate.
+    Requires ``a > 1`` (validated at schema parse).
+    """
+    if n == 1:
+        return 0
+    b = 2.0 ** (a - 1.0)
+    while True:
+        u = 1.0 - rng.random()  # (0, 1]
+        v = rng.random()
+        x = int(u ** (-1.0 / (a - 1.0)))
+        if x < 1 or x > n:
+            continue
+        t = (1.0 + 1.0 / x) ** (a - 1.0)
+        if v * x * (t - 1.0) / (b - 1.0) <= t / b:
+            return x - 1
+
+
+def make_sampler(kind: str, params: Mapping[str, object]) -> Sampler:
+    """Build the pure sampler for one validated distribution."""
+    if kind == "uniform":
+        values = list(params["values"])  # type: ignore[arg-type]
+        return lambda rng, index, row, resolve: rng.choice(values)
+    if kind == "weighted":
+        values = list(params["values"])  # type: ignore[arg-type]
+        cum: list[float] = []
+        acc = 0.0
+        total = sum(params["weights"])  # type: ignore[arg-type]
+        for w in params["weights"]:  # type: ignore[union-attr]
+            acc += w / total
+            cum.append(acc)
+        cum[-1] = 1.0
+        return lambda rng, index, row, resolve: values[
+            bisect.bisect_left(cum, rng.random())
+        ]
+    if kind == "zipf":
+        values = list(params["values"])  # type: ignore[arg-type]
+        cum = _zipf_cdf(len(values), float(params["a"]))  # type: ignore[arg-type]
+        return lambda rng, index, row, resolve: values[
+            bisect.bisect_left(cum, rng.random())
+        ]
+    if kind == "int":
+        low, high = int(params["low"]), int(params["high"])  # type: ignore[arg-type]
+        return lambda rng, index, row, resolve: rng.randint(low, high)
+    if kind == "float":
+        lo, hi = float(params["low"]), float(params["high"])  # type: ignore[arg-type]
+        nd = int(params["ndigits"])  # type: ignore[arg-type]
+        return lambda rng, index, row, resolve: round(rng.uniform(lo, hi), nd)
+    if kind == "sequence":
+        prefix, start = str(params["prefix"]), int(params["start"])  # type: ignore[arg-type]
+        return lambda rng, index, row, resolve: f"{prefix}{start + index}"
+    if kind == "pattern":
+        pattern = str(params["pattern"])
+        pools = {k: list(v) for k, v in params["pools"].items()}  # type: ignore[union-attr]
+
+        def sample_pattern(rng, index, row, resolve):
+            return _PLACEHOLDER_RE.sub(
+                lambda m: str(rng.choice(pools[m.group(1)])), pattern
+            )
+
+        return sample_pattern
+    if kind == "ref":
+        table = str(params["table"])
+        column = str(params["column"])
+        if params["skew"] == "zipf":
+            a = float(params["a"])  # type: ignore[arg-type]
+
+            def pick_factory(rng):
+                return lambda n: bounded_zipf(rng, n, a)
+        else:
+            def pick_factory(rng):
+                return lambda n: rng.randrange(n)
+        return lambda rng, index, row, resolve: resolve(
+            table, column, pick_factory(rng)
+        )
+    if kind == "map":
+        source = str(params["source"])
+        mapping = dict(params["mapping"])  # type: ignore[arg-type]
+        default = params.get("default")
+
+        def sample_map(rng, index, row, resolve):
+            key = str(row.get(source))
+            if key in mapping:
+                return mapping[key]
+            if default is not None:
+                return default
+            raise ConfigError(
+                f"map column has no mapping for source value {key!r} "
+                f"and no 'default'"
+            )
+
+        return sample_map
+    raise ConfigError(f"unknown distribution kind {kind!r}")  # pragma: no cover

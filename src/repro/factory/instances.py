@@ -1,0 +1,278 @@
+"""Task instances from table streams: the factory's benchmark layer.
+
+``InstanceFactory`` turns a :class:`~repro.factory.model.FactorySchema`
+into labeled instances for whichever task the schema declares.  Like the
+row layer underneath it, **instance ``i`` is a pure function of
+``(schema fingerprint, seed, i)``** — error injection, pair construction
+and labeling all draw from per-index derived random streams, never from
+shared generator state.  That is what lets the adapter stream instances
+in any order or chunking and still match materialized generation byte
+for byte.
+
+Error injection reuses the corruption kit the hand-written ED benchmarks
+use (:mod:`repro.datasets.corruption`) and adds the OCR document channel
+(:mod:`repro.factory.ocr`); family mix and rates come from the schema's
+task declaration.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.instances import (
+    DIInstance,
+    EDInstance,
+    EMInstance,
+    Instance,
+    SMInstance,
+    Task,
+)
+from repro.data.records import AttributePair, CellValue, Record, RecordPair
+from repro.datasets.base import pick_weighted
+from repro.datasets.corruption import Corruption, domain_violation, numeric_outlier, typo
+from repro.datasets.empairs import PairProfile, render_view, _same_entity
+from repro.errors import DatasetError
+from repro.factory.generate import DatasetFactory
+from repro.factory.model import FactorySchema, HardnessSpec, _explicit_values
+from repro.factory.ocr import OCR_KINDS, apply_ocr
+
+
+def _as_text(value: CellValue) -> str | None:
+    return None if value is None else str(value)
+
+
+class InstanceFactory:
+    """Pure per-index instance generation for one ``(schema, seed)``."""
+
+    def __init__(self, schema: FactorySchema, seed: int = 0):
+        self.schema = schema
+        self.seed = seed
+        self.task = Task(schema.task.kind)
+        self.factory = DatasetFactory(schema, seed=seed)
+        self._table = schema.table(schema.task.table)
+        self._stream = self.factory.stream(schema.task.table)
+
+    # -- shared -----------------------------------------------------------
+
+    def instance_at(self, index: int) -> Instance:
+        """Instance ``index`` — same bytes regardless of access order."""
+        build = {
+            Task.ERROR_DETECTION: self._ed_at,
+            Task.DATA_IMPUTATION: self._di_at,
+            Task.SCHEMA_MATCHING: self._sm_at,
+            Task.ENTITY_MATCHING: self._em_at,
+        }[self.task]
+        instance = build(index)
+        instance.instance_id = f"{self.schema.name}-{index}"
+        return instance
+
+    def iter_instances(self, count: int):
+        """Stream ``count`` instances without retaining them."""
+        for index in range(count):
+            yield self.instance_at(index)
+
+    # -- error injection --------------------------------------------------
+
+    def _corrupt_cell(
+        self,
+        record: Record,
+        attribute: str,
+        family: str,
+        rng: random.Random,
+    ) -> Corruption:
+        """Apply one error family to ``record[attribute]``."""
+        value = record[attribute]
+        if value is None:
+            raise DatasetError(
+                f"cannot corrupt missing cell {attribute!r}"
+            )
+        if family in OCR_KINDS:
+            neighbor = self._neighbor_value(record, attribute)
+            return apply_ocr(family, str(value), rng, neighbor=neighbor)
+        if family == "numeric_outlier" and isinstance(value, (int, float)):
+            return numeric_outlier(value, rng)
+        if family == "domain_violation":
+            foreign = self._foreign_domain(attribute, rng)
+            if foreign:
+                try:
+                    return domain_violation(str(value), foreign, rng)
+                except DatasetError:
+                    pass
+        # typo, or the fallback when a family cannot apply to this cell
+        return typo(str(value), rng)
+
+    def _neighbor_value(self, record: Record, attribute: str) -> str | None:
+        """The next column's text, the cell a lost boundary merges in."""
+        names = self._table.column_names
+        at = names.index(attribute)
+        for offset in range(1, len(names)):
+            candidate = record[names[(at + offset) % len(names)]]
+            if candidate is not None:
+                return str(candidate)
+        return None
+
+    def _foreign_domain(self, attribute: str, rng: random.Random) -> list[str]:
+        """Values of a sibling column with an enumerable domain."""
+        candidates = []
+        for column in self._table.columns:
+            if column.name == attribute:
+                continue
+            values = _explicit_values(self._table, column)
+            if values:
+                candidates.append([str(v) for v in values])
+        if not candidates:
+            return []
+        return rng.choice(candidates)
+
+    # -- error detection --------------------------------------------------
+
+    def _ed_at(self, index: int) -> EDInstance:
+        task = self.schema.task
+        record = self._stream.record(index)
+        rng = self.factory.derived_rng("ed", index)
+        target = rng.choice(list(task.targets))
+        if rng.random() < task.error_rate:
+            family = pick_weighted(rng, task.families)
+            corruption = self._corrupt_cell(record, target, family, rng)
+            record[target] = corruption.corrupted
+            return EDInstance(
+                record=record,
+                target_attribute=target,
+                label=True,
+                clean_value=corruption.original,
+            )
+        # A clean target; sometimes dirty *context* (a distractor), so the
+        # benchmark punishes flagging errors in the wrong column.
+        if rng.random() < task.distractor_rate:
+            others = [n for n in task.targets if n != target]
+            others += [
+                n for n in self._table.column_names if n not in task.targets
+            ]
+            if others:
+                distractor = rng.choice(others)
+                if record[distractor] is not None:
+                    family = pick_weighted(rng, task.families)
+                    corruption = self._corrupt_cell(
+                        record, distractor, family, rng
+                    )
+                    record[distractor] = corruption.corrupted
+        return EDInstance(
+            record=record, target_attribute=target, label=False,
+        )
+
+    # -- data imputation --------------------------------------------------
+
+    def _di_at(self, index: int) -> DIInstance:
+        task = self.schema.task
+        record = self._stream.record(index)
+        rng = self.factory.derived_rng("di", index)
+        true_value = record[task.target]
+        if task.noise_rate:
+            for name in self._table.column_names:
+                if name == task.target or record[name] is None:
+                    continue
+                if rng.random() < task.noise_rate:
+                    family = pick_weighted(rng, task.noise_families)
+                    corruption = self._corrupt_cell(record, name, family, rng)
+                    record[name] = corruption.corrupted
+        return DIInstance(
+            record=record.with_missing(task.target),
+            target_attribute=task.target,
+            true_value=str(true_value),
+        )
+
+    # -- entity matching --------------------------------------------------
+
+    def _entity_at(self, index: int) -> dict[str, str]:
+        row = self._stream.row(index)
+        return {
+            name: text
+            for name, value in row.items()
+            if (text := _as_text(value)) is not None
+        }
+
+    def _em_at(self, index: int) -> EMInstance:
+        hardness = self.schema.task.hardness or HardnessSpec()
+        profile = PairProfile(
+            divergence=hardness.divergence,
+            drop_rate=hardness.drop_rate,
+            positive_rate=hardness.positive_rate,
+            hard_negative_rate=hardness.hard_negative_rate,
+            code_drop_rate=hardness.code_drop_rate,
+            noise_token_rate=hardness.noise_token_rate,
+        )
+        schema = self._stream.schema
+        rng = self.factory.derived_rng("em", index)
+        entity = self._entity_at(index)
+        name = self.schema.name
+        left = render_view(
+            entity, schema, rng, profile,
+            record_id=f"{name}-l{index}", perturb=False,
+        )
+        if rng.random() < profile.positive_rate:
+            right = render_view(
+                entity, schema, rng, profile,
+                record_id=f"{name}-r{index}", perturb=True,
+            )
+            return EMInstance(pair=RecordPair(left, right), label=True)
+        other = self._other_entity(entity, index, rng,
+                                   hard=rng.random() < profile.hard_negative_rate,
+                                   keep=hardness.keep_attributes)
+        right = render_view(
+            other, schema, rng, profile,
+            record_id=f"{name}-r{index}", perturb=True,
+            allow_code_drop=False,
+        )
+        return EMInstance(pair=RecordPair(left, right), label=False)
+
+    def _other_entity(
+        self,
+        entity: dict[str, str],
+        index: int,
+        rng: random.Random,
+        hard: bool,
+        keep: tuple[str, ...],
+    ) -> dict[str, str]:
+        """A *different* entity; hard negatives share ``keep`` attributes."""
+        other_index = rng.randrange(1 << 30)
+        if other_index == index:
+            other_index += 1
+        other = self._entity_at(other_index)
+        if hard:
+            for attribute in keep:
+                if attribute in entity:
+                    other[attribute] = entity[attribute]
+        if _same_entity(other, entity):
+            # Same surface form by chance: force the identity field apart.
+            identity = self._table.column_names[0]
+            base = other.get(identity) or entity.get(identity) or "entity"
+            other[identity] = typo(base, rng).corrupted
+        return other
+
+    # -- schema matching --------------------------------------------------
+
+    def _sm_at(self, index: int) -> SMInstance:
+        task = self.schema.task
+        left_table = self.schema.table(task.table)
+        right_table = self.schema.table(task.right_table)
+        matches = set(task.matches)
+        negatives = [
+            (left.name, right.name)
+            for left in left_table.columns
+            for right in right_table.columns
+            if (left.name, right.name) not in matches
+        ]
+        rng = self.factory.derived_rng("sm", index)
+        if rng.random() < task.positive_rate:
+            left_name, right_name = task.matches[rng.randrange(len(task.matches))]
+            label = True
+        else:
+            left_name, right_name = negatives[rng.randrange(len(negatives))]
+            label = False
+        return SMInstance(
+            pair=AttributePair(
+                left_table.column(left_name).attribute,
+                right_table.column(right_name).attribute,
+            ),
+            label=label,
+        )

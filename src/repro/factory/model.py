@@ -1,0 +1,548 @@
+"""The factory schema model: tables, typed columns, a task declaration.
+
+A :class:`FactorySchema` is the entire identity of a generated dataset.
+It is **pure data** — plain dataclasses that round-trip losslessly
+through :meth:`FactorySchema.to_dict` / :meth:`FactorySchema.from_dict`
+(and hence through YAML, see ``factory/spec.py``) — and its canonical
+JSON form is hashed into a 16-hex **fingerprint**.  Everything the
+factory emits is a pure function of ``(fingerprint, size, seed)``: the
+fingerprint is the schema's content address, it keys the dataset cache
+(see ``datasets/registry.py``), and it salts every per-row random
+stream, so two schemas that differ in any parameter generate disjoint
+data even under the same registered name.
+
+Validation is strict and happens at construction: unknown keys, dangling
+foreign keys, a ``map`` column whose source it cannot cover, a task
+pointed at a column that may go missing — all raise typed
+:class:`~repro.errors.ConfigError` before a single row is generated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.data.schema import Attribute, AttrType, Schema
+from repro.errors import ConfigError
+from repro.factory import distributions
+from repro.factory.ocr import OCR_KINDS
+from repro.obs.manifest import canonical_json
+
+#: error families the injection channel understands: the classic keyboard
+#: families from ``datasets/corruption.py`` plus the OCR document channel
+KNOWN_FAMILIES: tuple[str, ...] = (
+    "typo", "domain_violation", "numeric_outlier",
+) + OCR_KINDS
+
+_TASK_ALIASES = {
+    "ed": "error_detection",
+    "di": "data_imputation",
+    "sm": "schema_matching",
+    "em": "entity_matching",
+}
+
+_COLUMN_KEYS = {"name", "type", "dist", "description", "missing_rate"}
+_TABLE_KEYS = {"name", "rows", "columns"}
+_SCHEMA_KEYS = {"name", "version", "tables", "task"}
+_TASK_KEYS = {
+    "error_detection": {"kind", "table", "targets", "error_rate",
+                        "families", "distractor_rate"},
+    "data_imputation": {"kind", "table", "target", "noise_rate",
+                        "noise_families"},
+    "schema_matching": {"kind", "table", "right_table", "matches",
+                        "positive_rate"},
+    "entity_matching": {"kind", "table", "hardness"},
+}
+_HARDNESS_KEYS = {
+    "divergence", "drop_rate", "positive_rate", "hard_negative_rate",
+    "code_drop_rate", "noise_token_rate", "keep_attributes",
+}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _rate(value: object, name: str, where: str) -> float:
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             f"{where}: {name} must be a number, got {value!r}")
+    _require(0.0 <= value <= 1.0,  # type: ignore[operator]
+             f"{where}: {name} must be in [0, 1], got {value!r}")
+    return float(value)  # type: ignore[arg-type]
+
+
+def _families(raw: object, name: str, where: str) -> dict[str, float]:
+    _require(isinstance(raw, dict) and raw,
+             f"{where}: {name} must be a non-empty mapping of family -> weight")
+    out: dict[str, float] = {}
+    for family, weight in raw.items():  # type: ignore[union-attr]
+        _require(family in KNOWN_FAMILIES,
+                 f"{where}: unknown error family {family!r}; "
+                 f"known: {', '.join(KNOWN_FAMILIES)}")
+        _require(isinstance(weight, (int, float)) and not isinstance(weight, bool)
+                 and weight > 0,
+                 f"{where}: weight for family {family!r} must be positive")
+        out[str(family)] = float(weight)
+    return out
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """One column's value distribution: a kind plus validated parameters."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **self.params}
+
+    @classmethod
+    def from_dict(cls, raw: dict, where: str) -> Distribution:
+        _require(isinstance(raw, dict), f"{where}: 'dist' must be a mapping")
+        kind = raw.get("kind")
+        _require(isinstance(kind, str) and bool(kind),
+                 f"{where}: 'dist' needs a 'kind'")
+        params = {k: v for k, v in raw.items() if k != "kind"}
+        return cls(kind=kind,  # type: ignore[arg-type]
+                   params=distributions.validate_params(kind, params, where))
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """A named, typed column with a distribution and an optional miss rate."""
+
+    name: str
+    type: AttrType
+    dist: Distribution
+    description: str = ""
+    missing_rate: float = 0.0
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "type": self.type.value,
+            "dist": self.dist.to_dict(),
+        }
+        if self.description:
+            out["description"] = self.description
+        if self.missing_rate:
+            out["missing_rate"] = self.missing_rate
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict, where: str) -> ColumnSpec:
+        _require(isinstance(raw, dict), f"{where}: column must be a mapping")
+        unknown = set(raw) - _COLUMN_KEYS
+        _require(not unknown,
+                 f"{where}: unknown column key(s): {', '.join(sorted(unknown))}")
+        name = raw.get("name")
+        _require(isinstance(name, str) and bool(name),
+                 f"{where}: column needs a non-empty 'name'")
+        where = f"{where}.{name}"
+        type_name = raw.get("type", "text")
+        try:
+            attr_type = AttrType(type_name)
+        except ValueError:
+            raise ConfigError(
+                f"{where}: unknown type {type_name!r}; known: "
+                f"{', '.join(t.value for t in AttrType)}"
+            ) from None
+        _require("dist" in raw, f"{where}: column needs a 'dist'")
+        description = raw.get("description", "")
+        _require(isinstance(description, str),
+                 f"{where}: 'description' must be a string")
+        missing_rate = raw.get("missing_rate", 0.0)
+        return cls(
+            name=name,  # type: ignore[arg-type]
+            type=attr_type,
+            dist=Distribution.from_dict(raw["dist"], where),
+            description=description,  # type: ignore[arg-type]
+            missing_rate=_rate(missing_rate, "missing_rate", where)
+            if missing_rate else 0.0,
+        )
+
+    @property
+    def attribute(self) -> Attribute:
+        return Attribute(self.name, self.type, self.description)
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """A table: name, declared row count, ordered columns.
+
+    ``rows`` is the table's *universe* size — the row space foreign keys
+    draw from and the default dataset size; generation itself can stream
+    any number of rows because every row is addressed by index.
+    """
+
+    name: str
+    rows: int
+    columns: tuple[ColumnSpec, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "rows": self.rows,
+            "columns": [column.to_dict() for column in self.columns],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict, where: str) -> TableSpec:
+        _require(isinstance(raw, dict), f"{where}: table must be a mapping")
+        unknown = set(raw) - _TABLE_KEYS
+        _require(not unknown,
+                 f"{where}: unknown table key(s): {', '.join(sorted(unknown))}")
+        name = raw.get("name")
+        _require(isinstance(name, str) and bool(name),
+                 f"{where}: table needs a non-empty 'name'")
+        where = f"{where}.{name}"
+        rows = raw.get("rows")
+        _require(isinstance(rows, int) and not isinstance(rows, bool)
+                 and rows >= 1, f"{where}: 'rows' must be an int >= 1")
+        columns_raw = raw.get("columns")
+        _require(isinstance(columns_raw, list) and bool(columns_raw),
+                 f"{where}: 'columns' must be a non-empty list")
+        columns = tuple(
+            ColumnSpec.from_dict(col, f"{where}.columns")
+            for col in columns_raw  # type: ignore[union-attr]
+        )
+        seen: set[str] = set()
+        for column in columns:
+            _require(column.name not in seen,
+                     f"{where}: duplicate column {column.name!r}")
+            seen.add(column.name)
+        return cls(name=name, rows=rows, columns=columns)  # type: ignore[arg-type]
+
+    def column(self, name: str) -> ColumnSpec:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise ConfigError(f"table {self.name!r} has no column {name!r}")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    def record_schema(self) -> Schema:
+        return Schema(
+            name=self.name,
+            attributes=tuple(col.attribute for col in self.columns),
+        )
+
+
+@dataclass(frozen=True)
+class HardnessSpec:
+    """EM difficulty knobs, mirroring :class:`~repro.datasets.empairs.PairProfile`."""
+
+    divergence: float = 0.3
+    drop_rate: float = 0.1
+    positive_rate: float = 0.4
+    hard_negative_rate: float = 0.5
+    code_drop_rate: float = 0.0
+    noise_token_rate: float = 0.0
+    #: attributes a hard negative copies from the anchor entity (brand,
+    #: factory, city — whatever makes two distinct entities confusable)
+    keep_attributes: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "divergence": self.divergence,
+            "drop_rate": self.drop_rate,
+            "positive_rate": self.positive_rate,
+            "hard_negative_rate": self.hard_negative_rate,
+            "code_drop_rate": self.code_drop_rate,
+            "noise_token_rate": self.noise_token_rate,
+            "keep_attributes": list(self.keep_attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict, where: str) -> HardnessSpec:
+        _require(isinstance(raw, dict), f"{where}: 'hardness' must be a mapping")
+        unknown = set(raw) - _HARDNESS_KEYS
+        _require(not unknown,
+                 f"{where}: unknown hardness key(s): {', '.join(sorted(unknown))}")
+        keep = raw.get("keep_attributes", [])
+        _require(isinstance(keep, (list, tuple))
+                 and all(isinstance(k, str) for k in keep),
+                 f"{where}: 'keep_attributes' must be a list of column names")
+        rates = {
+            name: _rate(raw.get(name, getattr(cls, name)), name, where)
+            for name in _HARDNESS_KEYS - {"keep_attributes"}
+        }
+        _require(rates["positive_rate"] > 0.0,
+                 f"{where}: positive_rate must be > 0 so few-shot pools "
+                 f"can show both classes")
+        return cls(keep_attributes=tuple(keep), **rates)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """What benchmark the schema generates, and with which knobs."""
+
+    kind: str                                 # a Task value string
+    table: str
+    # --- error detection ---
+    targets: tuple[str, ...] = ()
+    error_rate: float = 0.3
+    families: dict = field(default_factory=dict)
+    distractor_rate: float = 0.2
+    # --- data imputation ---
+    target: str = ""
+    noise_rate: float = 0.0
+    noise_families: dict = field(default_factory=dict)
+    # --- schema matching ---
+    right_table: str = ""
+    matches: tuple[tuple[str, str], ...] = ()
+    positive_rate: float = 0.5
+    # --- entity matching ---
+    hardness: HardnessSpec | None = None
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "table": self.table}
+        if self.kind == "error_detection":
+            out["targets"] = list(self.targets)
+            out["error_rate"] = self.error_rate
+            out["families"] = dict(self.families)
+            out["distractor_rate"] = self.distractor_rate
+        elif self.kind == "data_imputation":
+            out["target"] = self.target
+            if self.noise_rate:
+                out["noise_rate"] = self.noise_rate
+                out["noise_families"] = dict(self.noise_families)
+        elif self.kind == "schema_matching":
+            out["right_table"] = self.right_table
+            out["matches"] = [list(pair) for pair in self.matches]
+            out["positive_rate"] = self.positive_rate
+        else:
+            out["hardness"] = (self.hardness or HardnessSpec()).to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict, where: str = "task") -> TaskSpec:
+        _require(isinstance(raw, dict), f"{where}: 'task' must be a mapping")
+        kind = raw.get("kind")
+        _require(isinstance(kind, str) and bool(kind),
+                 f"{where}: task needs a 'kind'")
+        kind = _TASK_ALIASES.get(str(kind).lower(), str(kind).lower())
+        _require(kind in _TASK_KEYS,
+                 f"{where}: unknown task kind {raw.get('kind')!r}; known: "
+                 f"{', '.join(sorted(_TASK_KEYS))} (or ed/di/sm/em)")
+        unknown = set(raw) - _TASK_KEYS[kind]
+        _require(not unknown,
+                 f"{where}: unknown key(s) for {kind}: "
+                 f"{', '.join(sorted(unknown))}")
+        table = raw.get("table")
+        _require(isinstance(table, str) and bool(table),
+                 f"{where}: task needs a 'table'")
+        spec = {"kind": kind, "table": table}
+        if kind == "error_detection":
+            targets = raw.get("targets")
+            _require(isinstance(targets, (list, tuple)) and bool(targets)
+                     and all(isinstance(t, str) for t in targets),
+                     f"{where}: ED needs 'targets', a non-empty list of columns")
+            spec["targets"] = tuple(targets)  # type: ignore[arg-type]
+            spec["error_rate"] = _rate(raw.get("error_rate", 0.3),
+                                       "error_rate", where)
+            _require(spec["error_rate"] > 0.0,
+                     f"{where}: error_rate must be > 0 for an ED schema")
+            spec["families"] = _families(
+                raw.get("families", {"typo": 1.0}), "families", where)
+            spec["distractor_rate"] = _rate(raw.get("distractor_rate", 0.2),
+                                            "distractor_rate", where)
+        elif kind == "data_imputation":
+            target = raw.get("target")
+            _require(isinstance(target, str) and bool(target),
+                     f"{where}: DI needs a 'target' column")
+            spec["target"] = target
+            noise_rate = _rate(raw.get("noise_rate", 0.0), "noise_rate", where)
+            spec["noise_rate"] = noise_rate
+            if noise_rate:
+                spec["noise_families"] = _families(
+                    raw.get("noise_families",
+                            {family: 1.0 for family in OCR_KINDS}),
+                    "noise_families", where)
+            else:
+                _require("noise_families" not in raw,
+                         f"{where}: 'noise_families' without a 'noise_rate'")
+        elif kind == "schema_matching":
+            right = raw.get("right_table")
+            _require(isinstance(right, str) and bool(right),
+                     f"{where}: SM needs a 'right_table'")
+            spec["right_table"] = right
+            matches_raw = raw.get("matches")
+            _require(isinstance(matches_raw, (list, tuple)) and bool(matches_raw),
+                     f"{where}: SM needs 'matches', a non-empty list of "
+                     f"[left_column, right_column] pairs")
+            matches = []
+            for pair in matches_raw:  # type: ignore[union-attr]
+                _require(isinstance(pair, (list, tuple)) and len(pair) == 2
+                         and all(isinstance(p, str) for p in pair),
+                         f"{where}: each match must be a [left, right] pair")
+                matches.append((pair[0], pair[1]))
+            spec["matches"] = tuple(matches)
+            spec["positive_rate"] = _rate(raw.get("positive_rate", 0.5),
+                                          "positive_rate", where)
+            _require(0.0 < spec["positive_rate"] < 1.0,
+                     f"{where}: SM positive_rate must be in (0, 1)")
+        else:  # entity matching
+            spec["hardness"] = HardnessSpec.from_dict(
+                raw.get("hardness", {}), where)
+        return cls(**spec)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FactorySchema:
+    """A complete factory schema: identity, tables, task declaration."""
+
+    name: str
+    tables: tuple[TableSpec, ...]
+    task: TaskSpec
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        _validate_schema(self)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "tables": [table.to_dict() for table in self.tables],
+            "task": self.task.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> FactorySchema:
+        _require(isinstance(raw, dict), "schema document must be a mapping")
+        unknown = set(raw) - _SCHEMA_KEYS
+        _require(not unknown,
+                 f"schema: unknown top-level key(s): {', '.join(sorted(unknown))}")
+        name = raw.get("name")
+        _require(isinstance(name, str) and bool(name),
+                 "schema needs a non-empty 'name'")
+        version = raw.get("version", 1)
+        _require(version == 1,
+                 f"schema {name!r}: unsupported version {version!r} "
+                 f"(this build reads version 1)")
+        tables_raw = raw.get("tables")
+        _require(isinstance(tables_raw, list) and bool(tables_raw),
+                 f"schema {name!r}: 'tables' must be a non-empty list")
+        tables = tuple(
+            TableSpec.from_dict(table, f"schema {name!r}: tables")
+            for table in tables_raw  # type: ignore[union-attr]
+        )
+        _require("task" in raw, f"schema {name!r}: missing 'task'")
+        task = TaskSpec.from_dict(raw["task"], where=f"schema {name!r}: task")
+        return cls(name=name, version=1, tables=tables, task=task)  # type: ignore[arg-type]
+
+    def table(self, name: str) -> TableSpec:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise ConfigError(f"schema {self.name!r} has no table {name!r}")
+
+    @property
+    def fingerprint(self) -> str:
+        """Content address of this schema: 16 hex of sha256(canonical JSON)."""
+        return hashlib.sha256(
+            canonical_json(self.to_dict()).encode("utf-8")
+        ).hexdigest()[:16]
+
+
+def _explicit_values(table: TableSpec, column: ColumnSpec) -> list | None:
+    """The finite value domain of a column, when it has one."""
+    if column.dist.kind in distributions.VALUE_KINDS:
+        return list(column.dist.params["values"])
+    if column.dist.kind == "map":
+        out = list(column.dist.params["mapping"].values())
+        if "default" in column.dist.params:
+            out.append(column.dist.params["default"])
+        return out
+    return None
+
+
+def _validate_schema(schema: FactorySchema) -> None:
+    _require(bool(schema.name), "schema needs a non-empty 'name'")
+    seen_tables: set[str] = set()
+    for table in schema.tables:
+        where = f"schema {schema.name!r}: table {table.name!r}"
+        _require(table.name not in seen_tables,
+                 f"schema {schema.name!r}: duplicate table {table.name!r}")
+        earlier_columns: dict[str, ColumnSpec] = {}
+        for column in table.columns:
+            cwhere = f"{where}: column {column.name!r}"
+            dist = column.dist
+            if dist.kind == "ref":
+                parent_name = dist.params["table"]
+                _require(parent_name != table.name,
+                         f"{cwhere}: a ref cannot target its own table")
+                _require(parent_name in seen_tables,
+                         f"{cwhere}: ref target table {parent_name!r} must be "
+                         f"declared before {table.name!r}")
+                parent = schema.table(parent_name)
+                parent.column(dist.params["column"])  # raises if absent
+            if dist.kind == "map":
+                source = dist.params["source"]
+                _require(source in earlier_columns,
+                         f"{cwhere}: map source {source!r} must be an earlier "
+                         f"column of the same table")
+                source_values = _explicit_values(table, earlier_columns[source])
+                if "default" not in dist.params:
+                    _require(source_values is not None,
+                             f"{cwhere}: map over a non-enumerable source "
+                             f"needs a 'default'")
+                    uncovered = [
+                        v for v in source_values  # type: ignore[union-attr]
+                        if str(v) not in dist.params["mapping"]
+                    ]
+                    _require(not uncovered,
+                             f"{cwhere}: mapping misses source value(s) "
+                             f"{uncovered!r} and has no 'default'")
+                _require(earlier_columns[source].missing_rate == 0.0,
+                         f"{cwhere}: map source {source!r} must not have a "
+                         f"missing_rate")
+            if column.type.is_numeric and dist.kind in ("sequence", "pattern"):
+                raise ConfigError(
+                    f"{cwhere}: {dist.kind} distributions produce text; "
+                    f"declare the column as text/categorical"
+                )
+            earlier_columns[column.name] = column
+        seen_tables.add(table.name)
+    _validate_task(schema)
+
+
+def _validate_task(schema: FactorySchema) -> None:
+    task = schema.task
+    where = f"schema {schema.name!r}: task"
+    table = schema.table(task.table)  # raises if absent
+    if task.kind == "error_detection":
+        for target in task.targets:
+            column = table.column(target)
+            _require(column.missing_rate == 0.0,
+                     f"{where}: ED target {target!r} must not have a "
+                     f"missing_rate — missing cells are DI's problem")
+        if "numeric_outlier" in task.families:
+            _require(any(table.column(t).type.is_numeric for t in task.targets),
+                     f"{where}: family 'numeric_outlier' needs at least one "
+                     f"numeric target column")
+    elif task.kind == "data_imputation":
+        column = table.column(task.target)
+        _require(column.missing_rate == 0.0,
+                 f"{where}: DI target {task.target!r} must not have a "
+                 f"missing_rate — the factory blanks it per instance")
+        _require(len(table.columns) >= 2,
+                 f"{where}: DI needs context columns besides the target")
+    elif task.kind == "schema_matching":
+        right = schema.table(task.right_table)
+        for left_col, right_col in task.matches:
+            table.column(left_col)
+            right.column(right_col)
+        _require(len(table.columns) * len(right.columns) > len(task.matches),
+                 f"{where}: every column pair is a declared match — "
+                 f"no negatives can be generated")
+    else:  # entity matching
+        hardness = task.hardness or HardnessSpec()
+        for name in hardness.keep_attributes:
+            table.column(name)
+        _require(len(table.columns) >= 2,
+                 f"{where}: EM needs at least two columns to diverge on")

@@ -1,0 +1,170 @@
+"""OCR-style document-noise corruption: the scanned-paper error channel.
+
+The published ED/DI benchmarks model *keyboard* noise (typos, swapped
+cells).  Documents that enter a pipeline through OCR carry a different
+error family: glyphs confused for look-alikes (``l``/``1``, ``O``/``0``,
+``rn``/``m``), neighboring columns merged when the layout engine loses a
+cell boundary, and lines broken mid-token where a physical line wrapped.
+This module implements those three corruptors with the same contract as
+:mod:`repro.datasets.corruption`: deterministic under a caller-provided
+``random.Random``, returning a :class:`~repro.datasets.corruption.Corruption`
+that records the original next to the corrupted form.
+
+One hard constraint shapes every table here: contextualized prompts
+double-quote cell values (``[a: "v"]``), so no corruptor may introduce a
+``"`` or a newline — either would change how the *prompt* parses, not how
+the *value* reads.  Broken lines are therefore rendered as the hyphenated
+wrap artifact OCR itself produces (``micro- soft``), not as a literal
+line feed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.corruption import Corruption
+from repro.errors import DatasetError
+
+#: glyph confusions observed in real OCR output.  Multi-character keys
+#: model segmentation errors (``rn`` read as ``m``).  None of the
+#: replacements contain ``"`` or newlines (see module docstring).
+GLYPH_CONFUSIONS: tuple[tuple[str, str], ...] = (
+    ("rn", "m"),
+    ("cl", "d"),
+    ("vv", "w"),
+    ("ri", "n"),
+    ("l", "1"),
+    ("1", "l"),
+    ("O", "0"),
+    ("0", "O"),
+    ("o", "0"),
+    ("S", "5"),
+    ("5", "S"),
+    ("B", "8"),
+    ("8", "B"),
+    ("Z", "2"),
+    ("g", "9"),
+    ("q", "g"),
+    ("e", "c"),
+    ("h", "b"),
+    ("u", "ii"),
+    ("m", "rn"),
+    ("w", "vv"),
+    ("n", "ri"),
+    ("t", "f"),
+    ("i", "í"),
+)
+
+#: kinds reported by this module, in the ``Corruption.kind`` field
+OCR_KINDS = ("ocr_garbled_glyphs", "ocr_merged_column", "ocr_broken_line")
+
+
+def garble_glyphs(value: str, rng: random.Random, intensity: float = 0.4) -> Corruption:
+    """Replace look-alike glyph sequences the way a low-confidence OCR pass does.
+
+    Scans for confusable substrings and rewrites each with probability
+    ``intensity``; always rewrites at least one occurrence so the
+    corruption is guaranteed to change the value.
+    """
+    value = str(value)
+    if not value:
+        raise DatasetError("cannot garble an empty value")
+    sites: list[tuple[int, str, str]] = []
+    for pattern, replacement in GLYPH_CONFUSIONS:
+        start = 0
+        while True:
+            at = value.find(pattern, start)
+            if at < 0:
+                break
+            sites.append((at, pattern, replacement))
+            start = at + 1
+    if not sites:
+        # Nothing confusable: model a smudge — one character doubled, the
+        # other classic segmentation failure of dirty scans.
+        at = rng.randrange(len(value))
+        corrupted = value[:at] + value[at] + value[at:]
+        return Corruption(original=value, corrupted=corrupted,
+                          kind="ocr_garbled_glyphs")
+    sites.sort()
+    picked = [site for site in sites if rng.random() < intensity]
+    if not picked:
+        picked = [sites[rng.randrange(len(sites))]]
+    out: list[str] = []
+    cursor = 0
+    for at, pattern, replacement in picked:
+        if at < cursor:
+            continue  # overlaps a site already rewritten
+        out.append(value[cursor:at])
+        out.append(replacement)
+        cursor = at + len(pattern)
+    out.append(value[cursor:])
+    corrupted = "".join(out)
+    if corrupted == value:  # pragma: no cover - defensive; sites always differ
+        corrupted = value + value[-1]
+    return Corruption(original=value, corrupted=corrupted,
+                      kind="ocr_garbled_glyphs")
+
+
+def merged_column(value: str, neighbor: str, rng: random.Random) -> Corruption:
+    """Merge the neighboring cell's text into this one.
+
+    Models a lost column boundary: the layout engine read two cells as
+    one, so the value absorbs its right-hand neighbor, joined by the
+    whitespace remnant of the dead separator.
+    """
+    value, neighbor = str(value), str(neighbor)
+    if not value:
+        raise DatasetError("cannot merge into an empty value")
+    if not neighbor:
+        raise DatasetError("cannot merge an empty neighbor")
+    joiner = rng.choice(("  ", " ", " | ", "   "))
+    corrupted = f"{value}{joiner}{neighbor}"
+    return Corruption(original=value, corrupted=corrupted,
+                      kind="ocr_merged_column")
+
+
+def broken_line(value: str, rng: random.Random) -> Corruption:
+    """Break the value mid-token the way a wrapped physical line does.
+
+    The break is rendered as the hyphen-plus-space artifact OCR emits for
+    a hyphenated wrap (``micro- soft``) — never a literal newline, which
+    would corrupt the *prompt* rather than the value.
+    """
+    value = str(value)
+    if len(value) < 2:
+        raise DatasetError("value too short to break across lines")
+    # Break inside the longest token so the artifact is visible mid-word.
+    tokens = value.split(" ")
+    longest = max(range(len(tokens)), key=lambda i: len(tokens[i]))
+    token = tokens[longest]
+    if len(token) >= 2:
+        at = rng.randrange(1, len(token))
+        tokens[longest] = f"{token[:at]}- {token[at:]}"
+        corrupted = " ".join(tokens)
+    else:
+        at = rng.randrange(1, len(value))
+        corrupted = f"{value[:at]}- {value[at:]}"
+    return Corruption(original=value, corrupted=corrupted,
+                      kind="ocr_broken_line")
+
+
+def apply_ocr(
+    kind: str, value: str, rng: random.Random, neighbor: str | None = None
+) -> Corruption:
+    """Apply one OCR corruptor by kind name (see :data:`OCR_KINDS`).
+
+    ``merged_column`` needs the neighboring cell's text; when it is
+    missing or empty the corruptor degrades to glyph garbling, which is
+    what OCR output looks like when the adjacent cell was blank anyway.
+    """
+    if kind == "ocr_garbled_glyphs":
+        return garble_glyphs(value, rng)
+    if kind == "ocr_broken_line":
+        if len(str(value)) < 2:
+            return garble_glyphs(value, rng)
+        return broken_line(value, rng)
+    if kind == "ocr_merged_column":
+        if neighbor is None or not str(neighbor):
+            return garble_glyphs(value, rng)
+        return merged_column(value, str(neighbor), rng)
+    raise DatasetError(f"unknown OCR corruption kind {kind!r}")

@@ -1,0 +1,301 @@
+"""Built-in factory schemas, the source of truth for ``examples/schemas/``.
+
+Each preset is a plain schema dict run through the same strict
+:meth:`~repro.factory.model.FactorySchema.from_dict` path a YAML file
+takes.  The checked-in YAML files under ``examples/schemas/`` are dumps
+of these presets; ``tests/factory/test_examples.py`` asserts file and
+preset agree fingerprint-for-fingerprint, so the runnable examples can
+never drift from what the golden cells freeze.
+
+Presets live in code (not YAML) so the conformance layer — golden
+capture in particular — works in environments without PyYAML installed.
+
+The value vocabularies are shared with the hand-written benchmarks
+(:mod:`repro.datasets.vocabularies`), which matters: the simulated
+models' knowledge base covers the same tables, so factory data exercises
+the same inference chains (area code -> city, education -> educationnum)
+the paper's worked examples rely on.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import vocabularies as vocab
+from repro.errors import ConfigError
+from repro.factory.model import FactorySchema
+
+_BLURBS = (
+    "a well balanced craft beer with a smooth finish",
+    "brewed in small batches from premium hops and malt",
+    "a crisp refreshing ale perfect for any occasion",
+    "award winning flavor with notes of citrus and pine",
+    "a rich full bodied brew with a creamy head",
+)
+
+_INVOICE_CITIES = (
+    "new york", "los angeles", "chicago", "houston", "philadelphia",
+    "san antonio", "dallas", "austin", "seattle", "denver", "boston",
+    "atlanta",
+)
+
+
+def _city_map(fact: str) -> dict[str, str]:
+    """city -> one deterministic fact (state, area code, zip prefix)."""
+    out: dict[str, str] = {}
+    for name in _INVOICE_CITIES:
+        city = vocab.CITY_BY_NAME[name]
+        if fact == "state":
+            out[name] = city.state
+        elif fact == "phone":
+            out[name] = f"{city.area_codes[0]}-555-0134"
+        else:
+            out[name] = f"{city.zip_prefix}01"
+    return out
+
+
+def _adult_replica() -> dict:
+    education = [name for name, __ in vocab.EDUCATION_LEVELS]
+    educationnum = {name: num for name, num in vocab.EDUCATION_LEVELS}
+    return {
+        "name": "adult_replica",
+        "version": 1,
+        "tables": [{
+            "name": "adult",
+            "rows": 10000,
+            "columns": [
+                {"name": "age", "type": "numeric",
+                 "dist": {"kind": "int", "low": 17, "high": 90}},
+                {"name": "workclass", "type": "categorical",
+                 "dist": {"kind": "weighted",
+                          "values": list(vocab.WORKCLASSES),
+                          "weights": [60, 10, 5, 4, 8, 6, 1, 1]}},
+                {"name": "education", "type": "categorical",
+                 "dist": {"kind": "uniform", "values": education}},
+                {"name": "educationnum", "type": "numeric",
+                 "dist": {"kind": "map", "source": "education",
+                          "mapping": educationnum}},
+                {"name": "maritalstatus", "type": "categorical",
+                 "dist": {"kind": "uniform",
+                          "values": list(vocab.MARITAL_STATUSES)}},
+                {"name": "occupation", "type": "categorical",
+                 "dist": {"kind": "uniform",
+                          "values": list(vocab.OCCUPATIONS)}},
+                {"name": "relationship", "type": "categorical",
+                 "dist": {"kind": "uniform",
+                          "values": list(vocab.RELATIONSHIPS)}},
+                {"name": "race", "type": "categorical",
+                 "dist": {"kind": "uniform", "values": list(vocab.RACES)}},
+                {"name": "sex", "type": "categorical",
+                 "dist": {"kind": "uniform", "values": list(vocab.SEXES)}},
+                {"name": "hoursperweek", "type": "numeric",
+                 "dist": {"kind": "weighted",
+                          "values": [20, 25, 30, 35, 40, 45, 50, 55, 60],
+                          "weights": [1, 1, 1, 1, 3, 1, 1, 1, 1]}},
+                {"name": "country", "type": "categorical",
+                 "dist": {"kind": "zipf", "values": list(vocab.COUNTRIES),
+                          "a": 1.4}},
+                {"name": "income", "type": "categorical",
+                 "dist": {"kind": "weighted", "values": ["<=50k", ">50k"],
+                          "weights": [3, 1]}},
+            ],
+        }],
+        "task": {
+            "kind": "error_detection",
+            "table": "adult",
+            "targets": [
+                "age", "workclass", "education", "educationnum",
+                "maritalstatus", "occupation", "relationship", "race",
+                "sex", "hoursperweek", "country",
+            ],
+            "error_rate": 0.25,
+            "families": {
+                "typo": 3.0, "domain_violation": 2.0,
+                "numeric_outlier": 2.0, "ocr_garbled_glyphs": 1.0,
+            },
+            "distractor_rate": 0.3,
+        },
+    }
+
+
+def _beer_replica() -> dict:
+    return {
+        "name": "beer_replica",
+        "version": 1,
+        "tables": [{
+            "name": "beers",
+            "rows": 1000,
+            "columns": [
+                {"name": "beer_name", "type": "text",
+                 "dist": {"kind": "pattern",
+                          "pattern": "{adjective} {noun} {kind}",
+                          "pools": {
+                              "adjective": list(vocab.BEER_NAME_ADJECTIVES),
+                              "noun": list(vocab.BEER_NAME_NOUNS),
+                              "kind": ["ipa", "ale", "stout", "porter",
+                                       "lager", "pilsner"],
+                          }}},
+                {"name": "brew_factory_name", "type": "text",
+                 "dist": {"kind": "zipf", "values": list(vocab.BREWERIES),
+                          "a": 1.2}},
+                {"name": "style", "type": "categorical",
+                 "dist": {"kind": "uniform",
+                          "values": list(vocab.BEER_STYLES)}},
+                {"name": "abv", "type": "text",
+                 "dist": {"kind": "pattern", "pattern": "{whole}.{frac}%",
+                          "pools": {"whole": [4, 5, 6, 7, 8, 9, 10, 11, 12],
+                                    "frac": [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]}}},
+                {"name": "description", "type": "text",
+                 "dist": {"kind": "uniform", "values": list(_BLURBS)}},
+            ],
+        }],
+        "task": {
+            "kind": "entity_matching",
+            "table": "beers",
+            "hardness": {
+                "divergence": 0.35,
+                "drop_rate": 0.10,
+                "positive_rate": 0.35,
+                "hard_negative_rate": 0.5,
+                "keep_attributes": ["brew_factory_name", "style"],
+            },
+        },
+    }
+
+
+def _ocr_invoices() -> dict:
+    return {
+        "name": "ocr_invoices",
+        "version": 1,
+        "tables": [{
+            "name": "invoices",
+            "rows": 2000,
+            "columns": [
+                {"name": "invoice_id", "type": "text",
+                 "dist": {"kind": "sequence", "prefix": "inv-", "start": 1000}},
+                {"name": "vendor", "type": "text",
+                 "dist": {"kind": "pattern", "pattern": "{name} {suffix}",
+                          "pools": {
+                              "name": ["meridian", "cascade", "lakeside",
+                                       "summit", "pioneer", "redwood",
+                                       "harbor", "granite"],
+                              "suffix": ["supply co.", "logistics",
+                                         "industries", "trading",
+                                         "services inc."],
+                          }}},
+                {"name": "city", "type": "categorical",
+                 "dist": {"kind": "uniform",
+                          "values": list(_INVOICE_CITIES)}},
+                {"name": "phone", "type": "text",
+                 "dist": {"kind": "map", "source": "city",
+                          "mapping": _city_map("phone")}},
+                {"name": "zip", "type": "text",
+                 "dist": {"kind": "map", "source": "city",
+                          "mapping": _city_map("zip")}},
+                {"name": "total", "type": "numeric",
+                 "dist": {"kind": "float", "low": 18.0, "high": 960.0,
+                          "ndigits": 2}},
+            ],
+        }],
+        "task": {
+            "kind": "data_imputation",
+            "table": "invoices",
+            "target": "city",
+            "noise_rate": 0.25,
+            "noise_families": {
+                "ocr_garbled_glyphs": 2.0,
+                "ocr_merged_column": 1.0,
+                "ocr_broken_line": 1.0,
+            },
+        },
+    }
+
+
+def _orders() -> dict:
+    return {
+        "name": "orders",
+        "version": 1,
+        "tables": [
+            {
+                "name": "customers",
+                "rows": 200,
+                "columns": [
+                    {"name": "customer_id", "type": "text",
+                     "dist": {"kind": "sequence", "prefix": "cust-"}},
+                    {"name": "name", "type": "text",
+                     "dist": {"kind": "pattern", "pattern": "{first} {last}",
+                              "pools": {
+                                  "first": ["ada", "grace", "alan", "edsger",
+                                            "barbara", "donald", "tony",
+                                            "leslie"],
+                                  "last": ["moore", "chen", "patel", "garcia",
+                                           "kim", "okafor", "novak",
+                                           "haruki"],
+                              }}},
+                    {"name": "city", "type": "categorical",
+                     "dist": {"kind": "uniform",
+                              "values": list(_INVOICE_CITIES)}},
+                ],
+            },
+            {
+                "name": "orders",
+                "rows": 5000,
+                "columns": [
+                    {"name": "order_id", "type": "text",
+                     "dist": {"kind": "sequence", "prefix": "ord-"}},
+                    {"name": "customer_id", "type": "text",
+                     "dist": {"kind": "ref", "table": "customers",
+                              "column": "customer_id", "skew": "zipf",
+                              "a": 1.3}},
+                    {"name": "product", "type": "categorical",
+                     "dist": {"kind": "zipf",
+                              "values": ["laptop stand", "usb-c cable",
+                                         "mechanical keyboard", "webcam",
+                                         "monitor arm", "desk mat",
+                                         "trackball", "headset",
+                                         "docking station", "microphone"],
+                              "a": 1.1}},
+                    {"name": "quantity", "type": "numeric",
+                     "dist": {"kind": "int", "low": 1, "high": 12}},
+                    {"name": "price", "type": "numeric",
+                     "dist": {"kind": "float", "low": 4.0, "high": 420.0,
+                              "ndigits": 2}},
+                    {"name": "status", "type": "categorical",
+                     "dist": {"kind": "weighted",
+                              "values": ["delivered", "shipped", "pending",
+                                         "returned", "cancelled"],
+                              "weights": [10, 4, 3, 1, 1]}},
+                ],
+            },
+        ],
+        "task": {
+            "kind": "error_detection",
+            "table": "orders",
+            "targets": ["product", "quantity", "price", "status"],
+            "error_rate": 0.3,
+            "families": {
+                "typo": 2.0, "domain_violation": 1.0, "numeric_outlier": 2.0,
+                "ocr_garbled_glyphs": 1.0, "ocr_merged_column": 1.0,
+                "ocr_broken_line": 1.0,
+            },
+            "distractor_rate": 0.2,
+        },
+    }
+
+
+_PRESET_BUILDERS = {
+    "adult_replica": _adult_replica,
+    "beer_replica": _beer_replica,
+    "ocr_invoices": _ocr_invoices,
+    "orders": _orders,
+}
+
+#: the preset names, in ``examples/schemas/`` file order
+PRESET_NAMES: tuple[str, ...] = tuple(sorted(_PRESET_BUILDERS))
+
+
+def preset(name: str) -> FactorySchema:
+    """A built-in schema by name (see :data:`PRESET_NAMES`)."""
+    if name not in _PRESET_BUILDERS:
+        raise ConfigError(
+            f"unknown preset schema {name!r}; known: {', '.join(PRESET_NAMES)}"
+        )
+    return FactorySchema.from_dict(_PRESET_BUILDERS[name]())

@@ -1,0 +1,99 @@
+"""YAML factory schemas: parse, validate, dump.
+
+A schema file is one YAML document mirroring
+:meth:`~repro.factory.model.FactorySchema.to_dict` exactly:
+
+.. code-block:: yaml
+
+    name: orders
+    version: 1
+    tables:
+      - name: customers
+        rows: 200
+        columns:
+          - {name: customer_id, type: text, dist: {kind: sequence, prefix: cust-}}
+          - {name: city, type: categorical,
+             dist: {kind: uniform, values: [austin, boston, denver]}}
+      - name: orders
+        rows: 5000
+        columns:
+          - {name: order_id, type: text, dist: {kind: sequence, prefix: ord-}}
+          - {name: customer_id, type: text,
+             dist: {kind: ref, table: customers, column: customer_id,
+                    skew: zipf, a: 1.3}}
+          - {name: quantity, type: numeric, dist: {kind: int, low: 1, high: 12}}
+    task:
+      kind: error_detection
+      table: orders
+      targets: [quantity]
+      error_rate: 0.3
+      families: {typo: 1.0, numeric_outlier: 1.0}
+
+Parsing is strict (typed :class:`~repro.errors.ConfigError` on any
+problem) and lossless: ``load_schema(dump_schema(s))`` reproduces the
+same schema, fingerprint included — the YAML round-trip property in
+``tests/property/test_property_factory.py``.
+
+PyYAML is an optional dependency, gated exactly like ``flow/spec.py``:
+only the file/CLI path needs it, so its absence degrades to a clear
+error.  JSON schema files (``.json``) parse without PyYAML.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+try:  # pragma: no cover - exercised only where PyYAML is absent
+    import yaml as _yaml
+except ImportError:  # pragma: no cover
+    _yaml = None
+
+from repro.errors import ConfigError
+from repro.factory.model import FactorySchema
+
+
+def load_schema(text: str, source: str = "<string>") -> FactorySchema:
+    """Parse one schema document (YAML, or JSON as its subset)."""
+    if _yaml is not None:
+        try:
+            raw = _yaml.safe_load(text)
+        except _yaml.YAMLError as err:
+            raise ConfigError(f"{source}: invalid YAML: {err}") from err
+    else:
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise ConfigError(
+                f"{source}: PyYAML is not installed; only JSON schema "
+                f"documents can be parsed without it ({err})"
+            ) from err
+    if not isinstance(raw, dict):
+        raise ConfigError(
+            f"{source}: a schema document must be a mapping, "
+            f"got {type(raw).__name__}"
+        )
+    return FactorySchema.from_dict(raw)
+
+
+def load_schema_file(path: str | Path) -> FactorySchema:
+    """Parse a schema file; ``.json`` files never need PyYAML."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        raise ConfigError(f"cannot read schema file {path}: {err}") from err
+    return load_schema(text, source=str(path))
+
+
+def dump_schema(schema: FactorySchema) -> str:
+    """The schema as YAML, key order preserved for readability."""
+    if _yaml is None:
+        raise ConfigError(
+            "PyYAML is not installed; cannot dump a schema to YAML "
+            "(install pyyaml, or serialize schema.to_dict() as JSON)"
+        )
+    return _yaml.safe_dump(
+        schema.to_dict(), sort_keys=False, default_flow_style=False,
+        allow_unicode=True,
+    )

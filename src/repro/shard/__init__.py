@@ -25,6 +25,7 @@ from repro.shard.plan import (
     default_shard_count,
     plan_shards,
     shard_of,
+    stream_plan_shards,
 )
 from repro.shard.runner import (
     SHARD_CRASH_SITES,
@@ -69,4 +70,5 @@ __all__ = [
     "shard_of",
     "shard_payload",
     "shard_scaling_bench",
+    "stream_plan_shards",
 ]

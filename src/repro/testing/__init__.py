@@ -25,10 +25,12 @@ from repro.testing.fuzz import (
 )
 from repro.testing.golden import (
     ALL_GOLDEN_CELLS,
+    FACTORY_GOLDEN_CELLS,
     FLOW_GOLDEN_CELLS,
     GOLDEN_CELLS,
     GOLDEN_VERSION,
     SERVING_GOLDEN_CELLS,
+    FactoryGoldenCell,
     FlowGoldenCell,
     GoldenCell,
     ServingGoldenCell,
@@ -55,10 +57,12 @@ from repro.testing.replay import (
 
 __all__ = [
     "ALL_GOLDEN_CELLS",
+    "FACTORY_GOLDEN_CELLS",
     "FLOW_GOLDEN_CELLS",
     "GOLDEN_CELLS",
     "GOLDEN_VERSION",
     "SERVING_GOLDEN_CELLS",
+    "FactoryGoldenCell",
     "FlowGoldenCell",
     "GoldenCell",
     "ServingGoldenCell",

@@ -30,6 +30,7 @@ from typing import Callable
 from repro.core import parsing
 from repro.data.instances import Task
 from repro.errors import AnswerFormatError
+from repro.factory.ocr import broken_line, garble_glyphs, merged_column
 
 #: every Nth case skips corruption and must parse exactly
 WELLFORMED_EVERY = 10
@@ -160,6 +161,45 @@ def _op_blank_noise(text: str, rng: random.Random) -> str:
     return "\n".join(lines)
 
 
+# The OCR document-noise operators model a reply that passed through a
+# scan-and-recognize loop (screenshots of chat transcripts, PDFs of model
+# output): confused glyphs can hit the Yes/No verdicts and the "Answer N:"
+# markers themselves, merged lines collapse two answer blocks into one,
+# and broken lines split a verdict mid-token.  They reuse the factory's
+# corruptors (:mod:`repro.factory.ocr`) so reply noise and cell noise stay
+# one implementation.
+
+def _op_ocr_garbled_glyphs(text: str, rng: random.Random) -> str:
+    if not text.strip():
+        return text
+    return garble_glyphs(text, rng, intensity=0.2).corrupted
+
+
+def _op_ocr_broken_line(text: str, rng: random.Random) -> str:
+    lines = text.splitlines()
+    candidates = [i for i, line in enumerate(lines) if len(line.strip()) >= 2]
+    if not candidates:
+        return text
+    target = rng.choice(candidates)
+    lines[target] = broken_line(lines[target], rng).corrupted
+    return "\n".join(lines)
+
+
+def _op_ocr_merged_column(text: str, rng: random.Random) -> str:
+    lines = text.splitlines()
+    if len(lines) < 2:
+        if not text.strip():
+            return text
+        return garble_glyphs(text, rng).corrupted
+    target = rng.randrange(len(lines) - 1)
+    first, second = lines[target], lines[target + 1]
+    if first.strip() and second.strip():
+        merged = merged_column(first, second, rng).corrupted
+    else:
+        merged = f"{first} {second}".strip()
+    return "\n".join(lines[:target] + [merged] + lines[target + 2:])
+
+
 OPERATORS: dict[str, Callable[[str, random.Random], str]] = {
     "case_shuffle": _op_case_shuffle,
     "drop_marker": _op_drop_marker,
@@ -170,6 +210,9 @@ OPERATORS: dict[str, Callable[[str, random.Random], str]] = {
     "duplicate_block": _op_duplicate_block,
     "truncate_tail": _op_truncate_tail,
     "blank_noise": _op_blank_noise,
+    "ocr_garbled_glyphs": _op_ocr_garbled_glyphs,
+    "ocr_broken_line": _op_ocr_broken_line,
+    "ocr_merged_column": _op_ocr_merged_column,
 }
 
 _TASKS = (

@@ -152,13 +152,62 @@ FLOW_GOLDEN_CELLS: tuple[FlowGoldenCell, ...] = (
     FlowGoldenCell("flow_ed_di_adult"),
 )
 
-#: every recorded cell, offline, serving, and flow
-ALL_GOLDEN_CELLS: tuple[GoldenCell | ServingGoldenCell | FlowGoldenCell, ...] = (
+
+@dataclass(frozen=True)
+class FactoryGoldenCell:
+    """One recorded pipeline run over a schema-factory dataset.
+
+    Mirrors :class:`GoldenCell` with the dataset swapped for a factory
+    *preset* (:func:`repro.factory.presets.preset`) — the schema lives in
+    code, not YAML, so capture needs no YAML parser.  The snapshot pins
+    the whole chain schema → streamed rows → injected errors → instances
+    → prompts → replies → parsing: a drift in any distribution sampler,
+    corruption family, or the OCR channel shows up as a golden diff.  The
+    schema fingerprint is frozen inside the cell dict, so even a change
+    that happens to produce identical instances is still caught as an
+    (intentional) schema revision.
+    """
+
+    name: str
+    preset: str
+    size: int
+    model: str = "gpt-3.5"
+    seed: int = 0
+    batching: str = "random"
+    concurrency: int = 1
+
+    def config(self) -> PipelineConfig:
+        return PipelineConfig(
+            model=self.model,
+            seed=self.seed,
+            batching=self.batching,
+            concurrency=self.concurrency,
+            observability=True,
+        )
+
+
+#: factory cells: ED over a schema-generated table (all error families)
+#: and DI over the OCR noisy-document channel
+FACTORY_GOLDEN_CELLS: tuple[FactoryGoldenCell, ...] = (
+    FactoryGoldenCell("factory_ed_schema_gpt35", preset="adult_replica",
+                      size=32),
+    FactoryGoldenCell("factory_di_ocr_gpt4", preset="ocr_invoices",
+                      size=24, model="gpt-4"),
+)
+
+#: any recorded cell kind — the union the store and CLI dispatch over
+AnyGoldenCell = (
+    GoldenCell | ServingGoldenCell | FlowGoldenCell | FactoryGoldenCell
+)
+
+#: every recorded cell: offline, serving, flow, and factory
+ALL_GOLDEN_CELLS: tuple[AnyGoldenCell, ...] = (
     GOLDEN_CELLS + SERVING_GOLDEN_CELLS + FLOW_GOLDEN_CELLS
+    + FACTORY_GOLDEN_CELLS
 )
 
 
-def cell_by_name(name: str) -> "GoldenCell | ServingGoldenCell | FlowGoldenCell":
+def cell_by_name(name: str) -> AnyGoldenCell:
     for cell in ALL_GOLDEN_CELLS:
         if cell.name == name:
             return cell
@@ -273,30 +322,16 @@ def _capture_serving_snapshot(cell: ServingGoldenCell) -> dict:
     return json.loads(canonical_json(payload))
 
 
-def capture_snapshot(
-    cell: "GoldenCell | ServingGoldenCell | FlowGoldenCell",
-) -> dict:
-    """Run ``cell`` end to end and freeze its behavior as a JSON payload."""
-    if isinstance(cell, ServingGoldenCell):
-        return _capture_serving_snapshot(cell)
-    if isinstance(cell, FlowGoldenCell):
-        return _capture_flow_snapshot(cell)
-    # Imported here so the conformance layer stays importable without
-    # dragging the dataset/LLM stack in at module-import time.
-    from repro.datasets import load_dataset
-    from repro.eval.harness import evaluate_pipeline
-    from repro.llm.simulated import SimulatedLLM
+def _pipeline_payload(cell_name: str, cell_dict: dict, dataset, run) -> dict:
+    """Freeze one pipeline run (manifest, exchanges, predictions, quarantine).
 
-    dataset = load_dataset(cell.dataset, size=cell.size, seed=cell.seed)
-    run = evaluate_pipeline(
-        SimulatedLLM(cell.model, seed=cell.seed),
-        cell.config(),
-        dataset,
-        keep_raw=True,
-    )
+    Shared between classic :class:`GoldenCell` capture and the factory
+    cells, which differ only in how the dataset and the cell dict are
+    built.
+    """
     if run.manifest is None or run.result is None:
         raise GoldenError(
-            f"cell {cell.name!r} produced no manifest/result — "
+            f"cell {cell_name!r} produced no manifest/result — "
             f"observability or keep_raw was lost on the way down"
         )
     manifest = run.manifest.to_dict()
@@ -316,7 +351,7 @@ def capture_snapshot(
         })
     payload = {
         "golden_version": GOLDEN_VERSION,
-        "cell": dataclasses.asdict(cell),
+        "cell": cell_dict,
         "manifest": manifest,
         "exchanges": exchanges,
         "predictions": run.result.predictions,
@@ -332,6 +367,53 @@ def capture_snapshot(
     # One normalization pass so in-memory payloads compare == against
     # payloads read back from disk (tuples->lists, enums->names, ...).
     return json.loads(canonical_json(payload))
+
+
+def _capture_factory_snapshot(cell: FactoryGoldenCell) -> dict:
+    """Generate the cell's preset schema and freeze a full pipeline run."""
+    from repro.eval.harness import evaluate_pipeline
+    from repro.factory import SchemaGenerator, preset
+    from repro.llm.simulated import SimulatedLLM
+
+    schema = preset(cell.preset)
+    generator = SchemaGenerator(schema)
+    dataset = generator.generate(size=cell.size, seed=cell.seed)
+    run = evaluate_pipeline(
+        SimulatedLLM(cell.model, seed=cell.seed),
+        cell.config(),
+        dataset,
+        keep_raw=True,
+    )
+    cell_dict = {
+        **dataclasses.asdict(cell),
+        "kind": "factory",
+        "fingerprint": schema.fingerprint,
+    }
+    return _pipeline_payload(cell.name, cell_dict, dataset, run)
+
+
+def capture_snapshot(cell: AnyGoldenCell) -> dict:
+    """Run ``cell`` end to end and freeze its behavior as a JSON payload."""
+    if isinstance(cell, ServingGoldenCell):
+        return _capture_serving_snapshot(cell)
+    if isinstance(cell, FlowGoldenCell):
+        return _capture_flow_snapshot(cell)
+    if isinstance(cell, FactoryGoldenCell):
+        return _capture_factory_snapshot(cell)
+    # Imported here so the conformance layer stays importable without
+    # dragging the dataset/LLM stack in at module-import time.
+    from repro.datasets import load_dataset
+    from repro.eval.harness import evaluate_pipeline
+    from repro.llm.simulated import SimulatedLLM
+
+    dataset = load_dataset(cell.dataset, size=cell.size, seed=cell.seed)
+    run = evaluate_pipeline(
+        SimulatedLLM(cell.model, seed=cell.seed),
+        cell.config(),
+        dataset,
+        keep_raw=True,
+    )
+    return _pipeline_payload(cell.name, dataclasses.asdict(cell), dataset, run)
 
 
 @dataclass(frozen=True)

@@ -57,3 +57,81 @@ class TestRegistry:
         texts_a = [str(i.pair.left) for i in a.instances]
         texts_b = [str(i.pair.left) for i in b.instances]
         assert texts_a != texts_b
+
+
+class TestSchemaCacheKeys:
+    """Regression: the dataset cache must key on generator *content*.
+
+    Before cache_token, the key was (name, size, seed) — two different
+    schemas reachable under the same name (one schema file edited between
+    loads, or sequential re-registration) aliased in the cache and the
+    second load silently returned the first schema's data.
+    """
+
+    def _write(self, tmp_path, preset_name, filename):
+        import json
+
+        from repro.factory import preset
+
+        path = tmp_path / filename
+        path.write_text(
+            json.dumps(preset(preset_name).to_dict()), encoding="utf-8"
+        )
+        return path
+
+    def test_builtin_generators_have_an_empty_cache_token(self):
+        from repro.datasets.registry import _GENERATORS
+
+        assert all(g.cache_token == "" for g in _GENERATORS.values())
+
+    def test_two_schemas_same_sizes_different_names_stay_distinct(
+        self, tmp_path
+    ):
+        from repro.datasets import SCHEMA_PREFIX
+
+        a_path = self._write(tmp_path, "adult_replica", "a.json")
+        b_path = self._write(tmp_path, "orders", "b.json")
+        a = load_dataset(f"{SCHEMA_PREFIX}{a_path}", size=10, seed=0)
+        b = load_dataset(f"{SCHEMA_PREFIX}{b_path}", size=10, seed=0)
+        assert a is not b
+        assert str(a.instances[0].record) != str(b.instances[0].record)
+
+    def test_edited_schema_file_is_not_aliased(self, tmp_path):
+        """Same path, same (size, seed) — edited content must reload."""
+        from repro.datasets import SCHEMA_PREFIX
+
+        path = self._write(tmp_path, "adult_replica", "schema.json")
+        first = load_dataset(f"{SCHEMA_PREFIX}{path}", size=10, seed=0)
+        self._write(tmp_path, "orders", "schema.json")
+        second = load_dataset(f"{SCHEMA_PREFIX}{path}", size=10, seed=0)
+        assert first is not second
+        assert first.name != second.name
+
+    def test_same_schema_content_still_caches(self, tmp_path):
+        from repro.datasets import SCHEMA_PREFIX
+
+        path = self._write(tmp_path, "orders", "schema.json")
+        a = load_dataset(f"{SCHEMA_PREFIX}{path}", size=10, seed=0)
+        b = load_dataset(f"{SCHEMA_PREFIX}{path}", size=10, seed=0)
+        assert a is b
+
+    def test_sequential_reregistration_under_one_name(self):
+        """Register schema A under a name, drop it, register schema B
+        under the same name: the cache must not serve A's data for B."""
+        from repro.datasets.registry import _GENERATORS, clear_cache
+        from repro.factory import preset, register_schema
+
+        name = "reused_name_for_cache_test"
+        try:
+            register_schema(preset("adult_replica"), name=name)
+            first = load_dataset(name, size=10, seed=0)
+            del _GENERATORS[name]
+            register_schema(preset("orders"), name=name)
+            second = load_dataset(name, size=10, seed=0)
+            assert first is not second
+            # different schemas -> different records, same registered name
+            assert str(first.instances[0].record) != \
+                str(second.instances[0].record)
+        finally:
+            _GENERATORS.pop(name, None)
+            clear_cache()

@@ -1,0 +1,137 @@
+"""Distribution validation and the pure samplers."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.factory.distributions import (
+    bounded_zipf,
+    make_sampler,
+    validate_params,
+)
+
+
+def _no_resolve(table, column, pick):  # pragma: no cover - never called
+    raise AssertionError("sampler should not resolve refs")
+
+
+class TestValidateParams:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError, match="unknown distribution kind"):
+            validate_params("gaussian", {}, "here")
+
+    def test_unknown_parameter_named(self):
+        with pytest.raises(ConfigError, match="sigma"):
+            validate_params("uniform", {"values": ["a"], "sigma": 1}, "here")
+
+    def test_weighted_length_mismatch(self):
+        with pytest.raises(ConfigError, match="match 'values'"):
+            validate_params(
+                "weighted", {"values": ["a", "b"], "weights": [1.0]}, "here"
+            )
+
+    def test_zipf_exponent_must_be_positive(self):
+        with pytest.raises(ConfigError, match="'a' must be"):
+            validate_params("zipf", {"values": ["a", "b"], "a": 0}, "here")
+
+    def test_ref_zipf_skew_needs_a_above_one(self):
+        with pytest.raises(ConfigError, match="'a' > 1"):
+            validate_params(
+                "ref",
+                {"table": "p", "column": "c", "skew": "zipf", "a": 1.0},
+                "here",
+            )
+
+    def test_int_bounds_ordered(self):
+        with pytest.raises(ConfigError, match="'low' must be <="):
+            validate_params("int", {"low": 9, "high": 1}, "here")
+
+    def test_pattern_placeholder_needs_a_pool(self):
+        with pytest.raises(ConfigError, match="without a pool"):
+            validate_params(
+                "pattern",
+                {"pattern": "{a} {b}", "pools": {"a": ["x"]}},
+                "here",
+            )
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(ConfigError):
+            validate_params("int", {"low": True, "high": 3}, "here")
+
+
+class TestSamplers:
+    def sample(self, kind, params, seed=0, index=0, row=()):
+        sampler = make_sampler(kind, validate_params(kind, params, "t"))
+        return sampler(random.Random(seed), index, dict(row), _no_resolve)
+
+    def test_samplers_are_pure_functions_of_the_rng(self):
+        cases = [
+            ("uniform", {"values": ["a", "b", "c"]}),
+            ("weighted", {"values": ["a", "b"], "weights": [3, 1]}),
+            ("zipf", {"values": ["a", "b", "c"], "a": 1.3}),
+            ("int", {"low": 1, "high": 99}),
+            ("float", {"low": 0.0, "high": 10.0, "ndigits": 2}),
+            ("pattern", {"pattern": "{x}-{x}", "pools": {"x": ["p", "q"]}}),
+        ]
+        for kind, params in cases:
+            assert self.sample(kind, params, seed=5) == \
+                self.sample(kind, params, seed=5), kind
+
+    def test_sequence_is_a_function_of_the_index_alone(self):
+        params = {"prefix": "inv-", "start": 100}
+        assert self.sample("sequence", params, seed=1, index=7) == "inv-107"
+        assert self.sample("sequence", params, seed=2, index=7) == "inv-107"
+
+    def test_uniform_covers_its_domain(self):
+        seen = {
+            self.sample("uniform", {"values": ["a", "b", "c"]}, seed=s)
+            for s in range(60)
+        }
+        assert seen == {"a", "b", "c"}
+
+    def test_weighted_respects_weights(self):
+        counts = {"a": 0, "b": 0}
+        for s in range(400):
+            counts[self.sample(
+                "weighted", {"values": ["a", "b"], "weights": [9, 1]}, seed=s
+            )] += 1
+        assert counts["a"] > counts["b"] * 4
+
+    def test_float_rounds_to_ndigits(self):
+        value = self.sample("float", {"low": 0.0, "high": 1.0, "ndigits": 1})
+        assert value == round(value, 1)
+
+    def test_map_uses_source_then_default(self):
+        params = {"source": "color", "mapping": {"red": 1}, "default": 0}
+        assert self.sample("map", params, row={"color": "red"}) == 1
+        assert self.sample("map", params, row={"color": "teal"}) == 0
+
+    def test_map_without_cover_or_default_raises(self):
+        sampler = make_sampler(
+            "map",
+            validate_params("map", {"source": "c", "mapping": {"x": 1}}, "t"),
+        )
+        with pytest.raises(ConfigError, match="no 'default'"):
+            sampler(random.Random(0), 0, {"c": "y"}, _no_resolve)
+
+
+class TestBoundedZipf:
+    def test_stays_in_range(self):
+        rng = random.Random(0)
+        draws = [bounded_zipf(rng, 50, 1.3) for _ in range(2000)]
+        assert min(draws) >= 0 and max(draws) < 50
+
+    def test_head_ranks_dominate(self):
+        rng = random.Random(1)
+        draws = [bounded_zipf(rng, 100, 1.5) for _ in range(4000)]
+        head = sum(1 for d in draws if d < 5)
+        assert head > len(draws) // 2
+
+    def test_single_item_universe(self):
+        assert bounded_zipf(random.Random(0), 1, 2.0) == 0
+
+    def test_deterministic_per_rng_state(self):
+        a = [bounded_zipf(random.Random(7), 30, 1.2) for _ in range(5)]
+        b = [bounded_zipf(random.Random(7), 30, 1.2) for _ in range(5)]
+        assert a == b

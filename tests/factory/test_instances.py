@@ -1,0 +1,152 @@
+"""Task instances from schemas: labels, rates, and per-index purity."""
+
+from repro.core.contextualize import serialize_instance
+from repro.data.instances import Task
+from repro.factory import FactorySchema, InstanceFactory, preset
+
+
+def sm_schema():
+    """A small schema-matching schema (no shipped preset declares SM)."""
+    return FactorySchema.from_dict({
+        "name": "sm_toy",
+        "tables": [
+            {"name": "left", "rows": 10, "columns": [
+                {"name": "patient_name", "description": "full name",
+                 "dist": {"kind": "uniform", "values": ["ada", "grace"]}},
+                {"name": "dob", "description": "date of birth",
+                 "dist": {"kind": "uniform", "values": ["1990", "1985"]}},
+            ]},
+            {"name": "right", "rows": 10, "columns": [
+                {"name": "name", "description": "person name",
+                 "dist": {"kind": "uniform", "values": ["x"]}},
+                {"name": "birth_date", "description": "birth date",
+                 "dist": {"kind": "uniform", "values": ["y"]}},
+            ]},
+        ],
+        "task": {"kind": "sm", "table": "left", "right_table": "right",
+                 "matches": [["patient_name", "name"],
+                             ["dob", "birth_date"]],
+                 "positive_rate": 0.5},
+    })
+
+
+class TestPurity:
+    def test_instance_is_a_pure_function_of_its_index(self):
+        for name in ("adult_replica", "beer_replica", "ocr_invoices"):
+            a = InstanceFactory(preset(name), seed=3).instance_at(11)
+            b = InstanceFactory(preset(name), seed=3).instance_at(11)
+            assert serialize_instance(a) == serialize_instance(b), name
+
+    def test_streamed_equals_random_access(self):
+        fact = InstanceFactory(preset("orders"), seed=1)
+        streamed = [serialize_instance(i) for i in fact.iter_instances(40)]
+        random_access = [
+            serialize_instance(InstanceFactory(preset("orders"), seed=1)
+                               .instance_at(i))
+            for i in range(40)
+        ]
+        assert streamed == random_access
+
+    def test_seed_changes_instances(self):
+        a = InstanceFactory(preset("adult_replica"), seed=0).instance_at(2)
+        b = InstanceFactory(preset("adult_replica"), seed=9).instance_at(2)
+        assert serialize_instance(a) != serialize_instance(b)
+
+
+class TestErrorDetection:
+    def test_labels_and_error_rate_track_the_schema(self):
+        schema = preset("adult_replica")
+        fact = InstanceFactory(schema)
+        n = 400
+        errors = sum(1 for i in fact.iter_instances(n) if i.label)
+        rate = errors / n
+        declared = schema.task.error_rate
+        assert abs(rate - declared) < 0.08, rate
+
+    def test_erroneous_cells_differ_from_their_clean_value(self):
+        fact = InstanceFactory(preset("adult_replica"))
+        seen_error = False
+        for instance in fact.iter_instances(60):
+            assert instance.task is Task.ERROR_DETECTION
+            if instance.label:
+                seen_error = True
+                assert instance.record[instance.target_attribute] != \
+                    instance.clean_value
+        assert seen_error
+
+    def test_multi_table_ed_schema_generates(self):
+        instances = list(InstanceFactory(preset("orders")).iter_instances(50))
+        assert {i.label for i in instances} == {True, False}
+
+
+class TestDataImputation:
+    def test_target_is_blanked_and_truth_retained(self):
+        fact = InstanceFactory(preset("ocr_invoices"))
+        for instance in fact.iter_instances(40):
+            assert instance.task is Task.DATA_IMPUTATION
+            assert instance.record[instance.target_attribute] is None
+            assert instance.true_value
+
+    def test_ocr_noise_reaches_the_context_cells(self):
+        fact = InstanceFactory(preset("ocr_invoices"))
+        noisy = 0
+        for index, instance in enumerate(fact.iter_instances(80)):
+            clean_row = fact._stream.row(index)
+            for name, value in instance.record:
+                if name == instance.target_attribute or value is None:
+                    continue
+                if str(value) != str(clean_row[name]):
+                    noisy += 1
+        assert noisy > 10, noisy
+
+    def test_imputation_stays_solvable_from_correlated_context(self):
+        # city -> phone area code / zip prefix are map columns: whenever
+        # the phone survives uncorrupted, its prefix identifies the city.
+        from repro.datasets.vocabularies import CITY_BY_NAME
+
+        fact = InstanceFactory(preset("ocr_invoices"))
+        checked = 0
+        for instance in fact.iter_instances(60):
+            phone = instance.record["phone"]
+            truth = instance.true_value
+            if phone is None or truth not in CITY_BY_NAME:
+                continue
+            area = str(phone).split("-")[0]
+            if area in CITY_BY_NAME[truth].area_codes:
+                checked += 1
+        assert checked > 20, checked
+
+
+class TestEntityMatching:
+    def test_both_labels_and_divergent_views(self):
+        fact = InstanceFactory(preset("beer_replica"))
+        labels = set()
+        for instance in fact.iter_instances(80):
+            assert instance.task is Task.ENTITY_MATCHING
+            labels.add(instance.label)
+            left, right = instance.pair.left, instance.pair.right
+            assert left.record_id != right.record_id
+        assert labels == {True, False}
+
+    def test_positive_rate_tracks_hardness(self):
+        schema = preset("beer_replica")
+        fact = InstanceFactory(schema)
+        n = 400
+        positives = sum(1 for i in fact.iter_instances(n) if i.label)
+        declared = schema.task.hardness.positive_rate
+        assert abs(positives / n - declared) < 0.08
+
+
+class TestSchemaMatching:
+    def test_matches_label_true_and_pairs_carry_descriptions(self):
+        schema = sm_schema()
+        matches = set(schema.task.matches)
+        fact = InstanceFactory(schema)
+        labels = set()
+        for instance in fact.iter_instances(60):
+            assert instance.task is Task.SCHEMA_MATCHING
+            pair = (instance.pair.left.name, instance.pair.right.name)
+            assert instance.label == (pair in matches)
+            labels.add(instance.label)
+            assert instance.pair.left.description
+        assert labels == {True, False}

@@ -1,0 +1,217 @@
+"""Schema model: strict parse-time validation and content fingerprints."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.factory import FactorySchema, preset
+from repro.factory.presets import PRESET_NAMES
+
+
+def toy_dict():
+    """A small valid ED schema tests mutate into invalid shapes."""
+    return {
+        "name": "toy",
+        "tables": [
+            {"name": "t", "rows": 20, "columns": [
+                {"name": "id", "type": "text",
+                 "dist": {"kind": "sequence", "prefix": "r-", "start": 1}},
+                {"name": "color", "type": "categorical",
+                 "dist": {"kind": "uniform",
+                          "values": ["red", "green", "blue"]}},
+                {"name": "score", "type": "numeric",
+                 "dist": {"kind": "int", "low": 1, "high": 9}},
+            ]},
+        ],
+        "task": {"kind": "ed", "table": "t", "targets": ["color", "score"],
+                 "error_rate": 0.3, "families": {"typo": 1.0}},
+    }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", PRESET_NAMES)
+    def test_presets_round_trip_losslessly(self, name):
+        schema = preset(name)
+        again = FactorySchema.from_dict(schema.to_dict())
+        assert again.to_dict() == schema.to_dict()
+        assert again.fingerprint == schema.fingerprint
+
+    def test_task_kind_aliases_normalize(self):
+        schema = FactorySchema.from_dict(toy_dict())
+        assert schema.task.kind == "error_detection"
+        long_form = toy_dict()
+        long_form["task"]["kind"] = "error_detection"
+        assert FactorySchema.from_dict(long_form).fingerprint == schema.fingerprint
+
+    def test_fingerprint_sees_every_parameter(self):
+        base = FactorySchema.from_dict(toy_dict())
+        changed = toy_dict()
+        changed["tables"][0]["rows"] = 21
+        assert FactorySchema.from_dict(changed).fingerprint != base.fingerprint
+        changed = toy_dict()
+        changed["task"]["error_rate"] = 0.31
+        assert FactorySchema.from_dict(changed).fingerprint != base.fingerprint
+
+    def test_preset_fingerprints_are_distinct(self):
+        prints = {preset(name).fingerprint for name in PRESET_NAMES}
+        assert len(prints) == len(PRESET_NAMES)
+
+
+def _rejects(doc, fragment):
+    with pytest.raises(ConfigError, match=fragment):
+        FactorySchema.from_dict(doc)
+
+
+class TestValidation:
+    def test_unknown_top_level_key(self):
+        doc = toy_dict()
+        doc["color"] = "blue"
+        _rejects(doc, "unknown top-level")
+
+    def test_unknown_column_key(self):
+        doc = toy_dict()
+        doc["tables"][0]["columns"][0]["typo_key"] = 1
+        _rejects(doc, "unknown column key")
+
+    def test_unknown_dist_kind(self):
+        doc = toy_dict()
+        doc["tables"][0]["columns"][1]["dist"] = {"kind": "gaussian"}
+        _rejects(doc, "unknown distribution kind")
+
+    def test_unknown_dist_param(self):
+        doc = toy_dict()
+        doc["tables"][0]["columns"][1]["dist"]["sigma"] = 2
+        _rejects(doc, "unknown parameter")
+
+    def test_unsupported_version(self):
+        doc = toy_dict()
+        doc["version"] = 2
+        _rejects(doc, "unsupported version")
+
+    def test_duplicate_column(self):
+        doc = toy_dict()
+        doc["tables"][0]["columns"].append(
+            dict(doc["tables"][0]["columns"][1])
+        )
+        _rejects(doc, "duplicate column")
+
+    def test_duplicate_table(self):
+        doc = toy_dict()
+        doc["tables"].append(doc["tables"][0])
+        _rejects(doc, "duplicate table")
+
+    def test_ref_cannot_target_own_table(self):
+        doc = toy_dict()
+        doc["tables"][0]["columns"].append(
+            {"name": "peer", "dist": {"kind": "ref", "table": "t",
+                                      "column": "id"}}
+        )
+        _rejects(doc, "cannot target its own table")
+
+    def test_ref_target_must_be_declared_earlier(self):
+        doc = toy_dict()
+        doc["tables"][0]["columns"].append(
+            {"name": "peer", "dist": {"kind": "ref", "table": "later",
+                                      "column": "id"}}
+        )
+        doc["tables"].append(
+            {"name": "later", "rows": 5, "columns": [
+                {"name": "id",
+                 "dist": {"kind": "sequence", "prefix": "x-", "start": 1}},
+            ]}
+        )
+        _rejects(doc, "declared before")
+
+    def test_ref_to_missing_parent_column(self):
+        doc = toy_dict()
+        doc["tables"].append(
+            {"name": "child", "rows": 5, "columns": [
+                {"name": "fk", "dist": {"kind": "ref", "table": "t",
+                                        "column": "nope"}},
+                {"name": "x", "dist": {"kind": "uniform", "values": ["a"]}},
+            ]}
+        )
+        _rejects(doc, "no column 'nope'")
+
+    def test_map_source_must_be_earlier_column(self):
+        doc = toy_dict()
+        doc["tables"][0]["columns"].insert(
+            0, {"name": "derived",
+                "dist": {"kind": "map", "source": "color",
+                         "mapping": {"red": 1}, "default": 0}}
+        )
+        _rejects(doc, "earlier")
+
+    def test_map_must_cover_source_or_default(self):
+        doc = toy_dict()
+        doc["tables"][0]["columns"].append(
+            {"name": "derived",
+             "dist": {"kind": "map", "source": "color",
+                      "mapping": {"red": 1, "green": 2}}}
+        )
+        _rejects(doc, "misses source value")
+
+    def test_map_source_must_not_go_missing(self):
+        doc = toy_dict()
+        doc["tables"][0]["columns"][1]["missing_rate"] = 0.2
+        doc["tables"][0]["columns"].append(
+            {"name": "derived",
+             "dist": {"kind": "map", "source": "color",
+                      "mapping": {"red": 1}, "default": 0}}
+        )
+        _rejects(doc, "must not have a")
+
+    def test_sequence_on_numeric_column(self):
+        doc = toy_dict()
+        doc["tables"][0]["columns"][0]["type"] = "numeric"
+        _rejects(doc, "produce text")
+
+    def test_ed_target_must_not_go_missing(self):
+        doc = toy_dict()
+        doc["tables"][0]["columns"][1]["missing_rate"] = 0.3
+        _rejects(doc, "missing_rate")
+
+    def test_ed_error_rate_must_be_positive(self):
+        doc = toy_dict()
+        doc["task"]["error_rate"] = 0.0
+        _rejects(doc, "error_rate must be > 0")
+
+    def test_unknown_error_family(self):
+        doc = toy_dict()
+        doc["task"]["families"] = {"smudge": 1.0}
+        _rejects(doc, "unknown error family")
+
+    def test_numeric_outlier_needs_a_numeric_target(self):
+        doc = toy_dict()
+        doc["task"]["targets"] = ["color"]
+        doc["task"]["families"] = {"numeric_outlier": 1.0}
+        _rejects(doc, "numeric target")
+
+    def test_di_noise_families_need_a_noise_rate(self):
+        doc = toy_dict()
+        doc["task"] = {"kind": "di", "table": "t", "target": "color",
+                       "noise_families": {"typo": 1.0}}
+        _rejects(doc, "without a 'noise_rate'")
+
+    def test_sm_with_every_pair_matched_has_no_negatives(self):
+        doc = toy_dict()
+        doc["tables"].append(
+            {"name": "r", "rows": 5, "columns": [
+                {"name": "only", "dist": {"kind": "uniform", "values": ["a"]}},
+            ]}
+        )
+        doc["task"] = {
+            "kind": "sm", "table": "t", "right_table": "r",
+            "matches": [["id", "only"], ["color", "only"], ["score", "only"]],
+        }
+        _rejects(doc, "no negatives")
+
+    def test_em_keep_attributes_must_exist(self):
+        doc = toy_dict()
+        doc["task"] = {"kind": "em", "table": "t",
+                       "hardness": {"keep_attributes": ["ghost"]}}
+        _rejects(doc, "no column 'ghost'")
+
+    def test_unknown_task_kind(self):
+        doc = toy_dict()
+        doc["task"]["kind"] = "translation"
+        _rejects(doc, "unknown task kind")

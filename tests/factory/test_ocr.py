@@ -1,0 +1,104 @@
+"""The OCR document-noise channel: corruptors and their invariants.
+
+The serialized record format quotes cell values (``[a: "v", ...]``), so
+an OCR corruptor may never emit a double quote or a literal newline —
+either would let injected noise escape the cell and corrupt the record
+*syntax* instead of the record *content*.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets.corruption import Corruption
+from repro.errors import DatasetError
+from repro.factory.ocr import (
+    GLYPH_CONFUSIONS,
+    OCR_KINDS,
+    apply_ocr,
+    broken_line,
+    garble_glyphs,
+    merged_column,
+)
+
+SAMPLES = (
+    "microsoft corporation",
+    "Beer Factory 12",
+    "90210",
+    "O0l1S5B8",
+    "x",
+    "summit industries llc",
+)
+
+
+class TestGlyphTable:
+    def test_confusions_never_contain_forbidden_characters(self):
+        for pattern, replacement in GLYPH_CONFUSIONS:
+            assert '"' not in pattern and '"' not in replacement
+            assert "\n" not in pattern and "\n" not in replacement
+
+
+class TestCorruptors:
+    @pytest.mark.parametrize("value", SAMPLES)
+    def test_garble_always_changes_and_stays_cell_safe(self, value):
+        for seed in range(20):
+            result = garble_glyphs(value, random.Random(seed))
+            assert isinstance(result, Corruption)
+            assert result.corrupted != value
+            assert result.original == value
+            assert '"' not in result.corrupted
+            assert "\n" not in result.corrupted
+
+    def test_garble_is_deterministic_per_rng(self):
+        a = garble_glyphs("microsoft", random.Random(3)).corrupted
+        b = garble_glyphs("microsoft", random.Random(3)).corrupted
+        assert a == b
+
+    def test_garble_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            garble_glyphs("", random.Random(0))
+
+    def test_merged_column_carries_the_neighbor(self):
+        result = merged_column("widget", "42.50", random.Random(1))
+        assert "42.50" in result.corrupted
+        assert result.corrupted.startswith("widget")
+
+    def test_broken_line_hyphenates_inside_a_token(self):
+        result = broken_line("microsoft", random.Random(2))
+        assert "- " in result.corrupted
+        assert result.corrupted.replace("- ", "") == "microsoft"
+
+
+class TestApplyOcr:
+    def test_all_kinds_produce_a_changed_cell(self):
+        for kind in OCR_KINDS:
+            result = apply_ocr(
+                kind, "meridian industries", random.Random(4),
+                neighbor="chicago",
+            )
+            assert result.corrupted != "meridian industries"
+            assert result.kind == kind
+            assert '"' not in result.corrupted
+            assert "\n" not in result.corrupted
+
+    def test_merged_without_neighbor_degrades_to_garble(self):
+        result = apply_ocr("ocr_merged_column", "widget", random.Random(0),
+                           neighbor=None)
+        assert result.corrupted != "widget"
+
+    def test_broken_line_on_short_value_degrades_to_garble(self):
+        result = apply_ocr("ocr_broken_line", "x", random.Random(0))
+        assert result.corrupted != "x"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DatasetError):
+            apply_ocr("ocr_smudge", "value", random.Random(0))
+
+    def test_sweep_never_emits_forbidden_characters(self):
+        for seed in range(150):
+            kind = OCR_KINDS[seed % len(OCR_KINDS)]
+            value = SAMPLES[seed % len(SAMPLES)]
+            result = apply_ocr(kind, value, random.Random(seed),
+                               neighbor="box 7" if seed % 2 else None)
+            assert '"' not in result.corrupted, (kind, value)
+            assert "\n" not in result.corrupted, (kind, value)

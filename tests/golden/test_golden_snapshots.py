@@ -14,6 +14,7 @@ import pytest
 
 from repro.testing import (
     ALL_GOLDEN_CELLS,
+    FACTORY_GOLDEN_CELLS,
     FLOW_GOLDEN_CELLS,
     GOLDEN_CELLS,
     SERVING_GOLDEN_CELLS,
@@ -29,6 +30,7 @@ STORE = GoldenStore(Path(__file__).parent / "snapshots")
 
 PIPELINE_NAMES = {cell.name for cell in GOLDEN_CELLS}
 FLOW_NAMES = {cell.name for cell in FLOW_GOLDEN_CELLS}
+FACTORY_NAMES = {cell.name for cell in FACTORY_GOLDEN_CELLS}
 
 
 @pytest.mark.parametrize(
@@ -53,7 +55,7 @@ def test_snapshots_are_canonical_json():
     for name in STORE.names():
         payload = STORE.load(name)
         assert payload["golden_version"] == 1
-        if name in PIPELINE_NAMES:
+        if name in PIPELINE_NAMES or name in FACTORY_NAMES:
             assert payload["exchanges"], f"{name} recorded no exchanges"
         elif name in FLOW_NAMES:
             assert payload["flow"]["stages"], f"{name} recorded no stages"
@@ -106,6 +108,33 @@ def test_flow_snapshot_covers_quarantine_propagation():
         assert first["exchanges"] and second["exchanges"]
         # the happy path still ran: stage 2 imputed the undamaged rows
         assert second["output"]["imputed"]
+
+
+def test_factory_snapshots_pin_schema_and_ocr_channel():
+    """The factory corpus must freeze the schema identity and visibly
+    exercise the OCR noisy-document channel, not just clean rows."""
+    assert FACTORY_NAMES, "no factory cells recorded"
+    from repro.factory import preset
+
+    saw_ocr_artifact = False
+    for cell in FACTORY_GOLDEN_CELLS:
+        payload = STORE.load(cell.name)
+        frozen = payload["cell"]
+        assert frozen["kind"] == "factory"
+        # the recorded fingerprint must match the live preset: a schema
+        # edit that happens to keep instances identical is still drift
+        assert frozen["fingerprint"] == preset(cell.preset).fingerprint
+        assert payload["exchanges"], f"{cell.name} recorded no exchanges"
+        if cell.preset == "ocr_invoices":
+            prompts = "\n".join(
+                message["content"]
+                for exchange in payload["exchanges"]
+                for message in exchange["prompt"]
+            )
+            # distinctive OCR residue: a merged-column joiner, the
+            # doubled-glyph confusion (w -> vv), or both
+            saw_ocr_artifact = " | " in prompts or "vv" in prompts
+    assert saw_ocr_artifact, "DI/OCR cell shows no OCR noise in prompts"
 
 
 def test_snapshot_covers_all_parse_paths():
