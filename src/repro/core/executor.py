@@ -44,6 +44,9 @@ from repro.llm.base import CompletionRequest, CompletionResponse, LLMClient
 from repro.llm.ratelimit import LaneClock, RateLimit, RateLimiter
 from repro.obs import RunObservation
 from repro.obs.tracing import Span
+from repro.resilience.aimd import AimdController
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.signals import throttle_of
 
 
 @dataclass(frozen=True)
@@ -77,6 +80,11 @@ class ExecutorConfig:
         Optional global RPM/TPM budget shared by all lanes.
     seed:
         Seed for the jitter stream.
+    resilience:
+        Optional :class:`~repro.resilience.config.ResilienceConfig`
+        enabling AIMD adaptive lane width (and carrying the hedging /
+        failover tuning for a pool client).  ``None`` — the default —
+        keeps the executor bit-identical to its historical behaviour.
     """
 
     concurrency: int = 1
@@ -91,6 +99,7 @@ class ExecutorConfig:
     max_rate_limit_waits: int = 8
     rate_limit: RateLimit | None = None
     seed: int = 0
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
@@ -151,6 +160,15 @@ class ExecutionReport:
     #: has no cache in front of it)
     n_cache_hits: int = 0
     n_cache_misses: int = 0
+
+    def __post_init__(self) -> None:
+        # Deliberately NOT a dataclass field: circuit-breaker transition
+        # counts ride along for reports and metrics without entering
+        # ``dataclasses.asdict`` — run manifests (and therefore golden
+        # snapshot bytes) stay unchanged for runs where nothing trips.
+        self.breaker_transitions: dict[str, int] = {
+            "open": 0, "half_open": 0, "close": 0,
+        }
 
     @property
     def speedup(self) -> float:
@@ -214,6 +232,20 @@ class BatchExecutor:
             concurrency=self._config.concurrency,
             lanes=[LaneReport(lane=i) for i in range(self._config.concurrency)],
         )
+        resilience = self._config.resilience
+        self._aimd = (
+            AimdController(resilience, self._config.concurrency)
+            if resilience is not None and resilience.aimd
+            else None
+        )
+        # Clock hook: clients modeling time-dependent behaviour (scripted
+        # degradation windows, failover routing) learn each attempt's
+        # virtual start time through this duck-typed method.
+        self._observe_time = getattr(client, "observe_time", None)
+        # Breaker circuit view per lane (closed/open/half_open), tracked
+        # alongside the existing trip counters to expose full open ->
+        # half-open -> close transition counts.
+        self._lane_circuit = ["closed"] * self._config.concurrency
 
     @property
     def config(self) -> ExecutorConfig:
@@ -245,6 +277,10 @@ class BatchExecutor:
         state = self._lanes[lane]
         report = self._stats.lanes[lane]
         start = max(self._clock.available_at(lane), ready_at, state.open_until)
+        if self._lane_circuit[lane] == "open":
+            # Scheduling already floors at open_until, so the first call
+            # a tripped lane re-admits is its half-open recovery probe.
+            self._transition(lane, "half_open")
         span: Span | None = None
         if self._obs is not None:
             span = self._obs.tracer.start_span(
@@ -266,6 +302,10 @@ class BatchExecutor:
                 span.end(max(giveup.at, span.start_s))
             raise
         state.consecutive_failures = 0
+        if self._lane_circuit[lane] != "closed":
+            self._transition(lane, "close")
+        if self._aimd is not None:
+            self._aimd.on_success()
         report.n_calls += 1
         self._stats.n_calls += 1
         if span is not None:
@@ -325,12 +365,16 @@ class BatchExecutor:
                     backoff = self._next_backoff(backoff)
                     continue
             attempts += 1
+            if self._observe_time is not None:
+                self._observe_time(start)
             try:
                 response = self._client.complete(request)
             except ContextWindowExceededError:
                 raise
             except RateLimitError as exc:
                 # An upstream 429 (the provider's limiter, not ours).
+                if self._aimd is not None:
+                    self._aimd.on_throttle()
                 rate_limit_waits += 1
                 report.n_rate_limit_waits += 1
                 self._stats.n_rate_limit_waits += 1
@@ -345,6 +389,10 @@ class BatchExecutor:
                 backoff = self._next_backoff(backoff)
                 continue
             except TransientLLMError as exc:
+                # An ``overloaded`` rejection carries a throttle signal:
+                # the upstream is pushing back, not merely flaking.
+                if self._aimd is not None and throttle_of(exc) is not None:
+                    self._aimd.on_throttle()
                 start = self._clock.occupy(lane, start, exc.latency_s)
                 last_reason = str(exc)
                 start, backoff = self._after_failure(
@@ -391,6 +439,8 @@ class BatchExecutor:
                 metrics.gauge(
                     f"executor.lane{lane_report.lane}.busy_s"
                 ).set(lane_report.busy_s)
+            if self._aimd is not None:
+                metrics.gauge("executor.aimd_width").set(self._aimd.width)
         return stats
 
     def record_fallback_split(self, n_subbatches: int) -> None:
@@ -446,6 +496,15 @@ class BatchExecutor:
                     for lane in self._stats.lanes
                 ],
             },
+            "aimd": (
+                self._aimd.checkpoint_state()
+                if self._aimd is not None
+                else None
+            ),
+            "circuit": {
+                "lanes": list(self._lane_circuit),
+                "transitions": dict(self._stats.breaker_transitions),
+            },
         }
 
     def restore_checkpoint_state(self, state: dict) -> None:
@@ -482,12 +541,35 @@ class BatchExecutor:
             lane_report.n_timeouts = int(stored["n_timeouts"])
             lane_report.n_rate_limit_waits = int(stored["n_rate_limit_waits"])
             lane_report.n_breaker_trips = int(stored["n_breaker_trips"])
+        if state.get("aimd") is not None and self._aimd is not None:
+            self._aimd.restore_checkpoint_state(state["aimd"])
+        circuit = state.get("circuit")
+        if circuit is not None:
+            self._lane_circuit = [str(value) for value in circuit["lanes"]]
+            self._stats.breaker_transitions = {
+                key: int(value)
+                for key, value in circuit["transitions"].items()
+            }
 
     def _pick_lane(self, ready_at: float) -> int:
+        # AIMD narrows the *usable* lane count: lanes beyond the current
+        # width are floored at infinity so the scheduler never picks
+        # them.  Lane 0 is always usable (width >= 1).
+        width = (
+            self._aimd.width if self._aimd is not None else len(self._lanes)
+        )
         floors = [
-            max(state.open_until, ready_at) for state in self._lanes
+            max(state.open_until, ready_at) if index < width else float("inf")
+            for index, state in enumerate(self._lanes)
         ]
         return self._clock.earliest_lane(not_before=floors)
+
+    def _transition(self, lane: int, to: str) -> None:
+        """Book one breaker circuit transition (accounting only —
+        scheduling stays entirely on ``open_until`` floors)."""
+        self._lane_circuit[lane] = "closed" if to == "close" else to
+        self._stats.breaker_transitions[to] += 1
+        self._count(f"executor.breaker.{to}")
 
     def _after_failure(
         self,
@@ -512,6 +594,7 @@ class BatchExecutor:
             report.n_breaker_trips += 1
             self._stats.n_breaker_trips += 1
             self._count("executor.breaker_trips")
+            self._transition(lane, "open")
             self._event(span, "breaker.trip", start,
                         lane=lane, open_until=state.open_until)
         if attempts >= config.max_attempts:

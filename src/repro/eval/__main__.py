@@ -12,7 +12,9 @@ Usage::
                              [--manifest out.json] [--chrome out.trace.json]
                              [--journal run.journal | --resume run.journal]
                              [--degradation off|ladder]
-                             [--workers N] [--shards S]
+                             [--workers N] [--shards S] [--resilience]
+    python -m repro.eval resilience-bench [--out BENCH_resilience.json]
+                                          [--size 360] [--concurrency 4]
     python -m repro.eval shard-bench [--out BENCH_shards.json]
                                      [--size 240] [--decode-n 1000]
     python -m repro.eval trace manifest.json [--chrome out.trace.json]
@@ -43,7 +45,12 @@ with ``--reference`` — with per-stage checkpointing under ``--workdir``
 and bit-identical ``--resume``.  ``gen`` streams rows from a factory
 schema (file or preset) without materializing the table and prints their
 content digest; ``run --dataset schema:<path>`` evaluates the pipeline
-over such a schema directly.
+over such a schema directly.  ``run --resilience`` routes the run through
+a scripted backend brownout behind the failover/hedging/AIMD stack and
+prints the adaptive accounting; ``resilience-bench`` measures what that
+stack buys (quarantine avoidance, tail latency) and writes
+``BENCH_resilience.json``; ``chaos --resilience`` runs the crash→resume
+matrix through degraded backends.
 """
 
 from __future__ import annotations
@@ -205,6 +212,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     if args.workers > 1 or args.shards is not None:
+        if args.resilience:
+            print(
+                "error: --resilience drives the single-process path; "
+                "drop --workers/--shards",
+                file=sys.stderr,
+            )
+            return 2
         return _cmd_run_sharded(args)
 
     from repro import PipelineConfig, SimulatedLLM, load_dataset
@@ -239,11 +253,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
         observability=True,
         degradation=args.degradation,
     )
+    client = SimulatedLLM(args.model, seed=args.seed)
+    executor_config = None
+    if args.resilience:
+        # Demo stack: the primary suffers a scripted brownout while a
+        # healthy secondary stands by behind the failover router; the
+        # executor runs with the adaptive (AIMD + hedging) config.
+        from repro.core.executor import ExecutorConfig
+        from repro.llm.faults import DegradedClient
+        from repro.resilience import (
+            FailoverClient,
+            ResilienceConfig,
+            brownout_plan,
+        )
+
+        client = FailoverClient(
+            [
+                ("primary", 0, DegradedClient(
+                    client, brownout_plan(seed=args.seed),
+                    backend_name="primary",
+                )),
+                ("secondary", 1, SimulatedLLM(args.model, seed=args.seed + 1)),
+            ],
+            ResilienceConfig(),
+        )
+        executor_config = ExecutorConfig(resilience=ResilienceConfig())
     try:
         run = evaluate_pipeline(
-            SimulatedLLM(args.model, seed=args.seed), config, dataset,
+            client, config, dataset,
             manifest_path=args.manifest,
             checkpoint=checkpoint,
+            executor_config=executor_config,
         )
     except JournalError as error:  # mismatched or damaged journal
         print(f"error: {error}", file=sys.stderr)
@@ -261,6 +301,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if journal_path:
         print(f"journal at {journal_path}")
+    if args.resilience:
+        router = client.health_payload()["router"]
+        breakers = (
+            dict(run.execution.breaker_transitions)
+            if run.execution is not None else {}
+        )
+        print(
+            f"resilience: {router['n_failovers']} failover(s), "
+            f"{router['n_hedge_wins']}/{router['n_hedges']} hedge win(s), "
+            f"{router['n_exhausted']} exhausted call(s); breaker "
+            f"transitions {breakers}"
+        )
+        for backend in client.health_payload()["backends"]:
+            print(
+                f"  backend {backend['name']}: circuit {backend['state']}, "
+                f"error rate {backend['error_rate']:.3f}"
+            )
     if run.execution is not None:
         print(render_execution_report(run.execution))
     print(render_trace_summary(spans_from_json(run.manifest.trace)))
@@ -277,11 +334,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Run the crash→resume determinism matrix (the CI chaos job)."""
-    from repro.runtime import (
-        CRASH_SITES,
-        default_chaos_cells,
-        run_crash_matrix,
-    )
+    from repro.runtime import CRASH_SITES
+
+    if args.resilience:
+        from repro.resilience import (
+            default_resilience_chaos_cells as default_chaos_cells,
+            run_resilience_matrix as run_crash_matrix,
+        )
+    else:
+        from repro.runtime import default_chaos_cells, run_crash_matrix
 
     cells = default_chaos_cells()
     if args.cell:
@@ -419,6 +480,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"token cost per request: {payload['token_reduction']:.1f}x lower "
         f"than uncoalesced"
     )
+    print(f"report written to {args.out}")
+    return 0
+
+
+def _cmd_resilience_bench(args: argparse.Namespace) -> int:
+    """Run the three-arm resilience benchmark; write BENCH_resilience.json."""
+    from repro.resilience import render_bench, run_resilience_bench
+
+    payload = run_resilience_bench(
+        out_path=args.out,
+        dataset_name=args.dataset,
+        size=args.size,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        model=args.model,
+    )
+    print(render_bench(payload))
     print(f"report written to {args.out}")
     return 0
 
@@ -700,6 +778,10 @@ def main(argv: list[str] | None = None) -> int:
                          help="shard count for the sharded path (default: "
                               "auto-sized from the dataset; setting this "
                               "opts into sharding even at --workers 1)")
+    run_cmd.add_argument("--resilience", action="store_true",
+                         help="route the run through a scripted backend "
+                              "brownout behind the failover/hedging/AIMD "
+                              "stack and print the adaptive accounting")
     run_cmd.set_defaults(handler=_cmd_run)
     trace_cmd = sub.add_parser(
         "trace", help="render a run manifest written by `run`"
@@ -794,7 +876,24 @@ def main(argv: list[str] | None = None) -> int:
                            help="where to write the drift report "
                                 "(default: $REPRO_CHAOS_DIFF_PATH or "
                                 "CHAOS_DIFF.txt)")
+    chaos_cmd.add_argument("--resilience", action="store_true",
+                           help="run the matrix through scripted-degraded "
+                                "backends behind the failover stack "
+                                "(brownout and blackout scenarios)")
     chaos_cmd.set_defaults(handler=_cmd_chaos)
+    resilience_bench_cmd = sub.add_parser(
+        "resilience-bench",
+        help="measure what the adaptive stack buys under a scripted "
+             "brownout+blackout; writes BENCH_resilience.json",
+    )
+    resilience_bench_cmd.add_argument("--out", default="BENCH_resilience.json",
+                                      help="where to write the report")
+    resilience_bench_cmd.add_argument("--dataset", default="adult")
+    resilience_bench_cmd.add_argument("--size", type=int, default=360)
+    resilience_bench_cmd.add_argument("--seed", type=int, default=0)
+    resilience_bench_cmd.add_argument("--concurrency", type=int, default=4)
+    resilience_bench_cmd.add_argument("--model", default="gpt-3.5")
+    resilience_bench_cmd.set_defaults(handler=_cmd_resilience_bench)
     flow_cmd = sub.add_parser(
         "flow",
         help="run, resume, or describe a declarative prep flow "

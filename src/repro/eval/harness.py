@@ -86,6 +86,7 @@ def evaluate_pipeline(
     manifest_path: str | Path | None = None,
     keep_raw: bool = False,
     checkpoint=None,
+    executor_config=None,
 ) -> EvaluationRun:
     """Run ``config`` against ``dataset`` through ``client`` and score it.
 
@@ -97,7 +98,11 @@ def evaluate_pipeline(
     exchanges on ``run.result`` (used by the golden conformance layer).
     ``checkpoint`` (a :class:`~repro.runtime.checkpoint.RunCheckpoint`)
     journals the run batch by batch and resumes an interrupted run from
-    its journal, bit-identically.
+    its journal, bit-identically.  ``executor_config`` (an
+    :class:`~repro.core.executor.ExecutorConfig`) overrides the executor's
+    fault-tolerance knobs — the way to turn on resilience mode; when its
+    ``resilience`` is set, the manifest additionally surfaces per-backend
+    health and breaker transition counts.
 
     Quarantined instances (``config.degradation == "ladder"``) are
     excluded from the metric rather than guessed at; ``run.coverage``
@@ -109,7 +114,7 @@ def evaluate_pipeline(
             "there is nothing to write otherwise"
         )
     profile = get_profile(config.model)
-    preprocessor = Preprocessor(client, config)
+    preprocessor = Preprocessor(client, config, executor_config)
     try:
         result: PipelineResult = preprocessor.run(
             dataset, keep_raw=keep_raw, checkpoint=checkpoint
@@ -150,7 +155,10 @@ def evaluate_pipeline(
         execution=result.execution,
     )
     if result.observation is not None:
-        manifest = _manifest_for(config, profile, dataset, run, result)
+        manifest = _manifest_for(
+            config, profile, dataset, run, result,
+            client=client, executor_config=executor_config,
+        )
         if manifest_path is not None:
             manifest.write(manifest_path)
         run = replace(run, manifest=manifest)
@@ -165,6 +173,8 @@ def _manifest_for(
     dataset: PreprocessingDataset,
     run: EvaluationRun,
     result: PipelineResult,
+    client: LLMClient | None = None,
+    executor_config=None,
 ) -> RunManifest:
     """Assemble the provenance manifest of one observed evaluation run."""
     evaluation = {
@@ -183,6 +193,16 @@ def _manifest_for(
         "coverage": run.coverage,
         "n_quarantined": run.n_quarantined,
     }
+    if executor_config is not None and executor_config.resilience is not None:
+        # Resilience mode only: the conditional keys keep non-resilient
+        # manifests byte-identical to their historical form.
+        if run.execution is not None:
+            evaluation["breaker_transitions"] = dict(
+                run.execution.breaker_transitions
+            )
+        health = getattr(client, "health_payload", None)
+        if callable(health):
+            evaluation["backend_health"] = health()
     return build_manifest(
         config=config,
         model_profile=profile,

@@ -15,6 +15,7 @@ from repro.llm.backend import (
     Backend,
     CachingBackend,
     Checkpointable,
+    DegradedBackend,
     FaultBackend,
     GarblingBackend,
     SimulatedBackend,
@@ -26,7 +27,12 @@ from repro.llm.base import (
     LLMClient,
     Usage,
 )
-from repro.llm.faults import Fault, FaultInjectingClient, GarblingClient
+from repro.llm.faults import (
+    DegradedClient,
+    Fault,
+    FaultInjectingClient,
+    GarblingClient,
+)
 from repro.llm.profiles import ModelProfile, get_profile, list_profiles
 from repro.llm.promptparse import PromptParseMemo
 from repro.llm.simulated import SimulatedLLM
@@ -36,6 +42,8 @@ __all__ = [
     "Backend",
     "CachingBackend",
     "Checkpointable",
+    "DegradedBackend",
+    "DegradedClient",
     "Fault",
     "FaultBackend",
     "FaultInjectingClient",

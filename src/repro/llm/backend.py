@@ -35,6 +35,7 @@ from typing import Mapping, Protocol, Sequence, runtime_checkable
 from repro.errors import LLMError
 from repro.llm.base import LLMClient
 from repro.llm.faults import Fault
+from repro.resilience.degradation import DegradationPlan
 
 
 @runtime_checkable
@@ -188,6 +189,36 @@ class GarblingBackend:
             "inner": self.inner.describe(),
             "triggers": list(self.triggers),
             "reply": self.reply,
+        }
+
+
+@dataclass(frozen=True)
+class DegradedBackend:
+    """Builds a :class:`~repro.llm.faults.DegradedClient`.
+
+    Wraps any inner backend with a scripted degradation plan
+    (:class:`~repro.resilience.degradation.DegradationPlan` — a frozen
+    value, so the backend pickles across worker processes).  ``name``
+    identifies this backend in throttle signals and health reports.
+    """
+
+    inner: Backend
+    plan: "DegradationPlan"
+    name: str = "primary"
+
+    def build(self) -> LLMClient:
+        from repro.llm.faults import DegradedClient
+
+        return DegradedClient(
+            self.inner.build(), self.plan, backend_name=self.name
+        )
+
+    def describe(self) -> dict:
+        return {
+            "kind": "degraded",
+            "inner": self.inner.describe(),
+            "name": self.name,
+            "plan": self.plan.payload(),
         }
 
 

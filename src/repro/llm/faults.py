@@ -31,6 +31,14 @@ Fault kinds:
 - ``crash`` — raise :class:`~repro.errors.InjectedCrashError`, the chaos
   harness's simulated process kill; it is *not* retryable and tears
   through the executor untouched (see :mod:`repro.runtime.chaos`).
+
+Beyond scripted point faults, :class:`DegradedClient` models a *sick*
+upstream: whole windows of 429 storms, latency brownouts, overload
+rejections, and blackouts, scripted by a
+:class:`~repro.resilience.degradation.DegradationPlan` on the simulated
+clock.  The executor feeds the clock in through ``observe_time`` (which
+every wrapper here forwards), so which calls degrade is a pure function
+of virtual time and the plan seed — bit-identical at any concurrency.
 """
 
 from __future__ import annotations
@@ -46,6 +54,8 @@ from repro.errors import (
     TransientLLMError,
 )
 from repro.llm.base import CompletionRequest, CompletionResponse, LLMClient
+from repro.resilience.degradation import DegradationPlan
+from repro.resilience.signals import ThrottleSignal, attach
 
 _KINDS = ("transient", "latency", "rate_limit", "crash")
 
@@ -152,6 +162,12 @@ class FaultInjectingClient:
             return None
         return schedule[occurrence]
 
+    def observe_time(self, now: float) -> None:
+        """Forward the simulated clock to the wrapped client."""
+        forward = getattr(self._inner, "observe_time", None)
+        if callable(forward):
+            forward(now)
+
     def complete(self, request: CompletionRequest) -> CompletionResponse:
         self.n_calls += 1
         fault = self._scheduled_fault(request)
@@ -225,6 +241,12 @@ class GarblingClient:
         self.n_calls = 0
         self.n_garbled = 0
 
+    def observe_time(self, now: float) -> None:
+        """Forward the simulated clock to the wrapped client."""
+        forward = getattr(self._inner, "observe_time", None)
+        if callable(forward):
+            forward(now)
+
     def complete(self, request: CompletionRequest) -> CompletionResponse:
         self.n_calls += 1
         transcript = "\n".join(content for __, content in request.transcript)
@@ -252,6 +274,153 @@ class GarblingClient:
     def restore_checkpoint_state(self, state: dict) -> None:
         self.n_calls = int(state["n_calls"])
         self.n_garbled = int(state["n_garbled"])
+        if state.get("inner") is not None:
+            restore = getattr(self._inner, "restore_checkpoint_state", None)
+            if callable(restore):
+                restore(state["inner"])
+
+
+class DegradedClient:
+    """Scripts backend *sickness* windows over the wrapped client.
+
+    A :class:`~repro.resilience.degradation.DegradationPlan` divides the
+    simulated timeline into episodes; each completion call is classified
+    by the virtual time the executor announced via :meth:`observe_time`:
+
+    - ``rate_limit_storm`` — raise :class:`~repro.errors.RateLimitError`
+      with the episode's scripted Retry-After;
+    - ``latency_brownout`` — serve the real reply with its modeled
+      latency multiplied by the episode's factor (slow but correct);
+    - ``overload`` — raise :class:`~repro.errors.TransientLLMError`
+      (the provider's ``overloaded`` rejection), burning the scripted
+      latency;
+    - ``blackout`` — like overload but typically at intensity 1.0: a
+      total outage window.
+
+    Whether a particular call inside an episode is hit is decided by a
+    seeded hash of the call's per-episode ordinal, so the scenario
+    replays bit-identically at any concurrency or retry order.  Every
+    raised error carries a :class:`~repro.resilience.signals.ThrottleSignal`
+    naming this backend, which the executor's AIMD loop and the failover
+    router consume.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        plan: DegradationPlan,
+        backend_name: str = "primary",
+    ):
+        self._inner = inner
+        self._plan = plan
+        self._name = backend_name
+        self._now = 0.0
+        self._episode_calls: dict[int, int] = {}
+        self.n_calls = 0
+        self.n_throttled = 0
+        self.n_overloads = 0
+        self.n_blackouts = 0
+        self.n_slowed = 0
+
+    @property
+    def plan(self) -> DegradationPlan:
+        return self._plan
+
+    def observe_time(self, now: float) -> None:
+        """Adopt the attempt's virtual start time (fed by the executor).
+
+        The clock tracks the *current* attempt, not a running maximum:
+        with multiple lanes, one lane finishing late must not fast-forward
+        the outage window for its siblings' earlier calls.  The executor
+        announces starts in its deterministic scheduling order, so this
+        stays bit-identical at any concurrency.
+        """
+        self._now = now
+        forward = getattr(self._inner, "observe_time", None)
+        if callable(forward):
+            forward(self._now)
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        self.n_calls += 1
+        hit = self._plan.episode_at(self._now)
+        if hit is None:
+            return self._inner.complete(request)
+        index, episode = hit
+        ordinal = self._episode_calls.get(index, 0)
+        self._episode_calls[index] = ordinal + 1
+        if not self._plan.decide(index, ordinal, episode.intensity):
+            return self._inner.complete(request)
+        if episode.kind == "rate_limit_storm":
+            self.n_throttled += 1
+            raise attach(
+                RateLimitError(episode.retry_after_s),
+                ThrottleSignal(
+                    kind="rate_limit",
+                    retry_after_s=episode.retry_after_s,
+                    backend=self._name,
+                ),
+            )
+        if episode.kind == "overload":
+            self.n_overloads += 1
+            raise attach(
+                TransientLLMError(
+                    "upstream overloaded", latency_s=episode.retry_after_s
+                ),
+                ThrottleSignal(
+                    kind="overloaded",
+                    retry_after_s=episode.retry_after_s,
+                    backend=self._name,
+                ),
+            )
+        if episode.kind == "blackout":
+            self.n_blackouts += 1
+            raise attach(
+                TransientLLMError(
+                    "backend blackout", latency_s=episode.retry_after_s
+                ),
+                ThrottleSignal(
+                    kind="overloaded",
+                    retry_after_s=episode.retry_after_s,
+                    backend=self._name,
+                ),
+            )
+        # latency_brownout: slow but correct.
+        response = self._inner.complete(request)
+        self.n_slowed += 1
+        return replace(
+            response, latency_s=response.latency_s * episode.latency_factor
+        )
+
+    def checkpoint_state(self) -> dict:
+        inner_state = None
+        capture = getattr(self._inner, "checkpoint_state", None)
+        if callable(capture):
+            inner_state = capture()
+        return {
+            "now": self._now,
+            "episode_calls": {
+                str(index): count
+                for index, count in self._episode_calls.items()
+            },
+            "n_calls": self.n_calls,
+            "n_throttled": self.n_throttled,
+            "n_overloads": self.n_overloads,
+            "n_blackouts": self.n_blackouts,
+            "n_slowed": self.n_slowed,
+            "inner": inner_state,
+        }
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        self._now = float(state["now"])
+        self._episode_calls = {
+            int(index): int(count)
+            for index, count in state["episode_calls"].items()
+        }
+        self.n_calls = int(state["n_calls"])
+        self.n_throttled = int(state["n_throttled"])
+        self.n_overloads = int(state["n_overloads"])
+        self.n_blackouts = int(state["n_blackouts"])
+        self.n_slowed = int(state["n_slowed"])
         if state.get("inner") is not None:
             restore = getattr(self._inner, "restore_checkpoint_state", None)
             if callable(restore):

@@ -1,0 +1,54 @@
+"""Backend resilience: surviving sick upstreams, deterministically.
+
+The chaos stack proves the pipeline recovers from *death* (killed
+processes, torn journals); this package makes it survive *sickness* —
+429 storms, latency brownouts, overload windows, blackouts — while every
+adaptive decision (lane width, hedge timing, failover order, circuit
+transitions) stays a pure function of the simulated clock and seeded
+plans, so degraded runs replay bit-identically.
+"""
+
+from repro.resilience.aimd import AimdController
+from repro.resilience.bench import bench_plan, render_bench, run_resilience_bench
+from repro.resilience.chaos import (
+    ResilienceChaosCell,
+    default_resilience_chaos_cells,
+    run_resilience_matrix,
+    run_resilience_trial,
+)
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.degradation import (
+    EPISODE_KINDS,
+    DegradationPlan,
+    Episode,
+    blackout_plan,
+    brownout_plan,
+)
+from repro.resilience.health import BackendHealth
+from repro.resilience.pool import PoolBackend, PoolMember
+from repro.resilience.router import FailoverClient
+from repro.resilience.signals import ThrottleSignal, attach, throttle_of
+
+__all__ = [
+    "AimdController",
+    "BackendHealth",
+    "DegradationPlan",
+    "EPISODE_KINDS",
+    "Episode",
+    "FailoverClient",
+    "PoolBackend",
+    "PoolMember",
+    "ResilienceChaosCell",
+    "ResilienceConfig",
+    "ThrottleSignal",
+    "attach",
+    "bench_plan",
+    "blackout_plan",
+    "brownout_plan",
+    "default_resilience_chaos_cells",
+    "render_bench",
+    "run_resilience_bench",
+    "run_resilience_matrix",
+    "run_resilience_trial",
+    "throttle_of",
+]

@@ -1,0 +1,58 @@
+"""AIMD lane-width controller (TCP congestion control for LLM lanes).
+
+The executor owns ``concurrency`` lanes but should not *use* them all
+while the upstream is throttling: every throttled call burns a
+rate-limit wait and pushes real work behind backoff.  The controller
+keeps a fractional width in ``[1, concurrency]``; each successful call
+adds ``aimd_increase`` lanes, each throttle signal multiplies the width
+by ``aimd_decrease`` — the classic additive-increase /
+multiplicative-decrease scheme that converges to the upstream's actual
+capacity and drains instantly when a 429 storm starts.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.config import ResilienceConfig
+
+
+class AimdController:
+    """Tracks the adaptive lane width for one executor run."""
+
+    def __init__(self, config: ResilienceConfig, concurrency: int):
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self._increase = config.aimd_increase
+        self._decrease = config.aimd_decrease
+        self._max = float(concurrency)
+        self._width = float(concurrency)
+        self.n_throttle_events = 0
+        self.n_success_events = 0
+
+    @property
+    def width(self) -> int:
+        """Usable lane count right now — always within [1, concurrency]."""
+        return max(1, min(int(self._max), int(self._width)))
+
+    @property
+    def fractional_width(self) -> float:
+        return self._width
+
+    def on_success(self) -> None:
+        self.n_success_events += 1
+        self._width = min(self._max, self._width + self._increase)
+
+    def on_throttle(self) -> None:
+        self.n_throttle_events += 1
+        self._width = max(1.0, self._width * self._decrease)
+
+    def checkpoint_state(self) -> dict:
+        return {
+            "width": self._width,
+            "n_throttle_events": self.n_throttle_events,
+            "n_success_events": self.n_success_events,
+        }
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        self._width = max(1.0, min(self._max, float(state["width"])))
+        self.n_throttle_events = int(state["n_throttle_events"])
+        self.n_success_events = int(state["n_success_events"])

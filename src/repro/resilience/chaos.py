@@ -1,0 +1,223 @@
+"""Chaos drills through *degraded* backends: crash a sick run, resume it.
+
+The PR 4/5 chaos matrix proves crash-resume bit-identity over a healthy
+client.  These trials run the same three crash sites through the full
+resilience stack — a scripted-degradation primary, a healthy secondary,
+the failover router, and an AIMD executor — so a run that is throttling,
+hedging, and failing over when it dies must *still* resume to the exact
+bytes of its uninterrupted baseline.  Every layer's checkpoint chain
+(fault injector → router → degraded client → simulated model) is what
+makes that possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from typing import TYPE_CHECKING
+
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.degradation import (
+    DegradationPlan,
+    blackout_plan,
+    brownout_plan,
+)
+
+if TYPE_CHECKING:  # runtime imports stay lazy: llm.faults imports this
+    from repro.runtime.chaos import ChaosTrial  # package via resilience
+
+#: the single-run crash sites, re-stated here so importing this module
+#: does not pull the runtime package in at import time (cycle through
+#: llm.faults → resilience → runtime → llm.backend)
+CRASH_SITES: tuple[str, ...] = ("mid_batch", "pre_journal", "mid_journal")
+
+#: the degradation scenarios the resilience chaos matrix sweeps
+SCENARIOS: tuple[str, ...] = ("brownout", "blackout")
+
+
+@dataclass(frozen=True)
+class ResilienceChaosCell:
+    """One (scenario, config) point of the degraded crash matrix."""
+
+    name: str
+    dataset: str
+    size: int
+    scenario: str = "brownout"
+    model: str = "gpt-3.5"
+    seed: int = 0
+    concurrency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; "
+                f"expected one of {SCENARIOS}"
+            )
+
+    def plan(self) -> DegradationPlan:
+        if self.scenario == "blackout":
+            return blackout_plan(seed=self.seed, start_s=5.0, duration_s=20.0)
+        return brownout_plan(seed=self.seed)
+
+    def config(self):
+        from repro.core.config import PipelineConfig
+
+        return PipelineConfig(
+            model=self.model,
+            seed=self.seed,
+            concurrency=self.concurrency,
+            observability=True,
+            degradation="ladder",
+        )
+
+    def executor_config(self):
+        from repro.core.executor import ExecutorConfig
+
+        return ExecutorConfig(resilience=ResilienceConfig())
+
+
+def default_resilience_chaos_cells() -> tuple[ResilienceChaosCell, ...]:
+    """The CI matrix: both scenarios, sequential and concurrent."""
+    return tuple(
+        ResilienceChaosCell(
+            f"ed_adult_{scenario}_c{concurrency}",
+            dataset="adult",
+            size=24,
+            scenario=scenario,
+            concurrency=concurrency,
+        )
+        for scenario in SCENARIOS
+        for concurrency in (1, 2)
+    )
+
+
+def build_degraded_stack(cell: ResilienceChaosCell, crash_plan=None):
+    """The full resilience client stack for one cell.
+
+    fault injector (crash chaos) → failover router → {degraded primary,
+    healthy secondary}.  Rebuilt identically for baseline, crash, and
+    resume runs — the journal restores each layer's state through the
+    checkpoint chain.
+    """
+    from repro.llm.faults import DegradedClient, FaultInjectingClient
+    from repro.llm.simulated import SimulatedLLM
+    from repro.resilience.router import FailoverClient
+
+    primary = DegradedClient(
+        SimulatedLLM(cell.model, seed=cell.seed),
+        cell.plan(),
+        backend_name="primary",
+    )
+    secondary = SimulatedLLM(cell.model, seed=cell.seed + 1)
+    router = FailoverClient(
+        [("primary", 0, primary), ("secondary", 1, secondary)],
+        ResilienceConfig(),
+    )
+    return FaultInjectingClient(router, plan=crash_plan or {})
+
+
+def run_resilience_trial(
+    cell: ResilienceChaosCell, site: str, workdir: str | Path
+) -> ChaosTrial:
+    """Crash one degraded cell at ``site``, resume, compare bit for bit."""
+    from repro.datasets import load_dataset
+    from repro.errors import InjectedCrashError, LLMError
+    from repro.eval.harness import evaluate_pipeline
+    from repro.llm.faults import Fault
+    from repro.runtime.chaos import ChaosTrial, result_payload
+    from repro.runtime.checkpoint import JournalChaos, RunCheckpoint
+    from repro.runtime.journal import RunJournal
+    from repro.testing.golden import diff_payloads
+
+    if site not in CRASH_SITES:
+        raise LLMError(
+            f"unknown crash site {site!r}; expected one of {CRASH_SITES}"
+        )
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    dataset = load_dataset(cell.dataset, size=cell.size, seed=cell.seed)
+    config = cell.config()
+    executor_config = cell.executor_config()
+
+    baseline_journal = workdir / f"{cell.name}.baseline.journal"
+    baseline_journal.unlink(missing_ok=True)
+    baseline = evaluate_pipeline(
+        build_degraded_stack(cell), config, dataset, keep_raw=True,
+        checkpoint=RunCheckpoint(baseline_journal),
+        executor_config=executor_config,
+    )
+    __, baseline_records = RunJournal.load(baseline_journal)
+    n_batches = len(baseline_records)
+    n_calls = baseline.result.n_requests
+
+    crash_journal = workdir / f"{cell.name}.{site}.journal"
+    crash_journal.unlink(missing_ok=True)
+    if site == "mid_batch":
+        at_call = max(1, n_calls // 2)
+        crash_client = build_degraded_stack(cell, crash_plan={
+            at_call: Fault(kind="crash", message=f"chaos at call {at_call}"),
+        })
+        checkpoint = RunCheckpoint(crash_journal)
+    else:
+        crash_client = build_degraded_stack(cell)
+        checkpoint = RunCheckpoint(
+            crash_journal,
+            chaos=JournalChaos(site=site, at_seq=max(1, n_batches // 2)),
+        )
+    crashed = False
+    try:
+        evaluate_pipeline(
+            crash_client, config, dataset, keep_raw=True,
+            checkpoint=checkpoint, executor_config=executor_config,
+        )
+    except InjectedCrashError:
+        crashed = True
+
+    __, crash_records, __ = RunJournal.recover(crash_journal)
+
+    resumed = evaluate_pipeline(
+        build_degraded_stack(cell), config, dataset, keep_raw=True,
+        checkpoint=RunCheckpoint(crash_journal),
+        executor_config=executor_config,
+    )
+    diffs = diff_payloads(result_payload(baseline), result_payload(resumed))
+    rendered = [diff.render() for diff in diffs]
+    if not crashed:
+        rendered.insert(0, "the injected crash never fired")
+    return ChaosTrial(
+        cell=cell.name,
+        site=site,
+        crashed=crashed,
+        identical=not diffs,
+        n_batches_journaled=len(crash_records),
+        diffs=rendered,
+        journal=str(crash_journal),
+    )
+
+
+def run_resilience_matrix(
+    cells: tuple[ResilienceChaosCell, ...] | None = None,
+    sites: tuple[str, ...] | None = None,
+    workdir: str | Path = ".chaos-resilience",
+    artifact: str | Path | None = None,
+) -> list[ChaosTrial]:
+    """Sweep every (cell, site) pair of the degraded crash matrix."""
+    import os
+
+    from repro.runtime.chaos import CHAOS_DIFF_ENV
+    from repro.testing.golden import write_diff_artifact
+
+    trials: list[ChaosTrial] = []
+    artifact_path = (
+        artifact
+        if artifact is not None
+        else os.environ.get(CHAOS_DIFF_ENV, "CHAOS_DIFF.txt")
+    )
+    for cell in cells or default_resilience_chaos_cells():
+        for site in sites or CRASH_SITES:
+            trial = run_resilience_trial(cell, site, workdir)
+            trials.append(trial)
+            if not trial.ok:
+                write_diff_artifact(trial.render(), path=artifact_path)
+    return trials

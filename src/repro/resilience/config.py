@@ -1,0 +1,120 @@
+"""Resilience configuration: one frozen knob-set for the whole stack.
+
+A single :class:`ResilienceConfig` travels from the CLI through
+:class:`~repro.core.executor.ExecutorConfig` down to the AIMD controller,
+the hedging schedule, and the failover router, so every layer reads the
+same tuning and a config fingerprint pins the whole behaviour.  The
+default ``None`` (no resilience) keeps every existing run bit-identical;
+constructing the config only ever *adds* adaptive behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for adaptive concurrency, hedging, failover, and shedding.
+
+    Parameters
+    ----------
+    aimd:
+        Adapt the executor's lane width: widen additively on success,
+        shrink multiplicatively on throttle signals (AIMD, the TCP
+        congestion-control scheme).
+    aimd_increase:
+        Lanes added per successful call (fractional; the integer width is
+        the floor).
+    aimd_decrease:
+        Multiplicative factor applied on a throttle signal (0 < f < 1).
+    hedge:
+        Fire a duplicate request to the next healthy backend when the
+        primary's reply would land later than the hedge delay; the first
+        valid reply wins and the loser's usage is accounted separately.
+    hedge_quantile:
+        Latency quantile of the primary's recent samples that sets the
+        hedge delay (the classic tail-at-scale p95 rule).
+    hedge_warmup:
+        Samples required per backend before the quantile replaces the
+        default delay.
+    hedge_default_delay_s:
+        Hedge delay used until warmup completes; sits above a healthy
+        batch call's modeled latency so warmup itself does not hedge.
+    hedge_min_delay_s:
+        Floor under the derived delay, so a fast backend never hedges
+        every single call.
+    failover:
+        Route around unhealthy backends: on failure retry the call on the
+        next healthy backend in the pool before surfacing the error.
+    health_alpha:
+        EWMA weight for per-backend error-rate and latency scores.
+    circuit_error_threshold:
+        EWMA error rate at which a backend's circuit opens.
+    circuit_cooldown_s:
+        How long an open circuit stays unroutable before probes begin.
+    probe_interval_s:
+        Spacing of recovery probes once the cooldown has passed.
+    shed_enter / shed_exit:
+        Stress levels (EWMA failure rate) at which the serving layer
+        starts and stops shedding load (hysteresis: enter > exit).
+    shed_alpha:
+        EWMA weight of the serving-level stress signal.
+    """
+
+    aimd: bool = True
+    aimd_increase: float = 0.25
+    aimd_decrease: float = 0.5
+    hedge: bool = True
+    hedge_quantile: float = 0.95
+    hedge_warmup: int = 8
+    hedge_default_delay_s: float = 10.0
+    hedge_min_delay_s: float = 0.05
+    failover: bool = True
+    health_alpha: float = 0.3
+    circuit_error_threshold: float = 0.5
+    circuit_cooldown_s: float = 20.0
+    probe_interval_s: float = 10.0
+    shed_enter: float = 0.5
+    shed_exit: float = 0.25
+    shed_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.aimd_increase <= 0:
+            raise ValueError(
+                f"aimd_increase must be positive, got {self.aimd_increase}"
+            )
+        if not 0.0 < self.aimd_decrease < 1.0:
+            raise ValueError(
+                f"aimd_decrease must be in (0, 1), got {self.aimd_decrease}"
+            )
+        if not 0.0 < self.hedge_quantile <= 1.0:
+            raise ValueError(
+                f"hedge_quantile must be in (0, 1], got {self.hedge_quantile}"
+            )
+        if self.hedge_warmup < 1:
+            raise ValueError(
+                f"hedge_warmup must be >= 1, got {self.hedge_warmup}"
+            )
+        if self.hedge_default_delay_s < 0 or self.hedge_min_delay_s < 0:
+            raise ValueError("hedge delays cannot be negative")
+        if not 0.0 < self.health_alpha <= 1.0:
+            raise ValueError(
+                f"health_alpha must be in (0, 1], got {self.health_alpha}"
+            )
+        if not 0.0 < self.circuit_error_threshold <= 1.0:
+            raise ValueError(
+                "circuit_error_threshold must be in (0, 1], got "
+                f"{self.circuit_error_threshold}"
+            )
+        if self.circuit_cooldown_s < 0 or self.probe_interval_s < 0:
+            raise ValueError("circuit timings cannot be negative")
+        if not 0.0 < self.shed_exit <= self.shed_enter <= 1.0:
+            raise ValueError(
+                "shedding thresholds need 0 < shed_exit <= shed_enter <= 1, "
+                f"got exit={self.shed_exit} enter={self.shed_enter}"
+            )
+        if not 0.0 < self.shed_alpha <= 1.0:
+            raise ValueError(
+                f"shed_alpha must be in (0, 1], got {self.shed_alpha}"
+            )

@@ -1,0 +1,196 @@
+"""Deterministic backend-degradation model: scripted sickness, not death.
+
+The chaos harness (PR 4/5/8) proves the system recovers from a *killed*
+process; real endpoints more often get *sick*: 429 storms, latency
+brownouts, overload shedding, short blackouts.  A
+:class:`DegradationPlan` scripts those episodes on the **simulated
+clock**: which episode is active is a pure function of the virtual time a
+call starts at, and whether a given call inside an episode is hit is a
+pure function of ``(plan seed, episode index, call ordinal)``.  No global
+RNG is consumed, so the same plan replays bit-identically at any
+concurrency, any retry order, and across journal resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+#: episode kinds a plan may script
+EPISODE_KINDS = ("rate_limit_storm", "latency_brownout", "overload", "blackout")
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One contiguous window of scripted misbehaviour.
+
+    ``intensity`` is the per-call hit probability inside the window
+    (decided hash-deterministically, see :meth:`DegradationPlan.decide`);
+    ``retry_after_s`` scripts the 429 Retry-After / burned latency of a
+    rejected call; ``latency_factor`` multiplies served latency during a
+    brownout.
+    """
+
+    kind: str
+    start_s: float
+    duration_s: float
+    intensity: float = 1.0
+    retry_after_s: float = 2.0
+    latency_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EPISODE_KINDS:
+            raise ValueError(
+                f"unknown episode kind {self.kind!r}; "
+                f"expected one of {EPISODE_KINDS}"
+            )
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("episode window must be non-negative and non-empty")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError(
+                f"intensity must be in [0, 1], got {self.intensity}"
+            )
+        if self.retry_after_s < 0:
+            raise ValueError("retry_after_s cannot be negative")
+        if self.latency_factor < 1.0:
+            raise ValueError(
+                f"latency_factor must be >= 1, got {self.latency_factor}"
+            )
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def active(self, now: float) -> bool:
+        """Whether this episode covers virtual time ``now``."""
+        return self.start_s <= now < self.end_s
+
+
+@dataclass(frozen=True)
+class DegradationPlan:
+    """A seeded script of degradation episodes on the simulated clock."""
+
+    seed: int = 0
+    episodes: tuple[Episode, ...] = ()
+
+    def episode_at(self, now: float) -> tuple[int, Episode] | None:
+        """The first active episode at ``now`` (index, episode), if any."""
+        for index, episode in enumerate(self.episodes):
+            if episode.active(now):
+                return index, episode
+        return None
+
+    def decide(self, episode_index: int, ordinal: int, probability: float) -> bool:
+        """Whether call ``ordinal`` inside episode ``episode_index`` is hit.
+
+        A keyed blake2b hash maps ``(seed, episode, ordinal)`` onto [0, 1)
+        and compares against ``probability`` — deterministic, stateless,
+        and independent of every other random stream in the system.
+        """
+        if probability >= 1.0:
+            return True
+        if probability <= 0.0:
+            return False
+        digest = hashlib.blake2b(
+            f"{self.seed}:{episode_index}:{ordinal}".encode("utf-8"),
+            digest_size=8,
+        ).digest()
+        return int.from_bytes(digest, "big") / 2.0**64 < probability
+
+    def payload(self) -> dict:
+        """JSON-ready description (manifests, journals, shard tasks)."""
+        return {
+            "seed": self.seed,
+            "episodes": [
+                {
+                    "kind": episode.kind,
+                    "start_s": episode.start_s,
+                    "duration_s": episode.duration_s,
+                    "intensity": episode.intensity,
+                    "retry_after_s": episode.retry_after_s,
+                    "latency_factor": episode.latency_factor,
+                }
+                for episode in self.episodes
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DegradationPlan":
+        return cls(
+            seed=int(payload["seed"]),
+            episodes=tuple(
+                Episode(
+                    kind=str(entry["kind"]),
+                    start_s=float(entry["start_s"]),
+                    duration_s=float(entry["duration_s"]),
+                    intensity=float(entry["intensity"]),
+                    retry_after_s=float(entry["retry_after_s"]),
+                    latency_factor=float(entry["latency_factor"]),
+                )
+                for entry in payload["episodes"]
+            ),
+        )
+
+
+def brownout_plan(
+    seed: int = 0,
+    start_s: float = 5.0,
+    duration_s: float = 30.0,
+    retry_after_s: float = 3.0,
+    latency_factor: float = 4.0,
+    storm_intensity: float = 0.7,
+) -> DegradationPlan:
+    """The scripted 30-second brownout used by benchmarks and golden cells.
+
+    Three back-to-back phases: a 429 storm, a latency brownout (slow but
+    correct replies — hedging territory), then an overload window of
+    ``overloaded`` rejections.
+    """
+    third = duration_s / 3.0
+    return DegradationPlan(
+        seed=seed,
+        episodes=(
+            Episode(
+                kind="rate_limit_storm",
+                start_s=start_s,
+                duration_s=third,
+                intensity=storm_intensity,
+                retry_after_s=retry_after_s,
+            ),
+            Episode(
+                kind="latency_brownout",
+                start_s=start_s + third,
+                duration_s=third,
+                intensity=1.0,
+                latency_factor=latency_factor,
+            ),
+            Episode(
+                kind="overload",
+                start_s=start_s + 2.0 * third,
+                duration_s=third,
+                intensity=storm_intensity,
+                retry_after_s=retry_after_s,
+            ),
+        ),
+    )
+
+
+def blackout_plan(
+    seed: int = 0,
+    start_s: float = 5.0,
+    duration_s: float = 30.0,
+    retry_after_s: float = 1.0,
+) -> DegradationPlan:
+    """A total outage window: every call fails until the window closes."""
+    return DegradationPlan(
+        seed=seed,
+        episodes=(
+            Episode(
+                kind="blackout",
+                start_s=start_s,
+                duration_s=duration_s,
+                intensity=1.0,
+                retry_after_s=retry_after_s,
+            ),
+        ),
+    )

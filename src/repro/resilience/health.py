@@ -1,0 +1,129 @@
+"""Per-backend health scoring with a deterministic circuit breaker.
+
+Each backend in a failover pool carries an EWMA error rate and latency
+score plus a three-state circuit (``closed`` → ``open`` →
+``half_open`` → ``closed``).  All timings live on the simulated clock,
+and probes fire on a deterministic schedule (cooldown then fixed probe
+interval), so two identical runs open, probe, and close circuits at
+exactly the same virtual instants.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.config import ResilienceConfig
+
+CIRCUIT_STATES = ("closed", "open", "half_open")
+
+
+class BackendHealth:
+    """EWMA health score and circuit state for one backend."""
+
+    def __init__(self, name: str, config: ResilienceConfig):
+        self.name = name
+        self._alpha = config.health_alpha
+        self._error_threshold = config.circuit_error_threshold
+        self._cooldown_s = config.circuit_cooldown_s
+        self._probe_interval_s = config.probe_interval_s
+        self.error_rate = 0.0
+        self.latency_ewma = 0.0
+        self.state = "closed"
+        self.open_until = 0.0
+        self.last_probe_at: float | None = None
+        self.n_success = 0
+        self.n_failure = 0
+        #: circuit transition counters (open / half_open / close events)
+        self.transitions = {"open": 0, "half_open": 0, "close": 0}
+
+    def record_success(self, now: float, latency_s: float) -> None:
+        self.n_success += 1
+        self.error_rate = (1.0 - self._alpha) * self.error_rate
+        self.latency_ewma = (
+            (1.0 - self._alpha) * self.latency_ewma + self._alpha * latency_s
+        )
+        if self.state != "closed":
+            # A half-open probe (or a success racing the open window)
+            # proves recovery: close the circuit and reset the score so
+            # one stale storm does not instantly re-open it.
+            self.state = "closed"
+            self.transitions["close"] += 1
+            self.error_rate = 0.0
+
+    def record_failure(self, now: float, latency_s: float = 0.0) -> None:
+        self.n_failure += 1
+        self.error_rate = (
+            (1.0 - self._alpha) * self.error_rate + self._alpha
+        )
+        if latency_s > 0:
+            self.latency_ewma = (
+                (1.0 - self._alpha) * self.latency_ewma
+                + self._alpha * latency_s
+            )
+        if self.state == "half_open" or (
+            self.state == "closed"
+            and self.error_rate >= self._error_threshold
+        ):
+            # A failed probe re-opens; a sick closed circuit opens.
+            self.state = "open"
+            self.open_until = now + self._cooldown_s
+            self.transitions["open"] += 1
+
+    def routable(self, now: float) -> bool:
+        """Whether the router may send a call here at virtual time ``now``.
+
+        Closed circuits always route.  Open circuits route only once the
+        cooldown has passed *and* the probe interval since the last probe
+        has elapsed — the deterministic recovery-probe schedule.
+        """
+        if self.state == "closed":
+            return True
+        if now < self.open_until:
+            return False
+        if self.last_probe_at is None:
+            return True
+        return now >= self.last_probe_at + self._probe_interval_s
+
+    def begin_probe(self, now: float) -> None:
+        """Mark the call about to be routed as a half-open recovery probe."""
+        if self.state != "half_open":
+            self.state = "half_open"
+            self.transitions["half_open"] += 1
+        self.last_probe_at = now
+
+    def payload(self) -> dict:
+        """JSON-ready health summary for manifests and reports."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "error_rate": round(self.error_rate, 6),
+            "latency_ewma_s": round(self.latency_ewma, 6),
+            "n_success": self.n_success,
+            "n_failure": self.n_failure,
+            "transitions": dict(self.transitions),
+        }
+
+    def checkpoint_state(self) -> dict:
+        return {
+            "error_rate": self.error_rate,
+            "latency_ewma": self.latency_ewma,
+            "state": self.state,
+            "open_until": self.open_until,
+            "last_probe_at": self.last_probe_at,
+            "n_success": self.n_success,
+            "n_failure": self.n_failure,
+            "transitions": dict(self.transitions),
+        }
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        self.error_rate = float(state["error_rate"])
+        self.latency_ewma = float(state["latency_ewma"])
+        self.state = str(state["state"])
+        if self.state not in CIRCUIT_STATES:
+            raise ValueError(f"unknown circuit state {self.state!r}")
+        self.open_until = float(state["open_until"])
+        raw_probe = state.get("last_probe_at")
+        self.last_probe_at = None if raw_probe is None else float(raw_probe)
+        self.n_success = int(state["n_success"])
+        self.n_failure = int(state["n_failure"])
+        self.transitions = {
+            key: int(value) for key, value in state["transitions"].items()
+        }

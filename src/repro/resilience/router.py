@@ -1,0 +1,329 @@
+"""Health-scored failover routing and hedged requests over a backend pool.
+
+:class:`FailoverClient` looks like one :class:`~repro.llm.base.LLMClient`
+but fronts an ordered pool of them:
+
+- **Routing**: calls go to the highest-priority backend whose circuit is
+  routable (see :class:`~repro.resilience.health.BackendHealth`); ties in
+  priority break on name, so the routing order is a pure function of the
+  pool *contents* — permuting the constructor sequence changes nothing.
+- **Failover**: when the primary fails with a retryable fault, the call
+  is retried on the next routable backend before the error surfaces; the
+  failed attempt's burned time is charged into the winning reply's
+  modeled latency.
+- **Hedging**: when the primary *serves* but slower than the hedge delay
+  (the p95 of its recent latencies on the simulated clock), a duplicate
+  fires to the next backend; the first reply to land wins and the
+  loser's token usage is accounted separately, never billed to the run.
+
+Everything runs on the virtual clock fed in through ``observe_time`` —
+no wall time, no RNG — so routing, hedging, and circuit transitions
+replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.errors import LLMError, RateLimitError, TransientLLMError
+from repro.llm.base import CompletionRequest, CompletionResponse, LLMClient, Usage
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.health import BackendHealth
+from repro.resilience.signals import ThrottleSignal, attach, throttle_of
+
+#: latency samples kept per backend for the hedge-delay quantile
+_SAMPLE_WINDOW = 64
+
+
+class FailoverClient:
+    """Routes completions across an ordered, health-scored backend pool.
+
+    ``backends`` is a sequence of ``(name, priority, client)`` triples;
+    lower priority routes first, ties break on name.  The sequence order
+    itself never matters.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[tuple[str, int, LLMClient]],
+        config: ResilienceConfig | None = None,
+    ):
+        if not backends:
+            raise LLMError("FailoverClient needs at least one backend")
+        names = [name for name, __, __ in backends]
+        if len(set(names)) != len(names):
+            raise LLMError(f"duplicate backend names in pool: {sorted(names)}")
+        self._config = config or ResilienceConfig()
+        ordered = sorted(backends, key=lambda entry: (entry[1], entry[0]))
+        self._order: tuple[str, ...] = tuple(name for name, __, __ in ordered)
+        self._priority = {name: prio for name, prio, __ in ordered}
+        self._clients = {name: client for name, __, client in ordered}
+        self._health = {
+            name: BackendHealth(name, self._config) for name in self._order
+        }
+        self._samples: dict[str, list[float]] = {
+            name: [] for name in self._order
+        }
+        self._now = 0.0
+        self._stress = 0.0
+        self._shedding = False
+        self.n_calls = 0
+        self.n_failovers = 0
+        self.n_hedges = 0
+        self.n_hedge_wins = 0
+        self.n_hedge_losses = 0
+        self.n_exhausted = 0
+        self.hedge_loser_usage = Usage(0, 0)
+        self.n_shed_windows = 0
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        return self._order
+
+    def observe_time(self, now: float) -> None:
+        """Adopt the attempt's virtual start time (fed by the executor).
+
+        Not a running maximum: a late-finishing lane must not fast-forward
+        circuit cooldowns or probe timers past outages its siblings are
+        still inside.  The executor's announcement order is deterministic,
+        so health bookkeeping replays bit-identically.
+        """
+        self._now = now
+        for client in self._clients.values():
+            forward = getattr(client, "observe_time", None)
+            if callable(forward):
+                forward(self._now)
+
+    def hedge_delay(self, name: str) -> float:
+        """The deterministic hedge delay for ``name`` at this instant.
+
+        The configured quantile of the backend's recent latency samples,
+        floored at ``hedge_min_delay_s``; before ``hedge_warmup`` samples
+        exist the configured default delay applies.  A pure function of
+        the samples observed so far, hence of (plan seed, clock).
+        """
+        samples = self._samples[name]
+        config = self._config
+        if len(samples) < config.hedge_warmup:
+            return max(config.hedge_min_delay_s, config.hedge_default_delay_s)
+        ranked = sorted(samples)
+        index = max(0, min(len(ranked) - 1,
+                           int(config.hedge_quantile * len(ranked) + 0.999999) - 1))
+        return max(config.hedge_min_delay_s, ranked[index])
+
+    def complete(self, request: CompletionRequest) -> CompletionResponse:
+        now = self._now
+        routable = [
+            name for name in self._order if self._health[name].routable(now)
+        ]
+        if not routable:
+            self.n_exhausted += 1
+            raise attach(
+                TransientLLMError("every backend circuit is open", latency_s=0.0),
+                ThrottleSignal(kind="overloaded", retry_after_s=0.0),
+            )
+        self.n_calls += 1
+        primary = routable[0]
+        health = self._health[primary]
+        if health.state != "closed":
+            health.begin_probe(now)
+        try:
+            reply = self._clients[primary].complete(request)
+        except (RateLimitError, TransientLLMError) as exc:
+            return self._failover(request, exc, primary, routable[1:], now)
+        health.record_success(now, reply.latency_s)
+        self._note_stress(0.0)
+        winner = self._maybe_hedge(request, reply, primary, routable[1:], now)
+        self._note_sample(primary, reply.latency_s)
+        return winner
+
+    def _failover(
+        self,
+        request: CompletionRequest,
+        exc: Exception,
+        primary: str,
+        fallbacks: list[str],
+        now: float,
+    ) -> CompletionResponse:
+        """Retry a failed call down the pool; re-raise if everyone fails."""
+        burned = self._failure_cost(exc)
+        self._health[primary].record_failure(now, burned)
+        self._note_stress(1.0)
+        if self._config.failover:
+            for name in fallbacks:
+                health = self._health[name]
+                if health.state != "closed":
+                    health.begin_probe(now)
+                try:
+                    reply = self._clients[name].complete(request)
+                except (RateLimitError, TransientLLMError) as fallback_exc:
+                    cost = self._failure_cost(fallback_exc)
+                    health.record_failure(now + burned, cost)
+                    burned += cost
+                    continue
+                health.record_success(now + burned, reply.latency_s)
+                self._note_sample(name, reply.latency_s)
+                self.n_failovers += 1
+                return replace(reply, latency_s=burned + reply.latency_s)
+        if throttle_of(exc) is None:
+            attach(exc, ThrottleSignal(
+                kind="overloaded", retry_after_s=burned, backend=primary,
+            ))
+        raise exc
+
+    def _maybe_hedge(
+        self,
+        request: CompletionRequest,
+        reply: CompletionResponse,
+        primary: str,
+        fallbacks: list[str],
+        now: float,
+    ) -> CompletionResponse:
+        """Fire the duplicate when the primary reply lands past the delay."""
+        if not self._config.hedge or not fallbacks:
+            return reply
+        delay = self.hedge_delay(primary)
+        if reply.latency_s <= delay:
+            return reply
+        self.n_hedges += 1
+        secondary = fallbacks[0]
+        health = self._health[secondary]
+        if health.state != "closed":
+            health.begin_probe(now + delay)
+        try:
+            duplicate = self._clients[secondary].complete(request)
+        except (RateLimitError, TransientLLMError) as exc:
+            # The hedge itself failed: the primary reply stands alone.
+            health.record_failure(now + delay, self._failure_cost(exc))
+            self.n_hedge_losses += 1
+            return reply
+        health.record_success(now + delay, duplicate.latency_s)
+        self._note_sample(secondary, duplicate.latency_s)
+        hedged_finish = delay + duplicate.latency_s
+        if hedged_finish < reply.latency_s:
+            self.n_hedge_wins += 1
+            self.hedge_loser_usage = self.hedge_loser_usage + reply.usage
+            return replace(duplicate, latency_s=hedged_finish)
+        self.n_hedge_losses += 1
+        self.hedge_loser_usage = self.hedge_loser_usage + duplicate.usage
+        return reply
+
+    def should_shed(self, now: float | None = None) -> bool:
+        """Whether sustained degradation warrants shedding new load.
+
+        EWMA failure stress with hysteresis: starts shedding at
+        ``shed_enter``, stops only once stress decays below ``shed_exit``.
+        """
+        if self._shedding and self._stress <= self._config.shed_exit:
+            self._shedding = False
+        elif not self._shedding and self._stress >= self._config.shed_enter:
+            self._shedding = True
+            self.n_shed_windows += 1
+        return self._shedding
+
+    def health_payload(self) -> dict:
+        """JSON-ready per-backend health plus router counters."""
+        return {
+            "backends": [
+                dict(self._health[name].payload(),
+                     priority=self._priority[name])
+                for name in self._order
+            ],
+            "router": {
+                "n_calls": self.n_calls,
+                "n_failovers": self.n_failovers,
+                "n_hedges": self.n_hedges,
+                "n_hedge_wins": self.n_hedge_wins,
+                "n_hedge_losses": self.n_hedge_losses,
+                "n_exhausted": self.n_exhausted,
+                "n_shed_windows": self.n_shed_windows,
+                "hedge_loser_prompt_tokens": self.hedge_loser_usage.prompt_tokens,
+                "hedge_loser_completion_tokens": (
+                    self.hedge_loser_usage.completion_tokens
+                ),
+            },
+        }
+
+    def checkpoint_state(self) -> dict:
+        return {
+            "now": self._now,
+            "stress": self._stress,
+            "shedding": self._shedding,
+            "samples": {
+                name: list(samples) for name, samples in self._samples.items()
+            },
+            "health": {
+                name: health.checkpoint_state()
+                for name, health in self._health.items()
+            },
+            "counters": {
+                "n_calls": self.n_calls,
+                "n_failovers": self.n_failovers,
+                "n_hedges": self.n_hedges,
+                "n_hedge_wins": self.n_hedge_wins,
+                "n_hedge_losses": self.n_hedge_losses,
+                "n_exhausted": self.n_exhausted,
+                "n_shed_windows": self.n_shed_windows,
+                "hedge_loser_prompt_tokens": self.hedge_loser_usage.prompt_tokens,
+                "hedge_loser_completion_tokens": (
+                    self.hedge_loser_usage.completion_tokens
+                ),
+            },
+            "inner": {
+                name: (
+                    client.checkpoint_state()
+                    if callable(getattr(client, "checkpoint_state", None))
+                    else None
+                )
+                for name, client in self._clients.items()
+            },
+        }
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        self._now = float(state["now"])
+        self._stress = float(state["stress"])
+        self._shedding = bool(state["shedding"])
+        for name, samples in state["samples"].items():
+            self._samples[name] = [float(sample) for sample in samples]
+        for name, payload in state["health"].items():
+            self._health[name].restore_checkpoint_state(payload)
+        counters = state["counters"]
+        self.n_calls = int(counters["n_calls"])
+        self.n_failovers = int(counters["n_failovers"])
+        self.n_hedges = int(counters["n_hedges"])
+        self.n_hedge_wins = int(counters["n_hedge_wins"])
+        self.n_hedge_losses = int(counters["n_hedge_losses"])
+        self.n_exhausted = int(counters["n_exhausted"])
+        self.n_shed_windows = int(counters["n_shed_windows"])
+        self.hedge_loser_usage = Usage(
+            prompt_tokens=int(counters["hedge_loser_prompt_tokens"]),
+            completion_tokens=int(counters["hedge_loser_completion_tokens"]),
+        )
+        for name, inner_state in state["inner"].items():
+            if inner_state is None:
+                continue
+            restore = getattr(
+                self._clients[name], "restore_checkpoint_state", None
+            )
+            if callable(restore):
+                restore(inner_state)
+
+    def _note_sample(self, name: str, latency_s: float) -> None:
+        samples = self._samples[name]
+        samples.append(latency_s)
+        if len(samples) > _SAMPLE_WINDOW:
+            del samples[: len(samples) - _SAMPLE_WINDOW]
+
+    def _note_stress(self, sample: float) -> None:
+        alpha = self._config.shed_alpha
+        self._stress = (1.0 - alpha) * self._stress + alpha * sample
+
+    @staticmethod
+    def _failure_cost(exc: Exception) -> float:
+        """Virtual seconds one failed attempt burns before the next try."""
+        if isinstance(exc, RateLimitError):
+            return max(0.0, exc.retry_after)
+        if isinstance(exc, TransientLLMError):
+            return max(0.0, exc.latency_s)
+        return 0.0

@@ -1,0 +1,58 @@
+"""Typed throttle signals threaded from backend to executor lane.
+
+A backend that rejects or degrades a call knows *why*; the executor's
+AIMD controller needs that reason to distinguish "the upstream is telling
+us to back off" (shrink the lane width) from an ordinary transient fault
+(retry, keep the width).  A :class:`ThrottleSignal` rides on the raised
+exception as a plain attribute — no new exception hierarchy, so existing
+``except RateLimitError`` / ``except TransientLLMError`` handlers keep
+working untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RateLimitError
+
+#: signal kinds an upstream can send
+SIGNAL_KINDS = ("rate_limit", "overloaded")
+
+
+@dataclass(frozen=True)
+class ThrottleSignal:
+    """Why a backend pushed back on one call."""
+
+    kind: str
+    retry_after_s: float = 0.0
+    backend: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in SIGNAL_KINDS:
+            raise ValueError(
+                f"unknown throttle signal kind {self.kind!r}; "
+                f"expected one of {SIGNAL_KINDS}"
+            )
+        if self.retry_after_s < 0:
+            raise ValueError("retry_after_s cannot be negative")
+
+
+def attach(exc: BaseException, signal: ThrottleSignal) -> BaseException:
+    """Pin ``signal`` onto ``exc`` and return it (for ``raise attach(...)``)."""
+    exc.throttle = signal  # type: ignore[attr-defined]
+    return exc
+
+
+def throttle_of(exc: BaseException) -> ThrottleSignal | None:
+    """The signal carried by ``exc``, synthesized for a bare 429.
+
+    A :class:`~repro.errors.RateLimitError` without an explicit signal is
+    still unambiguously a throttle — backends that predate this module
+    (or real SDK adapters) keep feeding the AIMD loop correctly.
+    """
+    signal = getattr(exc, "throttle", None)
+    if isinstance(signal, ThrottleSignal):
+        return signal
+    if isinstance(exc, RateLimitError):
+        return ThrottleSignal(kind="rate_limit", retry_after_s=exc.retry_after)
+    return None

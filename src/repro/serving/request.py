@@ -14,8 +14,11 @@ from dataclasses import dataclass
 
 from repro.data.instances import Instance
 
-#: every reason a request can be refused admission
-REJECT_REASONS: tuple[str, ...] = ("queue_full", "tenant_rpm", "tenant_tpm")
+#: every reason a request can be refused admission; ``backend_degraded``
+#: is load shedding under sustained backend sickness (resilience mode)
+REJECT_REASONS: tuple[str, ...] = (
+    "queue_full", "tenant_rpm", "tenant_tpm", "backend_degraded",
+)
 
 #: where a served answer came from: a completion call this request rode
 #: on, a coalesced batch another request triggered, or the completed-

@@ -113,6 +113,20 @@ class BatchCoalescer:
         """Unique questions currently waiting."""
         return self._n_pending
 
+    def backlog_age_s(self, now: float) -> float:
+        """Age of the oldest pending question at ``now`` (0.0 when idle).
+
+        The serving layer's queue-pressure signal: under a healthy
+        backend the coalescer drains every group by its deadline, so a
+        backlog growing past the max wait means execution is falling
+        behind arrivals — the symptom of sustained degradation.
+        """
+        oldest = min(
+            (group[0].arrival_s for group in self._groups.values() if group),
+            default=None,
+        )
+        return 0.0 if oldest is None else max(0.0, now - oldest)
+
     def add(self, entry: PendingEntry) -> Flush | None:
         """Queue a new unique question; eager mode may flush its group."""
         group = self._groups.setdefault(entry.target, [])

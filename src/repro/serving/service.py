@@ -51,7 +51,11 @@ from repro.serving.scheduler import (
     Flush,
     PendingEntry,
 )
-from repro.serving.tenants import TenantAdmission, TenantBudget
+from repro.serving.tenants import (
+    DegradationMonitor,
+    TenantAdmission,
+    TenantBudget,
+)
 from repro.text.tokenize import count_tokens
 
 
@@ -119,6 +123,9 @@ class ServeReport:
     usage: Usage
     metrics: dict
     config: dict = field(default_factory=dict)
+    #: per-backend health + shedding stress, present only in resilience
+    #: mode (``None`` keeps historical payload bytes unchanged)
+    backend_health: dict | None = None
 
     @property
     def n_served(self) -> int:
@@ -191,7 +198,7 @@ class ServeReport:
 
     def payload(self) -> dict:
         """The full run as canonical-JSON-ready data (golden snapshots)."""
-        return {
+        payload = {
             "config": self.config,
             "summary": self.summary(),
             "responses": [
@@ -220,6 +227,9 @@ class ServeReport:
             "batches": self.batches,
             "metrics": self.metrics,
         }
+        if self.backend_health is not None:
+            payload["backend_health"] = self.backend_health
+        return payload
 
     def render(self) -> str:
         summary = self.summary()
@@ -266,11 +276,21 @@ class PreprocessingService:
         executor_config: ExecutorConfig | None = None,
     ):
         self._dataset = dataset
+        self._client = client
         self._serve_config = serve_config or ServeConfig()
         self._preprocessor = Preprocessor(
             client, pipeline_config, executor_config
         )
         config = self._preprocessor.config
+        resilience = self._preprocessor.executor_config.resilience
+        self._monitor = (
+            DegradationMonitor(
+                resilience,
+                drain_backlog_s=2.0 * self._serve_config.max_wait_s,
+            )
+            if resilience is not None
+            else None
+        )
         self.metrics = MetricsRegistry()
         self._prep = PrepArtifacts(
             metrics=self.metrics, max_texts=self._serve_config.prep_texts
@@ -433,6 +453,7 @@ class PreprocessingService:
                     for name in self._admission.tenants
                 ],
             },
+            backend_health=self._backend_health(),
         )
 
     def _admit(
@@ -443,6 +464,16 @@ class PreprocessingService:
         batches: list[dict],
     ) -> None:
         """Admission → cache → coalescer for one arrival."""
+        if self._monitor is not None and self._monitor.should_shed(
+            self._coalescer.backlog_age_s(request.arrival_s)
+        ):
+            # Shed at the front door, before the tenant window is
+            # charged: the backend is too sick to take on new work.
+            self._reject(
+                request, "backend_degraded", rejections,
+                detail=f"stress {self._monitor.stress:.3f}",
+            )
+            return
         key = self._key_of(request.instance)
         tokens = self._tokens_of(key, request.instance)
         reason = self._admission.admit(
@@ -602,3 +633,20 @@ class PreprocessingService:
                         batch_seq=seq,
                         quarantine_reason=quarantine_reason,
                     ))
+        if self._monitor is not None:
+            self._monitor.observe_report(self._executor.report())
+            router_shed = getattr(self._client, "should_shed", None)
+            if callable(router_shed):
+                self._monitor.observe_router(router_shed(flush.at))
+
+    def _backend_health(self) -> dict | None:
+        """Per-backend health + shedding stress (resilience mode only)."""
+        if self._monitor is None:
+            return None
+        health = getattr(self._client, "health_payload", None)
+        payload = dict(health()) if callable(health) else {}
+        payload["shedding"] = {
+            "stress": round(self._monitor.stress, 6),
+            "n_shed_windows": self._monitor.n_shed_windows,
+        }
+        return payload

@@ -1,10 +1,16 @@
-"""Per-tenant admission control.
+"""Per-tenant admission control and degradation-aware load shedding.
 
 Each tenant gets its own one-minute RPM/TPM window
 (:class:`~repro.llm.ratelimit.SlidingWindowBudget`), layered *under* the
 executor's global rate limiter: admission refuses work the tenant's plan
 does not cover before it ever queues, while the global limiter still
 paces whatever is admitted against the provider's account-wide budget.
+
+When resilience mode is on, a :class:`DegradationMonitor` sits beside
+admission: it folds the executor's failure counters (and the failover
+router's own stress view, when the client is a pool) into an EWMA stress
+score, and tells the service to shed new arrivals — typed reject reason
+``backend_degraded`` — while the backend is too sick to keep up.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Iterable
 
 from repro.errors import ServingError
 from repro.llm.ratelimit import RateLimit, SlidingWindowBudget
+from repro.resilience.config import ResilienceConfig
 
 
 @dataclass(frozen=True)
@@ -80,3 +87,76 @@ class TenantAdmission:
         if verdict is None:
             return None
         return f"tenant_{verdict}"
+
+
+class DegradationMonitor:
+    """EWMA stress score over backend failures, with shed hysteresis.
+
+    The service feeds it two signals after every executed flush:
+
+    - the executor's cumulative :class:`~repro.core.executor.ExecutionReport`
+      counters (the monitor diffs them internally, so it sees only this
+      flush's successes/failures), and
+    - the failover router's own shedding verdict when the client exposes
+      ``should_shed`` (a pool under heavy failover knows it is sick
+      before the executor's counters do).
+
+    Shedding starts when stress reaches ``shed_enter`` and stops only
+    once stress decays below ``shed_exit`` *and* the coalescer backlog
+    has drained back under ``drain_backlog_s`` — hysteresis on both the
+    error signal and the queue-pressure signal, so the service does not
+    flap at the threshold.  All inputs live on the arrival clock; the
+    verdict is a pure function of the trace, hence deterministic.
+    """
+
+    def __init__(
+        self,
+        config: ResilienceConfig,
+        drain_backlog_s: float = 0.0,
+    ):
+        self._enter = config.shed_enter
+        self._exit = config.shed_exit
+        self._alpha = config.shed_alpha
+        self._drain_backlog_s = max(0.0, drain_backlog_s)
+        self._stress = 0.0
+        self._shedding = False
+        self._seen_ok = 0
+        self._seen_failed = 0
+        self.n_shed_windows = 0
+
+    @property
+    def stress(self) -> float:
+        return self._stress
+
+    def observe_report(self, report) -> None:
+        """Fold one flush's executor counter deltas into the stress EWMA."""
+        ok = report.n_calls
+        failed = (
+            report.n_retries + report.n_rate_limit_waits + report.n_giveups
+        )
+        delta_ok = ok - self._seen_ok
+        delta_failed = failed - self._seen_failed
+        self._seen_ok = ok
+        self._seen_failed = failed
+        events = delta_ok + delta_failed
+        if events <= 0:
+            return
+        sample = delta_failed / events
+        self._stress = (1.0 - self._alpha) * self._stress + self._alpha * sample
+
+    def observe_router(self, shedding: bool) -> None:
+        """Adopt the failover router's verdict (it sees per-backend health)."""
+        if shedding:
+            self._stress = max(self._stress, self._enter)
+
+    def should_shed(self, backlog_age_s: float = 0.0) -> bool:
+        if self._shedding:
+            if (
+                self._stress <= self._exit
+                and backlog_age_s <= self._drain_backlog_s
+            ):
+                self._shedding = False
+        elif self._stress >= self._enter:
+            self._shedding = True
+            self.n_shed_windows += 1
+        return self._shedding

@@ -84,6 +84,9 @@ class ShardTask:
     journal_path: str | None = None
     journal_site: str | None = None
     journal_at: int | None = None
+    #: optional ExecutorConfig override (carries resilience mode into the
+    #: worker — frozen dataclass, pickles like everything else here)
+    executor_config: object | None = None
 
 
 def shard_dataset(
@@ -153,7 +156,7 @@ def run_shard(task: ShardTask) -> dict:
     from repro.runtime.checkpoint import JournalChaos, RunCheckpoint
 
     client = task.backend.build()
-    preprocessor = Preprocessor(client, task.config)
+    preprocessor = Preprocessor(client, task.config, task.executor_config)
     checkpoint = None
     if task.journal_path is not None:
         chaos = None
@@ -193,6 +196,7 @@ def _build_tasks(
     keep_raw: bool,
     workdir: str | Path | None,
     chaos: ShardChaos | None,
+    executor_config=None,
 ) -> list[ShardTask]:
     from repro.llm.backend import FaultBackend
     from repro.llm.faults import Fault
@@ -243,6 +247,7 @@ def _build_tasks(
             journal_path=journal_path,
             journal_site=journal_site,
             journal_at=journal_at,
+            executor_config=executor_config,
         ))
     return tasks
 
@@ -257,6 +262,7 @@ def run_sharded(
     workdir: str | Path | None = None,
     keep_raw: bool = False,
     chaos: ShardChaos | None = None,
+    executor_config=None,
 ) -> ShardedRun:
     """Run ``dataset`` through the pipeline in shards (module docstring).
 
@@ -279,7 +285,8 @@ def run_sharded(
         Path(workdir).mkdir(parents=True, exist_ok=True)
     plan = plan_shards(dataset, config, n_shards)
     tasks = _build_tasks(
-        plan, backend, config, dataset, keep_raw, workdir, chaos
+        plan, backend, config, dataset, keep_raw, workdir, chaos,
+        executor_config,
     )
     workers = max(1, min(workers, len(tasks)))
 

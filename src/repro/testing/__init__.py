@@ -29,10 +29,12 @@ from repro.testing.golden import (
     FLOW_GOLDEN_CELLS,
     GOLDEN_CELLS,
     GOLDEN_VERSION,
+    RESILIENCE_GOLDEN_CELLS,
     SERVING_GOLDEN_CELLS,
     FactoryGoldenCell,
     FlowGoldenCell,
     GoldenCell,
+    ResilienceGoldenCell,
     ServingGoldenCell,
     GoldenDiff,
     GoldenError,
@@ -61,10 +63,12 @@ __all__ = [
     "FLOW_GOLDEN_CELLS",
     "GOLDEN_CELLS",
     "GOLDEN_VERSION",
+    "RESILIENCE_GOLDEN_CELLS",
     "SERVING_GOLDEN_CELLS",
     "FactoryGoldenCell",
     "FlowGoldenCell",
     "GoldenCell",
+    "ResilienceGoldenCell",
     "ServingGoldenCell",
     "GoldenDiff",
     "GoldenError",

@@ -195,15 +195,55 @@ FACTORY_GOLDEN_CELLS: tuple[FactoryGoldenCell, ...] = (
                       size=24, model="gpt-4"),
 )
 
+@dataclass(frozen=True)
+class ResilienceGoldenCell:
+    """One recorded run through a scripted backend brownout.
+
+    The cell drives an ED run through the full resilience stack — a
+    failover router over a degraded primary and a secondary that shares
+    the blackout window — with the adaptive executor on.  That one run
+    exercises every resilience mechanism: the latency phase produces
+    hedges (the secondary is still healthy then), the 429 storm produces
+    throttle signals and AIMD narrowing, and the shared blackout exhausts
+    failover *and* retries, so the degradation ladder quarantines the
+    instances caught inside it and the lane breakers cycle.  The snapshot
+    freezes predictions, the quarantine set, the manifest (including the
+    ``backend_health`` and ``breaker_transitions`` evaluation keys), the
+    per-backend degradation counters, and the router's hedge/failover
+    accounting — any drift in adaptive scheduling is a golden diff.
+    """
+
+    name: str
+    dataset: str = "adult"
+    size: int = 90
+    model: str = "gpt-3.5"
+    seed: int = 0
+    concurrency: int = 2
+
+    def config(self) -> PipelineConfig:
+        return PipelineConfig(
+            model=self.model,
+            seed=self.seed,
+            concurrency=self.concurrency,
+            observability=True,
+            degradation="ladder",
+        )
+
+
+RESILIENCE_GOLDEN_CELLS: tuple[ResilienceGoldenCell, ...] = (
+    ResilienceGoldenCell("resilience_ed_brownout"),
+)
+
 #: any recorded cell kind — the union the store and CLI dispatch over
 AnyGoldenCell = (
     GoldenCell | ServingGoldenCell | FlowGoldenCell | FactoryGoldenCell
+    | ResilienceGoldenCell
 )
 
-#: every recorded cell: offline, serving, flow, and factory
+#: every recorded cell: offline, serving, flow, factory, and resilience
 ALL_GOLDEN_CELLS: tuple[AnyGoldenCell, ...] = (
     GOLDEN_CELLS + SERVING_GOLDEN_CELLS + FLOW_GOLDEN_CELLS
-    + FACTORY_GOLDEN_CELLS
+    + FACTORY_GOLDEN_CELLS + RESILIENCE_GOLDEN_CELLS
 )
 
 
@@ -392,10 +432,96 @@ def _capture_factory_snapshot(cell: FactoryGoldenCell) -> dict:
     return _pipeline_payload(cell.name, cell_dict, dataset, run)
 
 
+def resilience_cell_fixture(cell: ResilienceGoldenCell):
+    """The degraded failover stack for one resilience cell.
+
+    Shared between snapshot capture and the resilience tests.  Returns
+    ``(client, executor_config, primary, secondary)`` where ``client`` is
+    the failover router and ``primary``/``secondary`` the degraded
+    wrappers underneath (exposed so callers can read their counters).
+    """
+    from repro.core.executor import ExecutorConfig
+    from repro.llm.faults import DegradedClient
+    from repro.llm.simulated import SimulatedLLM
+    from repro.resilience.config import ResilienceConfig
+    from repro.resilience.degradation import DegradationPlan, Episode
+    from repro.resilience.router import FailoverClient
+
+    # The scripted brownout: throttle (failovers, throttle signals), then
+    # slow (hedges win), then a blackout both backends share — long
+    # enough that retries, breaker cooldowns, and the bisection cascade
+    # all exhaust inside it, so the ladder quarantines what the outage
+    # caught.  Storm before slowdown: a 6x-slowed call fast-forwards its
+    # lane far past a short storm window, so the reverse order would
+    # leave the throttle path unexercised.
+    blackout = Episode(kind="blackout", start_s=20.0, duration_s=600.0,
+                       intensity=1.0, retry_after_s=1.0)
+    primary_plan = DegradationPlan(seed=cell.seed, episodes=(
+        # Mild storm: throttles a call or two (exercising the throttle
+        # signal and failover paths) without two consecutive failures,
+        # which would open the primary's circuit and skip the brownout.
+        Episode(kind="rate_limit_storm", start_s=2.0, duration_s=6.0,
+                intensity=0.4, retry_after_s=2.0),
+        Episode(kind="latency_brownout", start_s=8.0, duration_s=12.0,
+                intensity=1.0, latency_factor=6.0),
+        blackout,
+    ))
+    secondary_plan = DegradationPlan(seed=cell.seed + 1, episodes=(blackout,))
+    primary = DegradedClient(
+        SimulatedLLM(cell.model, seed=cell.seed),
+        primary_plan, backend_name="primary",
+    )
+    secondary = DegradedClient(
+        SimulatedLLM(cell.model, seed=cell.seed + 1),
+        secondary_plan, backend_name="secondary",
+    )
+    resilience = ResilienceConfig()
+    client = FailoverClient(
+        [("primary", 0, primary), ("secondary", 1, secondary)], resilience
+    )
+    return client, ExecutorConfig(resilience=resilience), primary, secondary
+
+
+def _degradation_counters(client) -> dict:
+    """The scripted-degradation counters of one DegradedClient."""
+    return {
+        "n_calls": client.n_calls,
+        "n_throttled": client.n_throttled,
+        "n_overloads": client.n_overloads,
+        "n_blackouts": client.n_blackouts,
+        "n_slowed": client.n_slowed,
+    }
+
+
+def _capture_resilience_snapshot(cell: ResilienceGoldenCell) -> dict:
+    """Run the cell's brownout scenario and freeze the adaptive behavior."""
+    from repro.datasets import load_dataset
+    from repro.eval.harness import evaluate_pipeline
+
+    client, executor_config, primary, secondary = resilience_cell_fixture(cell)
+    dataset = load_dataset(cell.dataset, size=cell.size, seed=cell.seed)
+    run = evaluate_pipeline(
+        client, cell.config(), dataset, keep_raw=True,
+        executor_config=executor_config,
+    )
+    payload = _pipeline_payload(
+        cell.name, {**dataclasses.asdict(cell), "kind": "resilience"},
+        dataset, run,
+    )
+    payload["degradation"] = {
+        "primary": _degradation_counters(primary),
+        "secondary": _degradation_counters(secondary),
+    }
+    payload["router"] = client.health_payload()
+    return json.loads(canonical_json(payload))
+
+
 def capture_snapshot(cell: AnyGoldenCell) -> dict:
     """Run ``cell`` end to end and freeze its behavior as a JSON payload."""
     if isinstance(cell, ServingGoldenCell):
         return _capture_serving_snapshot(cell)
+    if isinstance(cell, ResilienceGoldenCell):
+        return _capture_resilience_snapshot(cell)
     if isinstance(cell, FlowGoldenCell):
         return _capture_flow_snapshot(cell)
     if isinstance(cell, FactoryGoldenCell):

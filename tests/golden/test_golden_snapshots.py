@@ -17,6 +17,7 @@ from repro.testing import (
     FACTORY_GOLDEN_CELLS,
     FLOW_GOLDEN_CELLS,
     GOLDEN_CELLS,
+    RESILIENCE_GOLDEN_CELLS,
     SERVING_GOLDEN_CELLS,
     GoldenDiff,
     GoldenStore,
@@ -31,6 +32,7 @@ STORE = GoldenStore(Path(__file__).parent / "snapshots")
 PIPELINE_NAMES = {cell.name for cell in GOLDEN_CELLS}
 FLOW_NAMES = {cell.name for cell in FLOW_GOLDEN_CELLS}
 FACTORY_NAMES = {cell.name for cell in FACTORY_GOLDEN_CELLS}
+RESILIENCE_NAMES = {cell.name for cell in RESILIENCE_GOLDEN_CELLS}
 
 
 @pytest.mark.parametrize(
@@ -57,6 +59,10 @@ def test_snapshots_are_canonical_json():
         assert payload["golden_version"] == 1
         if name in PIPELINE_NAMES or name in FACTORY_NAMES:
             assert payload["exchanges"], f"{name} recorded no exchanges"
+        elif name in RESILIENCE_NAMES:
+            assert payload["exchanges"], f"{name} recorded no exchanges"
+            assert payload["degradation"]["primary"]["n_calls"] > 0
+            assert payload["router"]["router"]["n_calls"] > 0
         elif name in FLOW_NAMES:
             assert payload["flow"]["stages"], f"{name} recorded no stages"
         else:

@@ -1,0 +1,171 @@
+"""Property tests for the resilience stack's algebraic guarantees.
+
+Three invariants the design sells, stated as properties:
+
+- the AIMD width stays inside ``[1, concurrency]`` for *any* event
+  sequence (the executor can never schedule zero lanes or over-schedule);
+- the hedge delay is a pure function of the latency samples fed in — two
+  routers that observed the same history quote the same delay, and the
+  delay never drops under the configured floor;
+- failover routing order depends only on the pool *contents*
+  ``(priority, name)``, never on the order the constructor saw them.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.base import (
+    ChatMessage,
+    CompletionRequest,
+    CompletionResponse,
+    Usage,
+)
+from repro.resilience import AimdController, FailoverClient, ResilienceConfig
+
+_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+
+def _request(i=1):
+    return CompletionRequest(
+        messages=(ChatMessage(role="user", content=f"Question {i}: ping"),),
+        model="gpt-3.5",
+    )
+
+
+class _Scripted:
+    """Replays a fixed latency sequence, one entry per call."""
+
+    def __init__(self, latencies):
+        self._latencies = list(latencies)
+        self.n_calls = 0
+
+    def complete(self, request):
+        latency = self._latencies[self.n_calls % max(1, len(self._latencies))]
+        self.n_calls += 1
+        return CompletionResponse(
+            text="Answer 1: yes", model=request.model,
+            usage=Usage(prompt_tokens=10, completion_tokens=5),
+            latency_s=latency,
+        )
+
+
+class TestAimdWidthBounds:
+    @given(
+        events=st.lists(st.booleans(), min_size=0, max_size=200),
+        concurrency=st.integers(min_value=1, max_value=8),
+        increase=st.floats(min_value=0.01, max_value=4.0,
+                           allow_nan=False, allow_infinity=False),
+        decrease=st.floats(min_value=0.01, max_value=0.99,
+                           allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_width_always_in_1_to_concurrency(
+        self, events, concurrency, increase, decrease
+    ):
+        config = ResilienceConfig(
+            aimd_increase=increase, aimd_decrease=decrease
+        )
+        controller = AimdController(config, concurrency)
+        for success in events:
+            if success:
+                controller.on_success()
+            else:
+                controller.on_throttle()
+            assert 1 <= controller.width <= concurrency
+            assert 1.0 <= controller.fractional_width or (
+                controller.fractional_width <= float(concurrency)
+            )
+
+    @given(
+        events=st.lists(st.booleans(), min_size=1, max_size=100),
+        concurrency=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_checkpoint_resume_replays_identically(self, events, concurrency):
+        config = ResilienceConfig()
+        left = AimdController(config, concurrency)
+        split = len(events) // 2
+        for success in events[:split]:
+            left.on_success() if success else left.on_throttle()
+        right = AimdController(config, concurrency)
+        right.restore_checkpoint_state(left.checkpoint_state())
+        for success in events[split:]:
+            left.on_success() if success else left.on_throttle()
+            right.on_success() if success else right.on_throttle()
+        assert left.fractional_width == right.fractional_width
+        assert left.width == right.width
+
+
+class TestHedgeDelayPurity:
+    @given(
+        latencies=st.lists(
+            st.floats(min_value=0.05, max_value=60.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=0, max_size=40,
+        ),
+        warmup=st.integers(min_value=1, max_value=12),
+        quantile=st.floats(min_value=0.1, max_value=1.0,
+                           allow_nan=False, allow_infinity=False),
+        floor=st.floats(min_value=0.0, max_value=2.0,
+                        allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_same_history_quotes_the_same_delay(
+        self, latencies, warmup, quantile, floor
+    ):
+        config = ResilienceConfig(
+            hedge=False,  # observe samples without firing duplicates
+            hedge_warmup=warmup, hedge_quantile=quantile,
+            hedge_min_delay_s=floor, circuit_error_threshold=1.0,
+        )
+
+        def build():
+            return FailoverClient(
+                [("primary", 0, _Scripted(latencies))], config
+            )
+
+        left, right = build(), build()
+        for i in range(len(latencies)):
+            left.complete(_request(i))
+            right.complete(_request(i))
+        delay_left = left.hedge_delay("primary")
+        assert delay_left == right.hedge_delay("primary")
+        assert delay_left >= config.hedge_min_delay_s
+        if len(latencies) < warmup:
+            assert delay_left == max(
+                config.hedge_min_delay_s, config.hedge_default_delay_s
+            )
+        else:
+            # past warmup the delay is one of the observed samples
+            # (or the floor)
+            window = latencies[-64:]
+            assert delay_left == config.hedge_min_delay_s or any(
+                delay_left == pytest.approx(sample) for sample in window
+            )
+
+
+class TestFailoverOrderInvariance:
+    @given(
+        pool=st.lists(
+            st.tuples(_names, st.integers(min_value=0, max_value=5)),
+            min_size=1, max_size=8,
+            unique_by=lambda entry: entry[0],
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_order_is_insertion_order_free(self, pool, data):
+        entries = [
+            (name, priority, _Scripted([1.0])) for name, priority in pool
+        ]
+        shuffled = data.draw(st.permutations(entries))
+        canonical = FailoverClient(entries, ResilienceConfig())
+        permuted = FailoverClient(list(shuffled), ResilienceConfig())
+        assert canonical.order == permuted.order
+        assert list(canonical.order) == sorted(
+            (name for name, __ in pool),
+            key=lambda name: (dict(pool)[name], name),
+        )

@@ -1,0 +1,276 @@
+"""The deterministic degradation model: episodes, plans, and DegradedClient.
+
+Every behaviour here must be a pure function of (plan seed, virtual
+clock): which episode covers an instant, whether a particular call inside
+an episode is hit, and what the hit does to the call.  No global RNG, no
+wall time.
+"""
+
+import pytest
+
+from repro.errors import RateLimitError, TransientLLMError
+from repro.llm.base import (
+    ChatMessage,
+    CompletionRequest,
+    CompletionResponse,
+    Usage,
+)
+from repro.llm.faults import DegradedClient
+from repro.resilience import (
+    EPISODE_KINDS,
+    DegradationPlan,
+    Episode,
+    ThrottleSignal,
+    attach,
+    blackout_plan,
+    brownout_plan,
+    throttle_of,
+)
+
+
+def _request(i=1):
+    return CompletionRequest(
+        messages=(ChatMessage(role="user", content=f"Question {i}: ping"),),
+        model="gpt-3.5",
+    )
+
+
+class _Inner:
+    """Serves a canned reply with a fixed modeled latency."""
+
+    def __init__(self, latency_s=2.0):
+        self.latency_s = latency_s
+        self.n_calls = 0
+
+    def complete(self, request):
+        self.n_calls += 1
+        return CompletionResponse(
+            text="Answer 1: yes",
+            model=request.model,
+            usage=Usage(prompt_tokens=10, completion_tokens=5),
+            latency_s=self.latency_s,
+        )
+
+
+class TestEpisode:
+    def test_window_is_half_open(self):
+        episode = Episode(kind="blackout", start_s=5.0, duration_s=10.0)
+        assert not episode.active(4.999)
+        assert episode.active(5.0)
+        assert episode.active(14.999)
+        assert not episode.active(15.0)
+        assert episode.end_s == 15.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kind": "meteor_strike", "start_s": 0.0, "duration_s": 1.0},
+        {"kind": "blackout", "start_s": -1.0, "duration_s": 1.0},
+        {"kind": "blackout", "start_s": 0.0, "duration_s": 0.0},
+        {"kind": "blackout", "start_s": 0.0, "duration_s": 1.0,
+         "intensity": 1.5},
+        {"kind": "blackout", "start_s": 0.0, "duration_s": 1.0,
+         "intensity": -0.1},
+        {"kind": "blackout", "start_s": 0.0, "duration_s": 1.0,
+         "retry_after_s": -1.0},
+        {"kind": "latency_brownout", "start_s": 0.0, "duration_s": 1.0,
+         "latency_factor": 0.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Episode(**kwargs)
+
+
+class TestDegradationPlan:
+    def test_episode_at_returns_first_active(self):
+        plan = DegradationPlan(episodes=(
+            Episode(kind="rate_limit_storm", start_s=0.0, duration_s=10.0),
+            Episode(kind="blackout", start_s=5.0, duration_s=10.0),
+        ))
+        index, episode = plan.episode_at(7.0)
+        assert index == 0 and episode.kind == "rate_limit_storm"
+        index, episode = plan.episode_at(12.0)
+        assert index == 1 and episode.kind == "blackout"
+        assert plan.episode_at(20.0) is None
+
+    def test_decide_is_deterministic_and_honours_extremes(self):
+        plan = DegradationPlan(seed=7)
+        for ordinal in range(50):
+            assert plan.decide(0, ordinal, 1.0)
+            assert not plan.decide(0, ordinal, 0.0)
+            assert plan.decide(1, ordinal, 0.5) == plan.decide(1, ordinal, 0.5)
+
+    def test_decide_hit_rate_tracks_probability(self):
+        plan = DegradationPlan(seed=0)
+        hits = sum(plan.decide(0, i, 0.7) for i in range(400))
+        assert 0.55 <= hits / 400 <= 0.85
+
+    def test_different_seeds_give_different_scripts(self):
+        a = DegradationPlan(seed=0)
+        b = DegradationPlan(seed=1)
+        decisions_a = [a.decide(0, i, 0.5) for i in range(64)]
+        decisions_b = [b.decide(0, i, 0.5) for i in range(64)]
+        assert decisions_a != decisions_b
+
+    def test_payload_roundtrip(self):
+        plan = brownout_plan(seed=3, latency_factor=5.0)
+        assert DegradationPlan.from_payload(plan.payload()) == plan
+
+    def test_brownout_plan_has_three_contiguous_phases(self):
+        plan = brownout_plan(seed=0, start_s=5.0, duration_s=30.0)
+        kinds = [episode.kind for episode in plan.episodes]
+        assert kinds == ["rate_limit_storm", "latency_brownout", "overload"]
+        for left, right in zip(plan.episodes, plan.episodes[1:]):
+            assert left.end_s == pytest.approx(right.start_s)
+        assert plan.episodes[0].start_s == 5.0
+        assert plan.episodes[-1].end_s == pytest.approx(35.0)
+
+    def test_blackout_plan_is_total(self):
+        plan = blackout_plan(seed=0, start_s=2.0, duration_s=8.0)
+        (episode,) = plan.episodes
+        assert episode.kind == "blackout"
+        assert episode.intensity == 1.0
+        assert set(k for k in EPISODE_KINDS) >= {episode.kind}
+
+
+class TestThrottleSignal:
+    def test_attach_and_recover(self):
+        exc = TransientLLMError("overloaded", latency_s=1.0)
+        signal = ThrottleSignal(kind="overloaded", retry_after_s=2.0,
+                                backend="primary")
+        assert throttle_of(attach(exc, signal)) is signal
+
+    def test_bare_rate_limit_is_synthesized(self):
+        signal = throttle_of(RateLimitError(4.0))
+        assert signal is not None
+        assert signal.kind == "rate_limit"
+        assert signal.retry_after_s == 4.0
+
+    def test_plain_errors_carry_no_signal(self):
+        assert throttle_of(TransientLLMError("boom")) is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kind": "tantrum"},
+        {"kind": "rate_limit", "retry_after_s": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ThrottleSignal(**kwargs)
+
+
+class TestDegradedClient:
+    def _client(self, plan, inner=None):
+        return DegradedClient(inner or _Inner(), plan, backend_name="primary")
+
+    def test_outside_every_window_calls_pass_through(self):
+        client = self._client(blackout_plan(start_s=10.0, duration_s=5.0))
+        client.observe_time(0.0)
+        reply = client.complete(_request())
+        assert reply.text == "Answer 1: yes"
+        assert client.n_blackouts == 0
+
+    def test_storm_raises_429_with_scripted_retry_after(self):
+        plan = DegradationPlan(episodes=(
+            Episode(kind="rate_limit_storm", start_s=0.0, duration_s=10.0,
+                    intensity=1.0, retry_after_s=3.5),
+        ))
+        client = self._client(plan)
+        client.observe_time(1.0)
+        with pytest.raises(RateLimitError) as info:
+            client.complete(_request())
+        assert info.value.retry_after == 3.5
+        signal = throttle_of(info.value)
+        assert signal.kind == "rate_limit" and signal.backend == "primary"
+        assert client.n_throttled == 1
+
+    @pytest.mark.parametrize("kind,counter", [
+        ("overload", "n_overloads"),
+        ("blackout", "n_blackouts"),
+    ])
+    def test_rejections_burn_scripted_latency(self, kind, counter):
+        plan = DegradationPlan(episodes=(
+            Episode(kind=kind, start_s=0.0, duration_s=10.0,
+                    intensity=1.0, retry_after_s=2.5),
+        ))
+        client = self._client(plan)
+        client.observe_time(1.0)
+        with pytest.raises(TransientLLMError) as info:
+            client.complete(_request())
+        assert info.value.latency_s == 2.5
+        assert throttle_of(info.value).kind == "overloaded"
+        assert getattr(client, counter) == 1
+
+    def test_brownout_slows_but_serves(self):
+        plan = DegradationPlan(episodes=(
+            Episode(kind="latency_brownout", start_s=0.0, duration_s=10.0,
+                    intensity=1.0, latency_factor=6.0),
+        ))
+        client = self._client(plan, inner=_Inner(latency_s=2.0))
+        client.observe_time(1.0)
+        reply = client.complete(_request())
+        assert reply.latency_s == pytest.approx(12.0)
+        assert reply.text == "Answer 1: yes"
+        assert client.n_slowed == 1
+
+    def test_clock_adopts_the_current_attempt(self):
+        # observe_time is not a running maximum: a sibling lane observing
+        # a *later* instant must not pull this call out of the window.
+        plan = blackout_plan(start_s=0.0, duration_s=10.0)
+        client = self._client(plan)
+        client.observe_time(50.0)
+        client.observe_time(5.0)   # back inside the blackout
+        with pytest.raises(TransientLLMError):
+            client.complete(_request())
+        assert client.n_blackouts == 1
+
+    def test_partial_intensity_is_decided_per_ordinal(self):
+        plan = DegradationPlan(seed=0, episodes=(
+            Episode(kind="rate_limit_storm", start_s=0.0, duration_s=1e6,
+                    intensity=0.5, retry_after_s=1.0),
+        ))
+        client = self._client(plan)
+        client.observe_time(1.0)
+        outcomes = []
+        for i in range(40):
+            try:
+                client.complete(_request(i))
+                outcomes.append("served")
+            except RateLimitError:
+                outcomes.append("throttled")
+        assert set(outcomes) == {"served", "throttled"}
+        # Same plan, fresh client: the exact same script replays.
+        replay_client = self._client(plan)
+        replay_client.observe_time(1.0)
+        replay = []
+        for i in range(40):
+            try:
+                replay_client.complete(_request(i))
+                replay.append("served")
+            except RateLimitError:
+                replay.append("throttled")
+        assert replay == outcomes
+
+    def test_checkpoint_roundtrip_continues_the_script(self):
+        plan = DegradationPlan(seed=0, episodes=(
+            Episode(kind="rate_limit_storm", start_s=0.0, duration_s=1e6,
+                    intensity=0.5, retry_after_s=1.0),
+        ))
+        original = self._client(plan)
+        original.observe_time(1.0)
+        for i in range(10):
+            try:
+                original.complete(_request(i))
+            except RateLimitError:
+                pass
+        resumed = self._client(plan)
+        resumed.restore_checkpoint_state(original.checkpoint_state())
+        for i in range(10, 20):
+            for client in (original, resumed):
+                client.observe_time(1.0)
+            outcome = []
+            for client in (original, resumed):
+                try:
+                    client.complete(_request(i))
+                    outcome.append("served")
+                except RateLimitError:
+                    outcome.append("throttled")
+            assert outcome[0] == outcome[1]
+        assert resumed.checkpoint_state() == original.checkpoint_state()

@@ -1,0 +1,380 @@
+"""Failover routing, hedging, circuit recovery, and shedding verdicts.
+
+The router's contract: calls land on the highest-priority routable
+backend; retryable failures fail over down the pool with burned time
+charged to the winner; slow-but-served primaries get hedged and the
+first reply to land wins; open circuits are probed on a deterministic
+schedule.  All of it on the fed-in virtual clock.
+"""
+
+import pytest
+
+from repro.errors import LLMError, RateLimitError, TransientLLMError
+from repro.llm.base import (
+    ChatMessage,
+    CompletionRequest,
+    CompletionResponse,
+    Usage,
+)
+from repro.llm.backend import SimulatedBackend
+from repro.resilience import (
+    FailoverClient,
+    PoolBackend,
+    PoolMember,
+    ResilienceConfig,
+    throttle_of,
+)
+
+
+def _request(i=1):
+    return CompletionRequest(
+        messages=(ChatMessage(role="user", content=f"Question {i}: ping"),),
+        model="gpt-3.5",
+    )
+
+
+class _Served:
+    """Serves a canned reply with a fixed modeled latency."""
+
+    def __init__(self, latency_s=1.0, text="Answer 1: yes",
+                 usage=Usage(prompt_tokens=10, completion_tokens=5)):
+        self.latency_s = latency_s
+        self.text = text
+        self.usage = usage
+        self.n_calls = 0
+
+    def complete(self, request):
+        self.n_calls += 1
+        return CompletionResponse(
+            text=self.text, model=request.model,
+            usage=self.usage, latency_s=self.latency_s,
+        )
+
+
+class _Flaky(_Served):
+    """Fails with a scripted error while ``failing`` is set."""
+
+    def __init__(self, exc_factory, **kwargs):
+        super().__init__(**kwargs)
+        self._exc_factory = exc_factory
+        self.failing = True
+
+    def complete(self, request):
+        if self.failing:
+            self.n_calls += 1
+            raise self._exc_factory()
+        return super().complete(request)
+
+
+#: hedging off, circuit effectively disabled — isolates pure routing
+_PLAIN = ResilienceConfig(hedge=False, circuit_error_threshold=1.0)
+
+
+class TestConstruction:
+    def test_empty_pool_is_rejected(self):
+        with pytest.raises(LLMError):
+            FailoverClient([])
+
+    def test_duplicate_names_are_rejected(self):
+        with pytest.raises(LLMError):
+            FailoverClient([("a", 0, _Served()), ("a", 1, _Served())])
+
+    def test_order_sorts_on_priority_then_name(self):
+        pool = [("zeta", 0, _Served()), ("beta", 1, _Served()),
+                ("alpha", 1, _Served())]
+        client = FailoverClient(pool, _PLAIN)
+        assert client.order == ("zeta", "alpha", "beta")
+
+    def test_order_ignores_constructor_sequence(self):
+        pool = [("a", 1, _Served()), ("b", 0, _Served()), ("c", 2, _Served())]
+        forward = FailoverClient(pool, _PLAIN)
+        backward = FailoverClient(list(reversed(pool)), _PLAIN)
+        assert forward.order == backward.order == ("b", "a", "c")
+
+
+class TestFailover:
+    def test_failure_routes_to_secondary_and_charges_burned_time(self):
+        primary = _Flaky(lambda: RateLimitError(3.0))
+        secondary = _Served(latency_s=1.0, text="Answer 1: no")
+        client = FailoverClient(
+            [("primary", 0, primary), ("secondary", 1, secondary)], _PLAIN
+        )
+        reply = client.complete(_request())
+        assert reply.text == "Answer 1: no"
+        # 3.0s burned on the 429 + the secondary's own 1.0s
+        assert reply.latency_s == pytest.approx(4.0)
+        assert client.n_failovers == 1
+        backends = {
+            entry["name"]: entry
+            for entry in client.health_payload()["backends"]
+        }
+        assert backends["primary"]["n_failure"] == 1
+        assert backends["secondary"]["n_success"] == 1
+
+    def test_whole_pool_failing_reraises_the_primary_error(self):
+        client = FailoverClient(
+            [
+                ("primary", 0, _Flaky(lambda: RateLimitError(3.0))),
+                ("secondary", 1, _Flaky(
+                    lambda: TransientLLMError("down", latency_s=2.0)
+                )),
+            ],
+            _PLAIN,
+        )
+        with pytest.raises(RateLimitError):
+            client.complete(_request())
+
+    def test_failover_disabled_surfaces_the_error_with_a_signal(self):
+        config = ResilienceConfig(
+            hedge=False, failover=False, circuit_error_threshold=1.0
+        )
+        client = FailoverClient(
+            [
+                ("primary", 0, _Flaky(
+                    lambda: TransientLLMError("down", latency_s=2.0)
+                )),
+                ("secondary", 1, _Served()),
+            ],
+            config,
+        )
+        with pytest.raises(TransientLLMError) as info:
+            client.complete(_request())
+        signal = throttle_of(info.value)
+        assert signal is not None
+        assert signal.kind == "overloaded"
+        assert signal.backend == "primary"
+
+
+class TestHedging:
+    def _pool(self, primary_latency, secondary_latency, **config_kwargs):
+        config = ResilienceConfig(
+            hedge_default_delay_s=2.0, hedge_warmup=100,
+            circuit_error_threshold=1.0, **config_kwargs
+        )
+        primary = _Served(latency_s=primary_latency, text="Answer 1: yes")
+        secondary = _Served(latency_s=secondary_latency, text="Answer 1: no")
+        client = FailoverClient(
+            [("primary", 0, primary), ("secondary", 1, secondary)], config
+        )
+        return client, primary, secondary
+
+    def test_slow_primary_hedges_and_the_duplicate_wins(self):
+        client, primary, secondary = self._pool(5.0, 1.0)
+        reply = client.complete(_request())
+        # hedge fires at t=2.0, duplicate lands at 2.0+1.0 < 5.0
+        assert reply.text == "Answer 1: no"
+        assert reply.latency_s == pytest.approx(3.0)
+        assert client.n_hedges == 1 and client.n_hedge_wins == 1
+        # the abandoned primary reply is accounted, never billed
+        assert client.hedge_loser_usage.prompt_tokens == 10
+        assert client.hedge_loser_usage.completion_tokens == 5
+
+    def test_slow_duplicate_loses_and_the_primary_stands(self):
+        client, primary, secondary = self._pool(5.0, 4.0)
+        reply = client.complete(_request())
+        # duplicate would land at 2.0+4.0 = 6.0 > 5.0: primary wins
+        assert reply.text == "Answer 1: yes"
+        assert reply.latency_s == pytest.approx(5.0)
+        assert client.n_hedge_losses == 1 and client.n_hedge_wins == 0
+
+    def test_fast_primary_never_hedges(self):
+        client, primary, secondary = self._pool(1.0, 1.0)
+        client.complete(_request())
+        assert client.n_hedges == 0
+        assert secondary.n_calls == 0
+
+    def test_hedge_disabled_never_hedges(self):
+        client, primary, secondary = self._pool(50.0, 1.0, hedge=False)
+        reply = client.complete(_request())
+        assert reply.latency_s == pytest.approx(50.0)
+        assert client.n_hedges == 0
+
+    def test_failed_hedge_keeps_the_primary_reply(self):
+        config = ResilienceConfig(
+            hedge_default_delay_s=2.0, hedge_warmup=100,
+            circuit_error_threshold=1.0,
+        )
+        client = FailoverClient(
+            [
+                ("primary", 0, _Served(latency_s=5.0)),
+                ("secondary", 1, _Flaky(
+                    lambda: TransientLLMError("down", latency_s=1.0)
+                )),
+            ],
+            config,
+        )
+        reply = client.complete(_request())
+        assert reply.latency_s == pytest.approx(5.0)
+        assert client.n_hedge_losses == 1
+
+    def test_hedge_delay_uses_default_until_warmup(self):
+        config = ResilienceConfig(
+            hedge_warmup=2, hedge_default_delay_s=100.0,
+            circuit_error_threshold=1.0,
+        )
+        client = FailoverClient([("primary", 0, _Served(1.0))], config)
+        assert client.hedge_delay("primary") == 100.0
+        client.complete(_request(1))
+        assert client.hedge_delay("primary") == 100.0
+        client.complete(_request(2))
+        # two samples of 1.0s: the p95 of the window is 1.0
+        assert client.hedge_delay("primary") == pytest.approx(1.0)
+
+    def test_hedge_delay_respects_the_floor(self):
+        config = ResilienceConfig(
+            hedge_warmup=1, hedge_min_delay_s=0.5,
+            circuit_error_threshold=1.0,
+        )
+        client = FailoverClient([("primary", 0, _Served(0.01))], config)
+        client.complete(_request())
+        assert client.hedge_delay("primary") == 0.5
+
+
+class TestCircuitRecovery:
+    def test_open_circuit_exhausts_then_probe_recovers(self):
+        # defaults: alpha 0.3, threshold 0.5 — two consecutive failures
+        # push the EWMA error rate to 0.51 and open the circuit.
+        flaky = _Flaky(lambda: RateLimitError(1.0))
+        client = FailoverClient(
+            [("primary", 0, flaky)], ResilienceConfig(hedge=False)
+        )
+        client.observe_time(0.0)
+        for i in range(2):
+            with pytest.raises(RateLimitError):
+                client.complete(_request(i))
+        backends = client.health_payload()["backends"]
+        assert backends[0]["state"] == "open"
+
+        # inside the cooldown nothing is routable: typed exhaustion
+        with pytest.raises(TransientLLMError) as info:
+            client.complete(_request(3))
+        assert throttle_of(info.value).kind == "overloaded"
+        assert client.n_exhausted == 1
+        assert flaky.n_calls == 2  # the open circuit was never called
+
+        # past the cooldown the next call is the half-open probe; a
+        # healed backend closes the circuit again.
+        flaky.failing = False
+        client.observe_time(25.0)
+        reply = client.complete(_request(4))
+        assert reply.text == "Answer 1: yes"
+        health = client.health_payload()["backends"][0]
+        assert health["state"] == "closed"
+        assert health["transitions"] == {
+            "open": 1, "half_open": 1, "close": 1,
+        }
+
+    def test_failed_probe_reopens_the_circuit(self):
+        flaky = _Flaky(lambda: RateLimitError(1.0))
+        client = FailoverClient(
+            [("primary", 0, flaky)], ResilienceConfig(hedge=False)
+        )
+        client.observe_time(0.0)
+        for i in range(2):
+            with pytest.raises(RateLimitError):
+                client.complete(_request(i))
+        client.observe_time(25.0)
+        with pytest.raises(RateLimitError):
+            client.complete(_request(3))
+        health = client.health_payload()["backends"][0]
+        assert health["state"] == "open"
+        assert health["transitions"]["open"] == 2
+
+
+class TestShedVerdict:
+    def test_hysteresis_enters_high_exits_low(self):
+        flaky = _Flaky(
+            lambda: RateLimitError(1.0),
+            latency_s=1.0,
+        )
+        client = FailoverClient([("primary", 0, flaky)], _PLAIN)
+        assert not client.should_shed()
+        # shed_alpha 0.3: two failures push stress to 0.51 >= 0.5
+        for i in range(2):
+            with pytest.raises(RateLimitError):
+                client.complete(_request(i))
+        assert client.should_shed()
+        assert client.n_shed_windows == 1
+        # stress decays 0.51 -> 0.357 -> 0.25 -> 0.175; still shedding
+        # until it crosses shed_exit = 0.25
+        flaky.failing = False
+        client.complete(_request(10))
+        assert client.should_shed()
+        client.complete(_request(11))
+        client.complete(_request(12))
+        assert not client.should_shed()
+        assert client.n_shed_windows == 1
+
+
+class TestCheckpoint:
+    def _run(self, client, n, start=0):
+        for i in range(n):
+            try:
+                client.complete(_request(start + i))
+            except (RateLimitError, TransientLLMError):
+                pass
+
+    def test_roundtrip_restores_health_and_samples(self):
+        def build():
+            return FailoverClient(
+                [
+                    ("primary", 0, _Flaky(lambda: RateLimitError(1.0))),
+                    ("secondary", 1, _Served(latency_s=1.5)),
+                ],
+                ResilienceConfig(hedge=False),
+            )
+
+        original = build()
+        original.observe_time(3.0)
+        self._run(original, 5)
+        resumed = build()
+        resumed.restore_checkpoint_state(original.checkpoint_state())
+        assert resumed.checkpoint_state() == original.checkpoint_state()
+        assert resumed.hedge_delay("secondary") == pytest.approx(
+            original.hedge_delay("secondary")
+        )
+        # and both continue identically
+        self._run(original, 3, start=5)
+        self._run(resumed, 3, start=5)
+        assert resumed.checkpoint_state() == original.checkpoint_state()
+
+    def test_health_payload_shape(self):
+        client = FailoverClient([("primary", 0, _Served())], _PLAIN)
+        client.complete(_request())
+        payload = client.health_payload()
+        assert {"backends", "router"} == set(payload)
+        (backend,) = payload["backends"]
+        assert {
+            "name", "state", "error_rate", "latency_ewma_s",
+            "n_success", "n_failure", "transitions", "priority",
+        } == set(backend)
+        assert payload["router"]["n_calls"] == 1
+
+
+class TestPoolBackend:
+    def test_build_orders_members_by_priority(self):
+        pool = PoolBackend(members=(
+            PoolMember("fallback", SimulatedBackend("gpt-3.5", seed=1),
+                       priority=1),
+            PoolMember("main", SimulatedBackend("gpt-3.5", seed=0),
+                       priority=0),
+        ))
+        client = pool.build()
+        assert isinstance(client, FailoverClient)
+        assert client.order == ("main", "fallback")
+
+    def test_describe_is_deterministic(self):
+        pool = PoolBackend(members=(
+            PoolMember("b", SimulatedBackend("gpt-3.5", seed=1), priority=1),
+            PoolMember("a", SimulatedBackend("gpt-3.5", seed=0), priority=0),
+        ))
+        description = pool.describe()
+        assert description["kind"] == "pool"
+        assert [m["name"] for m in description["members"]] == ["a", "b"]
+
+    def test_duplicate_member_names_are_rejected(self):
+        with pytest.raises(ValueError):
+            PoolBackend(members=(
+                PoolMember("a", SimulatedBackend("gpt-3.5", seed=0)),
+                PoolMember("a", SimulatedBackend("gpt-3.5", seed=1)),
+            ))

@@ -1,0 +1,166 @@
+"""Degradation-aware load shedding: typed rejections, queue conservation.
+
+The resilience contract at the serving layer: when the backend is too
+sick to keep up, new arrivals are refused with the typed reason
+``backend_degraded`` *before* any budget is charged, every request in
+the trace is still accounted exactly once (served or rejected), and the
+monitor's verdict is hysteretic — it does not flap at the threshold.
+"""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.executor import ExecutorConfig
+from repro.llm.faults import DegradedClient
+from repro.llm.simulated import SimulatedLLM
+from repro.resilience import ResilienceConfig, blackout_plan
+from repro.serving import (
+    REJECT_REASONS,
+    PreprocessingService,
+    ServeRequest,
+    TenantBudget,
+)
+from repro.serving.tenants import DegradationMonitor
+
+
+class _Report:
+    """A minimal stand-in for ExecutionReport counter fields."""
+
+    def __init__(self, n_calls=0, n_retries=0, n_rate_limit_waits=0,
+                 n_giveups=0):
+        self.n_calls = n_calls
+        self.n_retries = n_retries
+        self.n_rate_limit_waits = n_rate_limit_waits
+        self.n_giveups = n_giveups
+
+
+class TestDegradationMonitor:
+    def test_failures_raise_stress_and_trigger_shedding(self):
+        monitor = DegradationMonitor(ResilienceConfig())
+        monitor.observe_report(_Report(n_calls=0, n_giveups=4))
+        assert monitor.stress == pytest.approx(0.3)
+        assert not monitor.should_shed()
+        monitor.observe_report(_Report(n_calls=0, n_giveups=8))
+        assert monitor.stress == pytest.approx(0.51)
+        assert monitor.should_shed()
+        assert monitor.n_shed_windows == 1
+
+    def test_reports_are_diffed_not_recounted(self):
+        monitor = DegradationMonitor(ResilienceConfig())
+        report = _Report(n_calls=10, n_giveups=0)
+        monitor.observe_report(report)
+        before = monitor.stress
+        # same cumulative counters again: no new events, no stress change
+        monitor.observe_report(report)
+        assert monitor.stress == before
+
+    def test_hysteresis_needs_stress_below_exit(self):
+        monitor = DegradationMonitor(ResilienceConfig())
+        monitor.observe_report(_Report(n_giveups=4))
+        monitor.observe_report(_Report(n_giveups=8))
+        assert monitor.should_shed()
+        # healthy flushes decay stress: 0.51 -> 0.357 -> 0.2499;
+        # shedding holds until it drops under shed_exit = 0.25
+        monitor.observe_report(_Report(n_calls=100, n_giveups=8))
+        assert monitor.should_shed()
+        monitor.observe_report(_Report(n_calls=200, n_giveups=8))
+        assert not monitor.should_shed()
+        assert monitor.n_shed_windows == 1
+
+    def test_backlog_blocks_recovery_until_drained(self):
+        monitor = DegradationMonitor(ResilienceConfig(), drain_backlog_s=5.0)
+        monitor.observe_report(_Report(n_giveups=4))
+        monitor.observe_report(_Report(n_giveups=8))
+        assert monitor.should_shed()
+        # stress fully decayed, but the queue is still deep: keep shedding
+        for calls in (100, 200, 300, 400):
+            monitor.observe_report(_Report(n_calls=calls, n_giveups=8))
+        assert monitor.should_shed(backlog_age_s=30.0)
+        assert not monitor.should_shed(backlog_age_s=1.0)
+
+    def test_router_verdict_floors_stress_at_enter(self):
+        monitor = DegradationMonitor(ResilienceConfig())
+        monitor.observe_router(shedding=True)
+        assert monitor.should_shed()
+        monitor.observe_router(shedding=False)  # no-op: decay, don't reset
+        assert monitor.stress >= ResilienceConfig().shed_enter
+
+
+class TestServiceShedding:
+    def _service(self, dataset, resilience=ResilienceConfig()):
+        # A primary that blacks out from the first virtual second: every
+        # executor flush fails, stress climbs, and the service must shed.
+        client = DegradedClient(
+            SimulatedLLM("gpt-3.5", seed=0),
+            blackout_plan(seed=0, start_s=0.0, duration_s=10_000.0),
+            backend_name="primary",
+        )
+        return PreprocessingService(
+            client,
+            dataset,
+            [TenantBudget("tenant-0", 10**9, 10**9)],
+            pipeline_config=PipelineConfig(
+                model="gpt-3.5", seed=0, concurrency=2
+            ),
+            executor_config=ExecutorConfig(resilience=resilience),
+        )
+
+    def _trace(self, dataset, n, spacing_s=4.0):
+        instances = list(dataset.instances)
+        return [
+            ServeRequest(
+                request_id=i,
+                tenant="tenant-0",
+                arrival_s=i * spacing_s,
+                instance=instances[i % len(instances)],
+            )
+            for i in range(n)
+        ]
+
+    def test_degraded_backend_sheds_with_typed_reason(self, adult_dataset):
+        service = self._service(adult_dataset)
+        trace = self._trace(adult_dataset, 24)
+        report = service.serve(trace)
+        # queue conservation under shedding: every arrival accounted once
+        assert report.n_served + report.n_rejected == len(trace)
+        reasons = {r.reason for r in report.rejections}
+        assert "backend_degraded" in reasons
+        assert reasons <= set(REJECT_REASONS)
+        # nothing charged for shed requests: their ids never served
+        served_ids = {r.request_id for r in report.responses}
+        shed_ids = {
+            r.request_id for r in report.rejections
+            if r.reason == "backend_degraded"
+        }
+        assert not served_ids & shed_ids
+        # the manifest carries the shedding stress in resilience mode
+        assert report.backend_health is not None
+        assert report.backend_health["shedding"]["n_shed_windows"] >= 1
+
+    def test_healthy_backend_never_sheds(self, adult_dataset):
+        service = PreprocessingService(
+            SimulatedLLM("gpt-3.5", seed=0),
+            adult_dataset,
+            [TenantBudget("tenant-0", 10**9, 10**9)],
+            pipeline_config=PipelineConfig(
+                model="gpt-3.5", seed=0, concurrency=2
+            ),
+            executor_config=ExecutorConfig(resilience=ResilienceConfig()),
+        )
+        trace = self._trace(adult_dataset, 12)
+        report = service.serve(trace)
+        assert report.n_rejected == 0
+        assert report.backend_health["shedding"]["n_shed_windows"] == 0
+
+    def test_without_resilience_no_health_payload(self, adult_dataset):
+        service = PreprocessingService(
+            SimulatedLLM("gpt-3.5", seed=0),
+            adult_dataset,
+            [TenantBudget("tenant-0", 10**9, 10**9)],
+            pipeline_config=PipelineConfig(
+                model="gpt-3.5", seed=0, concurrency=2
+            ),
+        )
+        report = service.serve(self._trace(adult_dataset, 6))
+        assert report.backend_health is None
+        assert report.n_served == 6
